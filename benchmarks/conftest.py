@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+``evaluation_results`` runs all 24 workloads through the four
+configurations once per session (a few minutes of simulated-platform
+execution) and is shared by the Figure 4 and Table 3 benchmarks.
+Rendered artifacts are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import run_benchmark
+from repro.workloads import ALL_WORKLOADS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def evaluation_results():
+    """BenchmarkResult for every workload (cached per session)."""
+    return [run_benchmark(workload) for workload in ALL_WORKLOADS]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n")

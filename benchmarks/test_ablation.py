@@ -1,0 +1,106 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+The paper fixes one pass schedule (glue kernels, then alloca
+promotion, then map promotion -- section 5.3).  These benchmarks turn
+each optimization off individually on the workloads that exercise it
+and measure the cost, regenerating the justification for the schedule.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.workloads import get_workload
+
+
+def run_with(workload_name: str, **toggles):
+    workload = get_workload(workload_name)
+    config = CgcmConfig(opt_level=OptLevel.OPTIMIZED, **toggles)
+    compiler = CgcmCompiler(config)
+    report = compiler.compile_source(workload.source, workload.name)
+    return compiler.execute(report)
+
+
+def test_map_promotion_ablation(benchmark, results_dir):
+    """jacobi: map promotion is the whole ball game."""
+    def measure():
+        with_promo = run_with("jacobi-2d-imper")
+        without = run_with("jacobi-2d-imper",
+                           enable_map_promotion=False)
+        return with_promo, without
+    with_promo, without = benchmark.pedantic(measure, rounds=1,
+                                             iterations=1)
+    assert with_promo.stdout == without.stdout
+    # Without promotion the pattern stays cyclic: many more copies.
+    assert without.counters["htod_copies"] >= \
+        4 * with_promo.counters["htod_copies"]
+    assert with_promo.total_seconds < without.total_seconds
+    save_artifact(results_dir, "ablation_map_promotion.txt",
+                  f"with   : {with_promo.total_seconds * 1e6:9.2f}us "
+                  f"({with_promo.counters['htod_copies']} HtoD)\n"
+                  f"without: {without.total_seconds * 1e6:9.2f}us "
+                  f"({without.counters['htod_copies']} HtoD)")
+
+
+def test_glue_kernel_ablation(benchmark, results_dir):
+    """srad/lu: the CPU snippet between launches blocks promotion
+    unless it is lowered to the GPU."""
+    def measure():
+        out = {}
+        for name in ("srad", "lu"):
+            with_glue = run_with(name)
+            without = run_with(name, enable_glue_kernels=False)
+            assert with_glue.stdout == without.stdout
+            out[name] = (with_glue, without)
+        return out
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = []
+    for name, (with_glue, without) in measured.items():
+        assert with_glue.counters["htod_copies"] < \
+            without.counters["htod_copies"], name
+        assert with_glue.total_seconds <= without.total_seconds * 1.02, \
+            name
+        lines.append(f"{name:6s} with glue: "
+                     f"{with_glue.total_seconds * 1e6:9.2f}us "
+                     f"({with_glue.counters['htod_copies']} HtoD)   "
+                     f"without: {without.total_seconds * 1e6:9.2f}us "
+                     f"({without.counters['htod_copies']} HtoD)")
+    save_artifact(results_dir, "ablation_glue.txt", "\n".join(lines))
+
+
+def test_alloca_promotion_ablation(benchmark, results_dir):
+    """doitgen: the helper's local buffer must climb the call graph
+    before its mapping can leave the r loop."""
+    def measure():
+        with_alloca = run_with("doitgen")
+        without = run_with("doitgen", enable_alloca_promotion=False)
+        return with_alloca, without
+    with_alloca, without = benchmark.pedantic(measure, rounds=1,
+                                              iterations=1)
+    assert with_alloca.stdout == without.stdout
+    assert with_alloca.counters["htod_copies"] <= \
+        without.counters["htod_copies"]
+    save_artifact(results_dir, "ablation_alloca.txt",
+                  f"with   : {with_alloca.total_seconds * 1e6:9.2f}us "
+                  f"({with_alloca.counters['htod_copies']} HtoD)\n"
+                  f"without: {without.total_seconds * 1e6:9.2f}us "
+                  f"({without.counters['htod_copies']} HtoD)")
+
+
+def test_pass_schedule_matches_paper(benchmark):
+    """All three optimizations together never lose to any subset
+    (spot-check on the programs each pass targets)."""
+    def measure():
+        results = {}
+        for name in ("jacobi-2d-imper", "srad", "doitgen"):
+            full = run_with(name)
+            for toggle in ("enable_glue_kernels",
+                           "enable_alloca_promotion",
+                           "enable_map_promotion"):
+                partial = run_with(name, **{toggle: False})
+                results[(name, toggle)] = (full.total_seconds,
+                                           partial.total_seconds)
+        return results
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for (name, toggle), (full, partial) in measured.items():
+        assert full <= partial * 1.05, (name, toggle, full, partial)

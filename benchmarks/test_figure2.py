@@ -1,0 +1,37 @@
+"""Regenerate Figure 2: execution schedules of the three patterns.
+
+The qualitative claims: the naive pattern alternates transfers and
+kernels every iteration (cyclic); the inspector-executor still syncs
+every launch but moves fewer bytes; the optimized pattern crosses the
+bus O(1) times regardless of iteration count, and is the fastest.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.evaluation import build_schedules, render_figure2
+
+
+def test_figure2_schedules(benchmark, results_dir):
+    schedules = benchmark.pedantic(build_schedules, rounds=1,
+                                   iterations=1)
+    rendered = render_figure2(schedules)
+    save_artifact(results_dir, "figure2.txt", rendered)
+    print()
+    print(rendered)
+
+    cyclic = schedules["naive-cyclic"]
+    inspector = schedules["inspector-executor"]
+    acyclic = schedules["acyclic"]
+
+    # Cyclic patterns alternate comm/GPU once per iteration; the
+    # acyclic schedule alternates O(1) times in total.
+    assert cyclic.direction_switches >= 8
+    assert inspector.direction_switches >= 8
+    assert acyclic.direction_switches <= 5
+    # The acyclic schedule is the fastest of the three.
+    assert acyclic.total_seconds < cyclic.total_seconds
+    assert acyclic.total_seconds < inspector.total_seconds
+    # All three computed the same answer (events aside, the underlying
+    # run is checked in build_schedules via identical workloads).
+    assert cyclic.events and inspector.events and acyclic.events

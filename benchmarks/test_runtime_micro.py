@@ -1,0 +1,81 @@
+"""Microbenchmarks of the substrate itself (wall-clock, not modelled).
+
+These time the Python implementation: the run-time library's hot path
+(allocation-map lookup, map/release cycles), the compiler pipeline,
+and interpreter throughput.  Useful for tracking regressions in the
+reproduction's own performance.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.runtime import AvlTreeMap, CgcmRuntime
+from repro.workloads import get_workload
+
+
+def test_allocmap_find_le(benchmark):
+    tree = AvlTreeMap()
+    rng = random.Random(7)
+    keys = [rng.randrange(1 << 30) for _ in range(4096)]
+    for key in keys:
+        tree.insert(key, key)
+    probes = [rng.randrange(1 << 30) for _ in range(512)]
+
+    def lookups():
+        total = 0
+        for probe in probes:
+            hit = tree.find_le(probe)
+            if hit is not None:
+                total += hit[0]
+        return total
+
+    benchmark(lookups)
+
+
+def test_map_release_cycle(benchmark):
+    machine = Machine(compile_minic(
+        "double data[256]; int main(void) { return 0; }"))
+    runtime = CgcmRuntime(machine)
+    runtime.declare_all_globals()
+    base = machine.global_address("data")
+
+    def cycle():
+        for _ in range(64):
+            runtime.map_ptr(base)
+            runtime.global_epoch += 1
+            runtime.unmap_ptr(base)
+            runtime.release_ptr(base)
+
+    benchmark(cycle)
+
+
+def test_compile_pipeline(benchmark):
+    """Full pipeline wall-clock on gemm (parse -> IR -> all passes)."""
+    source = get_workload("gemm").source
+
+    def compile_gemm():
+        compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED))
+        return compiler.compile_source(source, "gemm")
+
+    report = benchmark(compile_gemm)
+    assert report.doall_kernels
+
+
+def test_interpreter_throughput(benchmark):
+    """Interpreted ops/second on a tight arithmetic loop."""
+    module = compile_minic(r"""
+    int main(void) {
+        double acc = 0.0;
+        for (int i = 0; i < 5000; i++)
+            acc = acc * 0.9999 + i;
+        return (int) (acc / 100000.0);
+    }""")
+
+    def run():
+        return Machine(module).run()
+
+    benchmark(run)

@@ -1,0 +1,97 @@
+"""Regenerate Table 3: program characteristics, measured vs paper.
+
+For every program the paper reports the limiting factor (GPU / Comm. /
+Other), the GPU%% and communication%% of total execution time before
+and after optimization, the kernel count, and the number of kernels
+each prior technique could manage.  We regenerate all columns and
+check the *shape*: limiting factors mostly agree, communication
+percentage falls (or stays) under optimization for the promoted
+programs, and the applicability ordering CGCM >= IE >= named-regions
+holds everywhere.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.evaluation import (build_table3, render_table3,
+                              render_table3_comparison)
+
+
+def test_table3_regeneration(benchmark, evaluation_results, results_dir):
+    rows = benchmark.pedantic(build_table3, args=(evaluation_results,),
+                              rounds=1, iterations=1)
+    rendered = render_table3(rows)
+    comparison = render_table3_comparison(evaluation_results)
+    save_artifact(results_dir, "table3.txt",
+                  rendered + "\n\n" + comparison)
+    print()
+    print(rendered)
+    print()
+    print(comparison)
+    assert len(rows) == 24
+
+
+def test_limiting_factors_mostly_match_paper(evaluation_results,
+                                             benchmark):
+    def agreement():
+        matches = sum(
+            1 for result in evaluation_results
+            if result.limiting_factor
+            == result.workload.paper.limiting_factor)
+        return matches / len(evaluation_results)
+    ratio = benchmark.pedantic(agreement, rounds=1, iterations=1)
+    assert ratio >= 0.5, f"only {ratio:.0%} of limiting factors match"
+
+
+def test_applicability_ordering(evaluation_results, benchmark):
+    """CGCM is applicable wherever the others are (paper Table 3:
+    CGCM handles all kernels; IE/named-regions handle a subset)."""
+    def orderings():
+        out = []
+        for result in evaluation_results:
+            a = result.applicability
+            out.append((result.workload.name, a.total_kernels, a.cgcm,
+                        a.inspector_executor, a.named_regions))
+        return out
+    rows = benchmark.pedantic(orderings, rounds=1, iterations=1)
+    for name, total, cgcm, ie, nr in rows:
+        assert cgcm == total, f"{name}: CGCM must manage every kernel"
+        assert ie <= cgcm, name
+        assert nr <= ie, name
+
+
+def test_complex_programs_less_applicable(evaluation_results, benchmark):
+    """Paper: prior techniques cover most PolyBench kernels but only a
+    fraction of the more complex non-PolyBench kernels."""
+    def coverage(suite_filter, invert=False):
+        total = applicable = 0
+        for result in evaluation_results:
+            in_suite = result.workload.suite == suite_filter
+            if in_suite == invert:
+                continue
+            total += result.applicability.total_kernels
+            applicable += result.applicability.inspector_executor
+        return applicable / max(total, 1)
+    polybench = benchmark.pedantic(coverage, args=("PolyBench",),
+                                   rounds=1, iterations=1)
+    others = coverage("PolyBench", invert=True)
+    assert polybench > others
+
+
+def test_communication_fraction_falls_for_promoted(evaluation_results,
+                                                   benchmark):
+    """jacobi/lu/srad-style programs: comm%% collapses under
+    optimization (paper: jacobi 92.8 -> 3.3, lu 99.6 -> 7.0)."""
+    targets = {"jacobi-2d-imper", "lu", "srad", "hotspot", "cfd", "nw"}
+    def drops():
+        out = {}
+        for result in evaluation_results:
+            if result.workload.name not in targets:
+                continue
+            _, comm_unopt, _ = result.breakdown("unoptimized")
+            _, comm_opt, _ = result.breakdown("optimized")
+            out[result.workload.name] = (comm_unopt, comm_opt)
+        return out
+    measured = benchmark.pedantic(drops, rounds=1, iterations=1)
+    for name, (before, after) in measured.items():
+        assert after < before, (name, before, after)

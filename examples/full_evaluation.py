@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's whole evaluation section (section 6).
+
+Runs all 24 benchmarks under the four configurations and prints
+Figure 4 (speedups + geomeans), Table 3 (program characteristics,
+measured vs paper), and Table 1 (the feature matrix plus executable
+demonstrations of CGCM's applicability cells).
+
+This takes a few minutes: every program runs four times through the
+full simulated platform.
+
+Run:  python examples/full_evaluation.py [workload ...]
+"""
+
+import sys
+import time
+
+from repro.evaluation import (build_figure4, build_table3,
+                              demonstrate_cgcm, render_figure4,
+                              render_table1, render_table3,
+                              render_table3_comparison, run_benchmark)
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        workloads = [get_workload(name) for name in sys.argv[1:]]
+    else:
+        workloads = list(ALL_WORKLOADS)
+
+    results = []
+    print(f"running {len(workloads)} benchmarks x 4 configurations ...")
+    for workload in workloads:
+        started = time.time()
+        result = run_benchmark(workload)
+        results.append(result)
+        print(f"  {workload.name:18s} opt speedup "
+              f"{result.speedup('optimized'):6.2f}x   "
+              f"({time.time() - started:4.1f}s wall)")
+
+    print()
+    print("=" * 72)
+    print("Figure 4: whole-program speedup over sequential CPU-only")
+    print("=" * 72)
+    print(render_figure4(build_figure4(results)))
+
+    print()
+    print("=" * 72)
+    print("Table 3: program characteristics (measured)")
+    print("=" * 72)
+    print(render_table3(build_table3(results)))
+
+    print()
+    print("=" * 72)
+    print("Table 3: measured vs paper")
+    print("=" * 72)
+    print(render_table3_comparison(results))
+
+    print()
+    print("=" * 72)
+    print("Table 1: comparison between communication systems (published)")
+    print("=" * 72)
+    print(render_table1())
+    print()
+    print("CGCM applicability cells, demonstrated by execution:")
+    for feature, passed in demonstrate_cgcm().items():
+        print(f"  {feature:22s} {'PASS' if passed else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

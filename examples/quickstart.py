@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one MiniC program at every optimization level.
+
+The program is a small time-stepped stencil -- the shape that motivates
+CGCM: a loop that launches GPU kernels every iteration.  Communication
+*management* alone produces a cyclic pattern (slow); map promotion
+turns it acyclic (fast).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OptLevel, compile_and_run
+
+SOURCE = r"""
+double field[64];
+
+int main(void) {
+    for (int i = 0; i < 64; i++)
+        field[i] = i * 0.25;
+
+    for (int t = 0; t < 8; t++) {
+        for (int i = 0; i < 64; i++)
+            field[i] = field[i] * 0.95 + 0.5;
+    }
+
+    double checksum = 0.0;
+    for (int i = 0; i < 64; i++)
+        checksum += field[i] * (i % 5 + 1);
+    print_f64(checksum);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("level        stdout        total      cpu      gpu     comm"
+          "   HtoD copies")
+    baseline = None
+    for level in (OptLevel.SEQUENTIAL, OptLevel.UNOPTIMIZED,
+                  OptLevel.OPTIMIZED):
+        result = compile_and_run(SOURCE, level)
+        if baseline is None:
+            baseline = result.total_seconds
+        speedup = baseline / result.total_seconds
+        print(f"{level.value:12s} {','.join(result.stdout):10s} "
+              f"{result.total_seconds * 1e6:8.2f}us "
+              f"{result.cpu_seconds * 1e6:7.2f} "
+              f"{result.gpu_seconds * 1e6:7.2f} "
+              f"{result.comm_seconds * 1e6:7.2f} "
+              f"{result.counters.get('htod_copies', 0):7d} "
+              f"   ({speedup:4.2f}x)")
+    print()
+    print("Unoptimized CGCM copies the array to and from the GPU on")
+    print("every iteration (cyclic); map promotion hoists the copies")
+    print("out of the time loop (acyclic), as in the paper's Listing 4.")
+
+
+if __name__ == "__main__":
+    main()

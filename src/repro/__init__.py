@@ -1,0 +1,39 @@
+"""repro: a from-scratch reproduction of CGCM (PLDI 2011).
+
+"Automatic CPU-GPU Communication Management and Optimization",
+Jablin et al., PLDI 2011.  The package contains the complete stack the
+paper's system needs: a MiniC frontend, a typed compiler IR, a CPU
+interpreter with a simulated GPU device and analytic cost model, the
+CGCM run-time library, the compiler passes (DOALL parallelization,
+communication management, glue kernels, alloca promotion, map
+promotion), an idealized inspector-executor baseline, the 24 benchmark
+programs, and the evaluation harness that regenerates the paper's
+figures and tables.
+
+Quick start::
+
+    from repro import compile_and_run, OptLevel
+
+    result = compile_and_run(minic_source, OptLevel.OPTIMIZED)
+    print(result.stdout, result.total_seconds)
+"""
+
+from .core import (CgcmCompiler, CgcmConfig, CompileReport, ExecutionResult,
+                   OptLevel, compile_and_run)
+from .errors import (CgcmRuntimeError, CgcmUnsupportedError, FrontendError,
+                     GpuError, InterpError, IRError, MemoryFault, ReproError,
+                     TransformError)
+from .frontend import compile_minic
+from .gpu import CostModel
+from .interp import Machine
+from .runtime import CgcmRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CgcmCompiler", "CgcmConfig", "CompileReport", "ExecutionResult",
+    "OptLevel", "compile_and_run", "compile_minic", "CostModel", "Machine",
+    "CgcmRuntime", "ReproError", "CgcmRuntimeError", "CgcmUnsupportedError",
+    "FrontendError", "GpuError", "InterpError", "IRError", "MemoryFault",
+    "TransformError", "__version__",
+]

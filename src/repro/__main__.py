@@ -1,0 +1,142 @@
+"""Command-line interface: compile and simulate MiniC programs.
+
+Usage::
+
+    python -m repro run program.c [--level optimized] [--trace] [--stats]
+    python -m repro emit-ir program.c [--level unoptimized]
+    python -m repro bench <workload> [...]
+    python -m repro list
+
+``run`` compiles a MiniC source file at the chosen optimization level
+and executes it on the simulated platform; ``emit-ir`` prints the
+transformed IR; ``bench`` runs named paper workloads through all four
+configurations; ``list`` shows the 24 available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import CgcmCompiler, CgcmConfig, OptLevel
+from .evaluation import run_benchmark
+from .interp.trace import render_schedule
+from .ir import module_to_str
+from .workloads import ALL_WORKLOADS, get_workload
+
+_LEVELS = {level.value: level for level in OptLevel}
+
+
+def _add_level_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--level", choices=sorted(_LEVELS), default="optimized",
+        help="pipeline level: sequential (CPU only), unoptimized "
+             "(communication management), optimized (all three "
+             "communication optimizations)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CGCM (PLDI 2011) reproduction: compile and "
+                    "simulate MiniC programs")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="compile and execute")
+    run_cmd.add_argument("source", help="MiniC source file")
+    _add_level_argument(run_cmd)
+    run_cmd.add_argument("--trace", action="store_true",
+                         help="draw the execution schedule (Figure 2 "
+                              "style)")
+    run_cmd.add_argument("--stats", action="store_true",
+                         help="print timing breakdown and counters")
+
+    emit_cmd = commands.add_parser("emit-ir",
+                                   help="print the transformed IR")
+    emit_cmd.add_argument("source", help="MiniC source file")
+    _add_level_argument(emit_cmd)
+
+    bench_cmd = commands.add_parser(
+        "bench", help="run paper workloads through all configurations")
+    bench_cmd.add_argument("workloads", nargs="+",
+                           help="workload names (see 'list')")
+
+    commands.add_parser("list", help="list the 24 paper workloads")
+    return parser
+
+
+def _compile(path: str, level_name: str, record_events: bool = False):
+    with open(path) as handle:
+        source = handle.read()
+    config = CgcmConfig(opt_level=_LEVELS[level_name],
+                        record_events=record_events)
+    compiler = CgcmCompiler(config)
+    report = compiler.compile_source(source, path)
+    return compiler, report
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    compiler, report = _compile(args.source, args.level, args.trace)
+    result = compiler.execute(report)
+    for line in result.stdout:
+        print(line)
+    if args.stats:
+        print(f"-- {args.level} --", file=sys.stderr)
+        print(f"modelled time : {result.total_seconds * 1e6:10.2f} us "
+              f"(cpu {result.cpu_seconds * 1e6:.2f} / "
+              f"gpu {result.gpu_seconds * 1e6:.2f} / "
+              f"comm {result.comm_seconds * 1e6:.2f})", file=sys.stderr)
+        if report.doall_kernels:
+            print(f"DOALL kernels : "
+                  f"{[k.name for k in report.doall_kernels]}",
+                  file=sys.stderr)
+        if report.glue_kernels:
+            print(f"glue kernels  : "
+                  f"{[k.name for k in report.glue_kernels]}",
+                  file=sys.stderr)
+        for counter in ("kernel_launches", "htod_copies", "dtoh_copies",
+                        "htod_bytes", "dtoh_bytes"):
+            if counter in result.counters:
+                print(f"{counter:14s}: {result.counters[counter]}",
+                      file=sys.stderr)
+    if args.trace:
+        print(render_schedule(result.events), file=sys.stderr)
+    return result.exit_code
+
+
+def _cmd_emit_ir(args: argparse.Namespace) -> int:
+    _, report = _compile(args.source, args.level)
+    print(module_to_str(report.module))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    print(f"{'workload':16s} {'IE':>8s} {'unopt':>8s} {'opt':>8s} "
+          f"{'limit':>6s}")
+    for name in args.workloads:
+        result = run_benchmark(get_workload(name))
+        print(f"{name:16s} "
+              f"{result.speedup('inspector-executor'):7.2f}x "
+              f"{result.speedup('unoptimized'):7.2f}x "
+              f"{result.speedup('optimized'):7.2f}x "
+              f"{result.limiting_factor:>6s}")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for workload in ALL_WORKLOADS:
+        print(f"{workload.name:16s} {workload.suite:10s} "
+              f"{workload.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
+                "bench": _cmd_bench, "list": _cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Underlying-object alias analysis.
+
+CGCM's optimizations only need to reason about *allocation units*, so
+the alias analysis is a simple underlying-object walk: trace a pointer
+value through GEPs, casts, and selects to the objects it may be based
+on (allocas, globals, heap allocations, arguments, or unknown).
+
+Two pointers based on distinct identified objects cannot alias; any
+involvement of an unknown root is conservatively treated as aliasing.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Union
+
+from ..ir.instructions import (Alloca, BinaryOp, Call, Cast, GetElementPtr,
+                               Instruction, Load, Select, Store)
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+
+#: Sentinel root for pointers we cannot trace.
+UNKNOWN = "<unknown>"
+
+#: Externals whose result is a fresh allocation (an identified object).
+_ALLOCATING_CALLS = frozenset({"malloc", "calloc", "realloc",
+                               "declareAlloca"})
+
+Root = Union[Value, str]
+
+
+def underlying_objects(value: Value, _depth: int = 0) -> FrozenSet[Root]:
+    """The set of objects ``value`` may be based on."""
+    if _depth > 64:
+        return frozenset({UNKNOWN})
+    if isinstance(value, (GlobalVariable, Alloca, Argument)):
+        return frozenset({value})
+    if isinstance(value, Constant):
+        return frozenset({value})  # null / literal address: distinct
+    if isinstance(value, GetElementPtr):
+        return underlying_objects(value.pointer, _depth + 1)
+    if isinstance(value, Cast):
+        if value.kind in ("bitcast", "inttoptr", "ptrtoint"):
+            return underlying_objects(value.value, _depth + 1)
+        return frozenset({UNKNOWN})
+    if isinstance(value, Select):
+        return (underlying_objects(value.if_true, _depth + 1)
+                | underlying_objects(value.if_false, _depth + 1))
+    if isinstance(value, BinaryOp) and value.op in ("add", "sub"):
+        # Pointer arithmetic through integers: the pointer side carries
+        # the object; integers contribute nothing.
+        return (underlying_objects(value.lhs, _depth + 1)
+                | underlying_objects(value.rhs, _depth + 1))
+    if isinstance(value, Call):
+        if value.callee.name in _ALLOCATING_CALLS:
+            return frozenset({value})  # the call IS the object
+        if value.callee.name in ("map", "mapArray"):
+            # Device pointers never alias host objects.
+            return frozenset({value})
+        return frozenset({UNKNOWN})
+    if isinstance(value, Load):
+        # See through clang -O0 spill slots: a load from an alloca that
+        # is only ever directly loaded/stored yields the union of the
+        # values stored into it.
+        pointer = value.pointer
+        if isinstance(pointer, Alloca) and _is_direct_slot(pointer):
+            roots: FrozenSet[Root] = frozenset()
+            stored_any = False
+            fn = pointer.function
+            if fn is not None:
+                for inst in fn.instructions():
+                    if isinstance(inst, Store) and inst.pointer is pointer:
+                        stored_any = True
+                        roots |= underlying_objects(inst.value, _depth + 1)
+            if stored_any:
+                return roots
+        # Likewise for *global* pointer variables (``double *image;``):
+        # the module is a closed world, so if the global is only ever
+        # directly loaded/stored, every value it can hold is visible.
+        if isinstance(pointer, GlobalVariable):
+            module = _module_of(value)
+            if module is not None and _is_direct_global_slot(pointer,
+                                                             module):
+                roots = frozenset()
+                stored_any = False
+                for fn in module.defined_functions():
+                    for inst in fn.instructions():
+                        if isinstance(inst, Store) \
+                                and inst.pointer is pointer:
+                            stored_any = True
+                            roots |= underlying_objects(inst.value,
+                                                        _depth + 1)
+                if stored_any:
+                    return roots
+        return frozenset({UNKNOWN})
+    if isinstance(value, Instruction):
+        return frozenset({UNKNOWN})
+    return frozenset({UNKNOWN})
+
+
+def _module_of(value: Value):
+    if isinstance(value, Instruction) and value.parent is not None \
+            and value.parent.parent is not None:
+        return value.parent.parent.module
+    return None
+
+
+def _is_direct_global_slot(gv: GlobalVariable, module) -> bool:
+    """Is this global only ever the direct target of loads/stores
+    (never GEP'd, cast, or passed by address) across the whole module?
+    Then every value it may hold is one of the visibly stored ones.
+
+    Casts that only feed the run-time's registration/mapping entry
+    points are exempt: they observe the slot's address, not its value.
+    """
+    benign_cast_users = frozenset({"declareGlobal", "map", "unmap",
+                                   "release", "mapArray", "unmapArray",
+                                   "releaseArray"})
+    for fn in module.defined_functions():
+        uses = None
+        for inst in fn.instructions():
+            for operand in inst.operands:
+                if operand is not gv:
+                    continue
+                direct = (isinstance(inst, Load)
+                          and inst.pointer is gv) or \
+                    (isinstance(inst, Store) and inst.pointer is gv
+                     and inst.value is not gv)
+                if direct:
+                    continue
+                if isinstance(inst, Cast):
+                    if uses is None:
+                        uses = fn.compute_uses()
+                    users = uses.get(inst, [])
+                    if users and all(
+                            isinstance(u, Call)
+                            and u.callee.name in benign_cast_users
+                            for u in users):
+                        continue
+                return False
+    return True
+
+
+def _is_direct_slot(alloca: Alloca) -> bool:
+    """Is this alloca only ever the direct target of loads/stores?"""
+    fn = alloca.function
+    if fn is None:
+        return False
+    for inst in fn.instructions():
+        for operand in inst.operands:
+            if operand is not alloca:
+                continue
+            direct = (isinstance(inst, Load) and inst.pointer is alloca) \
+                or (isinstance(inst, Store) and inst.pointer is alloca
+                    and inst.value is not alloca)
+            if not direct:
+                return False
+    return True
+
+
+def is_identified(root: Root) -> bool:
+    """Identified objects are provably distinct from one another."""
+    if root is UNKNOWN:
+        return False
+    if isinstance(root, Argument):
+        return False  # two different arguments may point to one object
+    if isinstance(root, Constant):
+        return True
+    return isinstance(root, (GlobalVariable, Alloca, Call))
+
+
+def may_alias_roots(a: FrozenSet[Root], b: FrozenSet[Root]) -> bool:
+    """Can pointers with roots ``a`` and ``b`` touch the same memory?"""
+    for root_a in a:
+        for root_b in b:
+            if root_a is root_b or root_a == root_b:
+                return True
+            if not is_identified(root_a) or not is_identified(root_b):
+                return True
+    return False
+
+
+def may_alias(p: Value, q: Value) -> bool:
+    """May the pointers ``p`` and ``q`` alias?"""
+    return may_alias_roots(underlying_objects(p), underlying_objects(q))
+
+
+def points_into(value: Value, root: Root) -> bool:
+    """May ``value`` point into the allocation unit rooted at ``root``?"""
+    return may_alias_roots(underlying_objects(value), frozenset({root}))

@@ -1,0 +1,59 @@
+"""CFG utilities: predecessor maps and orderings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+
+
+def predecessor_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map each block to the blocks that branch to it."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors:
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable last)."""
+    visited: Set[BasicBlock] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors))]
+        visited.add(block)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(fn.entry_block)
+    rpo = list(reversed(order))
+    for block in fn.blocks:
+        if block not in visited:
+            rpo.append(block)
+    return rpo
+
+
+def reachable_blocks(fn: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry."""
+    seen: Set[BasicBlock] = set()
+    work = [fn.entry_block]
+    while work:
+        block = work.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        work.extend(block.successors)
+    return seen

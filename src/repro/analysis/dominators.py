@@ -1,0 +1,74 @@
+"""Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import predecessor_map, reverse_postorder
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block of a function."""
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        rpo = [b for b in reverse_postorder(fn)]
+        preds = predecessor_map(fn)
+        index = {block: i for i, block in enumerate(rpo)}
+        entry = fn.entry_block
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+
+        def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+            while a is not b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                candidates = [p for p in preds[block]
+                              if p in idom and p in index]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = intersect(new_idom, pred)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+
+        self._idom = idom
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """The idom of ``block`` (the entry dominates itself)."""
+        return self._idom.get(block)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        current: Optional[BasicBlock] = b
+        while current is not None:
+            if current is a:
+                return True
+            parent = self._idom.get(current)
+            if parent is current:
+                return False
+            current = parent
+        return False
+
+    def walk_up(self, block: BasicBlock) -> Iterator[BasicBlock]:
+        """Yield block, idom(block), ... up to the entry."""
+        current: Optional[BasicBlock] = block
+        while current is not None:
+            yield current
+            parent = self._idom.get(current)
+            if parent is current:
+                return
+            current = parent

@@ -1,0 +1,13 @@
+"""Comparison baselines: the idealized inspector-executor system and
+applicability analysis for prior communication-management techniques."""
+
+from .inspector_executor import (INSPECTION_OPS_PER_ACCESS,
+                                 InspectorExecutorMachine)
+from .applicability import (KernelApplicability, ProgramApplicability,
+                            analyze_kernel, analyze_module)
+
+__all__ = [
+    "INSPECTION_OPS_PER_ACCESS", "InspectorExecutorMachine",
+    "KernelApplicability", "ProgramApplicability", "analyze_kernel",
+    "analyze_module",
+]

@@ -1,0 +1,11 @@
+"""The paper's primary contribution, packaged: configuration, pass
+pipeline, and one-call compile-and-simulate."""
+
+from .config import CgcmConfig, OptLevel
+from .compiler import (CgcmCompiler, CompileReport, ExecutionResult,
+                       compile_and_run)
+
+__all__ = [
+    "CgcmConfig", "OptLevel", "CgcmCompiler", "CompileReport",
+    "ExecutionResult", "compile_and_run",
+]

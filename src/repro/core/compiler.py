@@ -1,0 +1,152 @@
+"""The CGCM driver: source to transformed module to simulated run.
+
+This is the public face of the reproduction.  ``CgcmCompiler`` wires
+the passes in the paper's order; ``compile_and_run`` takes MiniC
+source and an optimization level and returns an
+:class:`ExecutionResult` with observable outputs and the modelled
+timing breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..frontend.lowering import compile_minic
+from ..gpu.timing import TraceEvent
+from ..interp.machine import Machine
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..runtime.cgcm import CgcmRuntime
+from ..transforms.alloca_promotion import AllocaPromotion
+from ..transforms.commmgmt import CommunicationManager
+from ..transforms.declare_globals import insert_global_declarations
+from ..transforms.doall import DoallParallelizer
+from ..transforms.glue_kernels import GlueKernels
+from ..transforms.map_promotion import MapPromotion
+from .config import CgcmConfig, OptLevel
+
+
+@dataclass
+class CompileReport:
+    """What the pipeline did to one program."""
+
+    module: Module
+    doall_kernels: List[Function] = field(default_factory=list)
+    glue_kernels: List[Function] = field(default_factory=list)
+    promoted_loops: int = 0
+    promoted_functions: int = 0
+    promoted_allocas: int = 0
+
+    @property
+    def kernel_count(self) -> int:
+        return len(self.doall_kernels)
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome plus modelled timing of one simulated run."""
+
+    exit_code: int
+    stdout: Tuple[str, ...]
+    cpu_seconds: float
+    gpu_seconds: float
+    comm_seconds: float
+    counters: Dict[str, int]
+    events: List[TraceEvent] = field(default_factory=list)
+    globals_image: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_seconds + self.gpu_seconds + self.comm_seconds
+
+    def observable(self) -> Tuple:
+        """Everything a correct transformation must preserve."""
+        return (self.exit_code, self.stdout,
+                tuple(sorted(self.globals_image.items())))
+
+
+class CgcmCompiler:
+    """Runs the CGCM pass pipeline over MiniC programs or IR modules."""
+
+    def __init__(self, config: Optional[CgcmConfig] = None):
+        self.config = config if config is not None else CgcmConfig()
+
+    def compile_source(self, source: str,
+                       name: str = "program") -> CompileReport:
+        module = compile_minic(source, name)
+        return self.compile_module(module)
+
+    def compile_module(self, module: Module) -> CompileReport:
+        report = CompileReport(module)
+        config = self.config
+        if not config.parallelize:
+            if config.verify:
+                verify_module(module)
+            return report
+
+        report.doall_kernels = DoallParallelizer(module).run()
+        insert_global_declarations(module)
+        manager = CommunicationManager(module)
+        manager.run()
+
+        if config.optimize:
+            # Paper section 5.3: glue kernels, then alloca promotion,
+            # then map promotion.
+            if config.enable_glue_kernels:
+                glue = GlueKernels(module)
+                for launch in glue.run():
+                    parent = launch.parent.parent
+                    manager.manage_launch(parent, launch)
+                report.glue_kernels = glue.kernels
+            if config.enable_alloca_promotion:
+                alloca_promo = AllocaPromotion(module)
+                alloca_promo.run()
+                report.promoted_allocas = alloca_promo.promoted
+            if config.enable_map_promotion:
+                map_promo = MapPromotion(module)
+                map_promo.run()
+                report.promoted_loops = map_promo.promoted_loops
+                report.promoted_functions = map_promo.promoted_functions
+        if config.verify:
+            verify_module(module)
+        return report
+
+    def execute(self, report: CompileReport,
+                capture_globals: bool = True) -> ExecutionResult:
+        """Run a compiled module on a fresh simulated machine."""
+        machine = Machine(report.module, self.config.cost_model,
+                          self.config.record_events)
+        if self.config.parallelize:
+            CgcmRuntime(machine)
+        exit_code = machine.run()
+        globals_image: Dict[str, bytes] = {}
+        if capture_globals:
+            for name, gv in report.module.globals.items():
+                if name.startswith((".str", ".gname")):
+                    continue
+                globals_image[name] = machine.read_global(name)
+        return ExecutionResult(
+            exit_code=exit_code,
+            stdout=tuple(machine.stdout),
+            cpu_seconds=machine.clock.cpu_seconds,
+            gpu_seconds=machine.clock.gpu_seconds,
+            comm_seconds=machine.clock.comm_seconds,
+            counters=dict(machine.clock.counters),
+            events=list(machine.clock.events),
+            globals_image=globals_image,
+        )
+
+
+def compile_and_run(source: str, opt_level: OptLevel = OptLevel.OPTIMIZED,
+                    config: Optional[CgcmConfig] = None,
+                    name: str = "program") -> ExecutionResult:
+    """One-call convenience: compile MiniC at a level and simulate it."""
+    if config is None:
+        config = CgcmConfig(opt_level=opt_level)
+    else:
+        config.opt_level = opt_level
+    compiler = CgcmCompiler(config)
+    report = compiler.compile_source(source, name)
+    return compiler.execute(report)

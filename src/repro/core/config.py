@@ -1,0 +1,52 @@
+"""Configuration for the CGCM compilation pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..gpu.timing import CostModel
+
+
+class OptLevel(enum.Enum):
+    """How far to take a program through the CGCM pipeline.
+
+    * ``SEQUENTIAL``  -- no transformation at all: the original CPU-only
+      program (the paper's performance baseline).
+    * ``UNOPTIMIZED`` -- DOALL parallelization plus communication
+      *management* only: every launch gets its own map/unmap/release
+      trio, yielding the cyclic pattern of paper Listing 3.
+    * ``OPTIMIZED``   -- management plus the communication
+      *optimizations*: glue kernels, then alloca promotion, then map
+      promotion (the pass schedule of paper section 5.3).
+    """
+
+    SEQUENTIAL = "sequential"
+    UNOPTIMIZED = "unoptimized"
+    OPTIMIZED = "optimized"
+
+
+@dataclass
+class CgcmConfig:
+    """Knobs for :class:`repro.core.compiler.CgcmCompiler`.
+
+    The individual pass toggles exist for the ablation benchmarks; the
+    paper always runs all three optimizations in the fixed order.
+    """
+
+    opt_level: OptLevel = OptLevel.OPTIMIZED
+    enable_glue_kernels: bool = True
+    enable_alloca_promotion: bool = True
+    enable_map_promotion: bool = True
+    cost_model: CostModel = field(default_factory=CostModel)
+    record_events: bool = False
+    verify: bool = True
+
+    @property
+    def parallelize(self) -> bool:
+        return self.opt_level != OptLevel.SEQUENTIAL
+
+    @property
+    def optimize(self) -> bool:
+        return self.opt_level == OptLevel.OPTIMIZED

@@ -1,0 +1,73 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All errors raised by the compiler, runtime, and simulators derive from
+:class:`ReproError` so callers can catch the whole family at once.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected while building or verifying a module."""
+
+
+class IRParseError(IRError):
+    """The textual IR parser rejected its input."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class FrontendError(ReproError):
+    """A MiniC source program failed to lex, parse, or type-check."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class MemoryFault(ReproError):
+    """An out-of-bounds or cross-address-space memory access.
+
+    Raised by the simulated flat memories when a load, store, or copy
+    touches bytes outside any live allocation, and in particular when a
+    GPU pointer is dereferenced by CPU code or vice versa -- the exact
+    bug class CGCM exists to prevent.
+    """
+
+    def __init__(self, message: str, address: int = 0):
+        super().__init__(message)
+        self.address = address
+
+
+class InterpError(ReproError):
+    """The IR interpreter hit an unrecoverable condition (bad opcode,
+    call to an unknown function, division by zero, ...)."""
+
+
+class CgcmRuntimeError(ReproError):
+    """The CGCM run-time library was used incorrectly at execution time
+    (unmapping a never-mapped pointer, releasing below a zero reference
+    count, mapping an untracked allocation unit, ...)."""
+
+
+class CgcmUnsupportedError(ReproError):
+    """The program violates a documented CGCM restriction: pointers with
+    three or more degrees of indirection, or kernels that store pointers
+    into memory (paper section 2.3)."""
+
+
+class GpuError(ReproError):
+    """The simulated GPU driver rejected an operation (double free,
+    unknown module global, out-of-range copy, ...)."""
+
+
+class TransformError(ReproError):
+    """A compiler pass could not be applied to the given IR."""

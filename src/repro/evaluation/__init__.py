@@ -1,0 +1,23 @@
+"""Evaluation harness: regenerates the paper's figures and tables."""
+
+from .runner import (BenchmarkResult, CONFIGURATIONS, run_all,
+                     run_benchmark)
+from .figure4 import (Figure4Row, PAPER_GEOMEANS, PAPER_GEOMEANS_CLAMPED,
+                      SERIES, build_figure4, figure4_geomeans, geomean,
+                      render_figure4)
+from .table1 import (FEATURE_PROGRAMS, TABLE1, Table1Row,
+                     demonstrate_cgcm, render_table1)
+from .table3 import (Table3Row, build_table3, render_table3,
+                     render_table3_comparison)
+from .figure2 import (SCHEDULE_WORKLOAD, Schedule, build_schedules,
+                      render_figure2)
+
+__all__ = [
+    "BenchmarkResult", "CONFIGURATIONS", "run_all", "run_benchmark",
+    "Figure4Row", "PAPER_GEOMEANS", "PAPER_GEOMEANS_CLAMPED", "SERIES",
+    "build_figure4", "figure4_geomeans", "geomean", "render_figure4",
+    "FEATURE_PROGRAMS", "TABLE1", "Table1Row", "demonstrate_cgcm",
+    "render_table1", "Table3Row", "build_table3", "render_table3",
+    "render_table3_comparison", "SCHEDULE_WORKLOAD", "Schedule",
+    "build_schedules", "render_figure2",
+]

@@ -1,0 +1,90 @@
+"""Table 3: program characteristics, paper versus measured.
+
+Per program: suite, limiting factor, GPU%% and communication%% of total
+execution time (unoptimized and optimized), kernel count, and per-
+technique applicability counts (CGCM / inspector-executor / named
+regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .runner import BenchmarkResult
+
+
+@dataclass
+class Table3Row:
+    program: str
+    suite: str
+    limiting_factor: str
+    gpu_pct_unopt: float
+    gpu_pct_opt: float
+    comm_pct_unopt: float
+    comm_pct_opt: float
+    kernels: int
+    applicable_cgcm: int
+    applicable_inspector_executor: int
+    applicable_named_regions: int
+
+
+def build_table3(results: Sequence[BenchmarkResult]) -> List[Table3Row]:
+    rows = []
+    for result in results:
+        gpu_unopt, comm_unopt, _ = result.breakdown("unoptimized")
+        gpu_opt, comm_opt, _ = result.breakdown("optimized")
+        applicability = result.applicability
+        rows.append(Table3Row(
+            program=result.workload.name,
+            suite=result.workload.suite,
+            limiting_factor=result.limiting_factor,
+            gpu_pct_unopt=gpu_unopt,
+            gpu_pct_opt=gpu_opt,
+            comm_pct_unopt=comm_unopt,
+            comm_pct_opt=comm_opt,
+            kernels=applicability.total_kernels,
+            applicable_cgcm=applicability.cgcm,
+            applicable_inspector_executor=(
+                applicability.inspector_executor),
+            applicable_named_regions=applicability.named_regions,
+        ))
+    return rows
+
+
+def render_table3(rows: Sequence[Table3Row],
+                  paper_reference: bool = True) -> str:
+    lines = [
+        f"{'program':16s} {'suite':10s} {'limit':6s} "
+        f"{'GPU%u':>7s} {'GPU%o':>7s} {'Comm%u':>7s} {'Comm%o':>7s} "
+        f"{'K':>3s} {'CGCM':>5s} {'IE':>4s} {'NR':>4s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.program:16s} {row.suite:10s} {row.limiting_factor:6s} "
+            f"{row.gpu_pct_unopt:7.2f} {row.gpu_pct_opt:7.2f} "
+            f"{row.comm_pct_unopt:7.2f} {row.comm_pct_opt:7.2f} "
+            f"{row.kernels:3d} {row.applicable_cgcm:5d} "
+            f"{row.applicable_inspector_executor:4d} "
+            f"{row.applicable_named_regions:4d}")
+    return "\n".join(lines)
+
+
+def render_table3_comparison(results: Sequence[BenchmarkResult]) -> str:
+    """Side-by-side: measured vs the paper's published Table 3 cells."""
+    lines = [
+        f"{'program':16s} {'limit (meas/paper)':22s} "
+        f"{'GPU%opt (m/p)':>16s} {'Comm%opt (m/p)':>16s} "
+        f"{'kernels (m/p)':>14s}"
+    ]
+    for result in results:
+        paper = result.workload.paper
+        gpu_opt = result.breakdown("optimized")[0]
+        comm_opt = result.breakdown("optimized")[1]
+        lines.append(
+            f"{result.workload.name:16s} "
+            f"{result.limiting_factor + ' / ' + paper.limiting_factor:22s} "
+            f"{gpu_opt:7.1f}/{paper.gpu_pct[1]:6.1f}  "
+            f"{comm_opt:7.1f}/{paper.comm_pct[1]:6.1f}  "
+            f"{result.applicability.total_kernels:5d}/{paper.kernels:4d}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""MiniC frontend: lexer, parser, and lowering to IR."""
+
+from .lexer import Token, tokenize, unescape_string
+from .parser import MiniCParser, parse_minic
+from .lowering import MiniCLowering, compile_minic
+
+__all__ = [
+    "Token", "tokenize", "unescape_string", "MiniCParser", "parse_minic",
+    "MiniCLowering", "compile_minic",
+]

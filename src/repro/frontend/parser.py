@@ -1,0 +1,569 @@
+"""Recursive-descent parser for MiniC.
+
+Produces the AST in :mod:`repro.frontend.ast`.  Constant expressions
+in array dimensions and global initializers are folded here so the
+rest of the pipeline only sees literal sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import FrontendError
+from . import ast
+from .lexer import Token, tokenize, unescape_string
+
+_TYPE_KEYWORDS = frozenset({
+    "int", "long", "char", "float", "double", "void", "unsigned", "signed",
+    "const", "struct", "static", "extern", "restrict",
+})
+
+#: Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="})
+
+
+class MiniCParser:
+    """Parses one MiniC translation unit."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.struct_names: set = set()
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise FrontendError(f"expected {want!r}, found {token.text!r}",
+                                token.line, token.column)
+        return self._advance()
+
+    def _error(self, message: str) -> FrontendError:
+        return FrontendError(message, self.current.line, self.current.column)
+
+    # -- types -----------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        token = self.current
+        return token.kind == "keyword" and token.text in _TYPE_KEYWORDS
+
+    def _parse_base_type(self) -> Tuple[str, bool]:
+        """Parse type keywords; returns (base_name, is_const).
+
+        Handles modifier soup like ``const unsigned long int`` by
+        treating signedness as a no-op (MiniC integers are signed) and
+        ``long``/``long long``/``long int`` as the same 64-bit type.
+        """
+        is_const = False
+        base: Optional[str] = None
+        saw_modifier = False
+        while self._at_type():
+            text = self._advance().text
+            if text == "const":
+                is_const = True
+                saw_modifier = True
+            elif text in ("static", "extern", "restrict",
+                          "unsigned", "signed"):
+                saw_modifier = True
+            elif text == "struct":
+                name = self._expect("ident").text
+                base = f"struct {name}"
+            elif text == "long":
+                base = "long"  # long, long long, unsigned long, ...
+            elif text == "int":
+                if base is None:
+                    base = "int"  # but keep 'long int' as long
+            else:
+                base = text
+        if base is None:
+            if not saw_modifier:
+                raise self._error("expected a type")
+            base = "int"
+        return base, is_const
+
+    def _parse_type_spec(self) -> ast.TypeSpec:
+        base, is_const = self._parse_base_type()
+        pointers = 0
+        while self._accept("op", "*"):
+            self._accept("keyword", "const")
+            self._accept("keyword", "restrict")
+            pointers += 1
+        return ast.TypeSpec(base, pointers, (), is_const)
+
+    def _parse_array_dims(self, allow_empty: bool = False) -> Tuple[int, ...]:
+        dims: List[int] = []
+        while self._accept("op", "["):
+            if allow_empty and self._accept("op", "]"):
+                dims.append(-1)  # inferred from the initializer
+                continue
+            dims.append(self._parse_constant_int())
+            self._expect("op", "]")
+        return tuple(dims)
+
+    def _parse_constant_int(self) -> int:
+        expr = self.parse_conditional()
+        value = _fold_int(expr)
+        if value is None:
+            raise FrontendError("expected an integer constant expression",
+                                expr.line)
+        return value
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.current.kind != "eof":
+            if (self.current.kind == "keyword"
+                    and self.current.text == "struct"
+                    and self._peek().kind == "ident"
+                    and self._peek(2).text == "{"):
+                program.structs.append(self._parse_struct_def())
+                continue
+            is_kernel = bool(self._accept("keyword", "__global__"))
+            type_spec = self._parse_type_spec()
+            name = self._expect("ident").text
+            if self.current.text == "(":
+                program.functions.append(
+                    self._parse_function(type_spec, name, is_kernel))
+            else:
+                if is_kernel:
+                    raise self._error("__global__ applies to functions")
+                self._parse_global_declarators(program, type_spec, name)
+        return program
+
+    def _parse_struct_def(self) -> ast.StructDef:
+        line = self.current.line
+        self._expect("keyword", "struct")
+        name = self._expect("ident").text
+        self.struct_names.add(name)
+        self._expect("op", "{")
+        fields: List[ast.Param] = []
+        while not self._accept("op", "}"):
+            field_type = self._parse_type_spec()
+            while True:
+                field_name = self._expect("ident").text
+                dims = self._parse_array_dims()
+                fields.append(ast.Param(
+                    ast.TypeSpec(field_type.base, field_type.pointers, dims),
+                    field_name, self.current.line))
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", ";")
+        self._expect("op", ";")
+        return ast.StructDef(name, fields, line)
+
+    def _parse_global_declarators(self, program: ast.Program,
+                                  first_type: ast.TypeSpec,
+                                  first_name: str) -> None:
+        type_spec, name = first_type, first_name
+        while True:
+            line = self.current.line
+            dims = self._parse_array_dims(allow_empty=True)
+            full = ast.TypeSpec(type_spec.base, type_spec.pointers, dims,
+                                type_spec.is_const)
+            init: Optional[ast.Expr] = None
+            init_list = None
+            if self._accept("op", "="):
+                if self.current.text == "{":
+                    init_list = self._parse_brace_list()
+                else:
+                    init = self.parse_assignment()
+            program.globals.append(ast.GlobalDef(
+                full, name, init, init_list, type_spec.is_const, line))
+            if not self._accept("op", ","):
+                break
+            # Subsequent declarators share the base type, not pointers.
+            pointers = 0
+            while self._accept("op", "*"):
+                pointers += 1
+            type_spec = ast.TypeSpec(type_spec.base, pointers, (),
+                                     type_spec.is_const)
+            name = self._expect("ident").text
+        self._expect("op", ";")
+
+    def _parse_brace_list(self) -> list:
+        self._expect("op", "{")
+        items: list = []
+        if not self._accept("op", "}"):
+            while True:
+                if self.current.text == "{":
+                    items.append(self._parse_brace_list())
+                else:
+                    items.append(self.parse_assignment())
+                if not self._accept("op", ","):
+                    break
+            self._expect("op", "}")
+        return items
+
+    def _parse_function(self, return_type: ast.TypeSpec, name: str,
+                        is_kernel: bool) -> ast.FunctionDef:
+        line = self.current.line
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._accept("op", ")"):
+            if (self.current.kind == "keyword"
+                    and self.current.text == "void"
+                    and self._peek().text == ")"):
+                self._advance()
+            else:
+                while True:
+                    param_type = self._parse_type_spec()
+                    param_name = self._expect("ident").text
+                    dims = self._parse_array_dims(allow_empty=True)
+                    if dims:
+                        # Array parameters decay to pointers, as in C.
+                        param_type = ast.TypeSpec(
+                            param_type.base, param_type.pointers + 1,
+                            dims[1:] if len(dims) > 1 else ())
+                    params.append(ast.Param(param_type, param_name,
+                                            self.current.line))
+                    if not self._accept("op", ","):
+                        break
+            self._expect("op", ")")
+        body: Optional[ast.Block] = None
+        if not self._accept("op", ";"):
+            body = self._parse_block()
+        return ast.FunctionDef(return_type, name, params, body, is_kernel,
+                               line)
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self.current.line
+        self._expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self._accept("op", "}"):
+            statements.append(self._parse_statement())
+        return ast.Block(line, statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.text == "{":
+            return self._parse_block()
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                line = self._advance().line
+                value = None
+                if self.current.text != ";":
+                    value = self.parse_expression()
+                self._expect("op", ";")
+                return ast.Return(line, value)
+            if token.text == "break":
+                line = self._advance().line
+                self._expect("op", ";")
+                return ast.Break(line)
+            if token.text == "continue":
+                line = self._advance().line
+                self._expect("op", ";")
+                return ast.Continue(line)
+            if token.text in _TYPE_KEYWORDS:
+                return self._parse_local_declaration()
+        if self._accept("op", ";"):
+            return ast.Block(token.line, [])
+        line = token.line
+        expr = self.parse_expression()
+        self._expect("op", ";")
+        return ast.ExprStmt(line, expr)
+
+    def _parse_local_declaration(self) -> ast.Stmt:
+        line = self.current.line
+        base = self._parse_type_spec()
+        declarations: List[ast.Stmt] = []
+        type_spec = base
+        while True:
+            name = self._expect("ident").text
+            dims = self._parse_array_dims()
+            full = ast.TypeSpec(type_spec.base, type_spec.pointers, dims,
+                                type_spec.is_const)
+            init = None
+            init_list = None
+            if self._accept("op", "="):
+                if self.current.text == "{":
+                    init_list = [item for item in self._parse_brace_list()]
+                else:
+                    init = self.parse_assignment()
+            declarations.append(ast.Declaration(line, full, name, init,
+                                                init_list))
+            if not self._accept("op", ","):
+                break
+            pointers = 0
+            while self._accept("op", "*"):
+                pointers += 1
+            type_spec = ast.TypeSpec(base.base, pointers, (), base.is_const)
+        self._expect("op", ";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.DeclGroup(line, declarations)
+
+    def _parse_if(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        cond = self.parse_expression()
+        self._expect("op", ")")
+        then_body = self._parse_statement()
+        else_body = None
+        if self._accept("keyword", "else"):
+            else_body = self._parse_statement()
+        return ast.If(line, cond, then_body, else_body)
+
+    def _parse_while(self) -> ast.While:
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        cond = self.parse_expression()
+        self._expect("op", ")")
+        return ast.While(line, cond, self._parse_statement())
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        line = self._expect("keyword", "do").line
+        body = self._parse_statement()
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self.parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.DoWhile(line, body, cond)
+
+    def _parse_for(self) -> ast.For:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._accept("op", ";"):
+            if self._at_type():
+                init = self._parse_local_declaration()
+            else:
+                init = ast.ExprStmt(self.current.line,
+                                    self.parse_expression())
+                self._expect("op", ";")
+        cond = None
+        if self.current.text != ";":
+            cond = self.parse_expression()
+        self._expect("op", ";")
+        step = None
+        if self.current.text != ")":
+            step = self.parse_expression()
+        self._expect("op", ")")
+        return ast.For(line, init, cond, step, self._parse_statement())
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self._accept("op", ","):
+            right = self.parse_assignment()
+            expr = ast.Binary(expr.line, ",", expr, right)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        target = self.parse_conditional()
+        token = self.current
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self.parse_assignment()
+            return ast.Assign(token.line, token.text, target, value)
+        return target
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._accept("op", "?"):
+            if_true = self.parse_assignment()
+            self._expect("op", ":")
+            if_false = self.parse_conditional()
+            return ast.Conditional(cond.line, cond, if_true, if_false)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            precedence = _BINARY_PRECEDENCE.get(token.text, 0) \
+                if token.kind == "op" else 0
+            if precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(token.line, token.text, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op":
+            if token.text in ("-", "!", "~"):
+                self._advance()
+                return ast.Unary(token.line, token.text, self._parse_unary())
+            if token.text == "+":
+                self._advance()
+                return self._parse_unary()
+            if token.text == "*":
+                self._advance()
+                return ast.Unary(token.line, "*", self._parse_unary())
+            if token.text == "&":
+                self._advance()
+                return ast.Unary(token.line, "&", self._parse_unary())
+            if token.text in ("++", "--"):
+                self._advance()
+                return ast.Unary(token.line, token.text, self._parse_unary())
+            if token.text == "(" and self._starts_cast():
+                self._advance()
+                target = self._parse_type_spec()
+                self._expect("op", ")")
+                return ast.CastExpr(token.line, target, self._parse_unary())
+        if token.kind == "keyword" and token.text == "sizeof":
+            self._advance()
+            self._expect("op", "(")
+            if self._at_type():
+                target = self._parse_type_spec()
+                dims = self._parse_array_dims()
+                if dims:
+                    target = ast.TypeSpec(target.base, target.pointers, dims)
+                self._expect("op", ")")
+                return ast.SizeofExpr(token.line, target, None)
+            operand = self.parse_expression()
+            self._expect("op", ")")
+            return ast.SizeofExpr(token.line, None, operand)
+        return self._parse_postfix()
+
+    def _starts_cast(self) -> bool:
+        nxt = self._peek()
+        return (nxt.kind == "keyword" and nxt.text in _TYPE_KEYWORDS
+                and nxt.text not in ("static", "extern", "const"))
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.current
+            if token.text == "[":
+                self._advance()
+                index = self.parse_expression()
+                self._expect("op", "]")
+                expr = ast.Index(token.line, expr, index)
+            elif token.text == ".":
+                self._advance()
+                expr = ast.Member(token.line, expr,
+                                  self._expect("ident").text, False)
+            elif token.text == "->":
+                self._advance()
+                expr = ast.Member(token.line, expr,
+                                  self._expect("ident").text, True)
+            elif token.text in ("++", "--"):
+                self._advance()
+                expr = ast.Unary(token.line, "p" + token.text, expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(token.line, int(token.text, 0))
+        if token.kind == "float":
+            self._advance()
+            text = token.text
+            is_single = text[-1] in "fF"
+            if is_single:
+                text = text[:-1]
+            return ast.FloatLiteral(token.line, float(text), is_single)
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLiteral(token.line,
+                                     unescape_string(token.text, token.line))
+        if token.kind == "char":
+            self._advance()
+            return ast.CharLiteral(
+                token.line, ord(unescape_string(token.text, token.line)))
+        if token.kind == "keyword" and token.text == "__launch":
+            self._advance()
+            self._expect("op", "(")
+            kernel = self._expect("ident").text
+            self._expect("op", ",")
+            grid = self.parse_assignment()
+            args: List[ast.Expr] = []
+            while self._accept("op", ","):
+                args.append(self.parse_assignment())
+            self._expect("op", ")")
+            return ast.LaunchExpr(token.line, kernel, grid, args)
+        if token.kind == "ident":
+            self._advance()
+            if self.current.text == "(":
+                self._advance()
+                args = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self._accept("op", ","):
+                            break
+                    self._expect("op", ")")
+                return ast.CallExpr(token.line, token.text, args)
+            return ast.NameRef(token.line, token.text)
+        if token.text == "(":
+            self._advance()
+            expr = self.parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise self._error(f"unexpected token {token.text!r}")
+
+
+def _fold_int(expr: ast.Expr) -> Optional[int]:
+    """Fold a constant integer expression, or None if not constant."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.CharLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _fold_int(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.Binary):
+        lhs = _fold_int(expr.lhs)
+        rhs = _fold_int(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {"+": lambda: lhs + rhs, "-": lambda: lhs - rhs,
+               "*": lambda: lhs * rhs, "/": lambda: lhs // rhs if rhs else None,
+               "%": lambda: lhs % rhs if rhs else None,
+               "<<": lambda: lhs << rhs, ">>": lambda: lhs >> rhs}
+        fn = ops.get(expr.op)
+        return fn() if fn else None
+    return None
+
+
+def parse_minic(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return MiniCParser(source).parse_program()

@@ -1,0 +1,10 @@
+"""Simulated GPU device, driver API, and analytic cost model."""
+
+from .device import GpuDevice
+from .timing import (CostModel, SimClock, TraceEvent, LANE_COMM, LANE_CPU,
+                     LANE_GPU)
+
+__all__ = [
+    "GpuDevice", "CostModel", "SimClock", "TraceEvent",
+    "LANE_COMM", "LANE_CPU", "LANE_GPU",
+]

@@ -1,0 +1,118 @@
+"""Simulated GPU device and driver API.
+
+Mirrors the slice of the CUDA driver API that CGCM's run-time library
+uses (paper Algorithms 1-3): ``cuMemAlloc``, ``cuMemFree``,
+``cuMemcpyHtoD``, ``cuMemcpyDtoH``, and ``cuModuleGetGlobal``.  Device
+memory is a separate :class:`FlatMemory` whose addresses live in the
+``0xD000_0000`` range, so mixing host and device pointers faults.
+
+The device does not execute kernels itself; the interpreter runs
+kernel grids against :attr:`GpuDevice.memory` (see
+:mod:`repro.interp.machine`) and charges GPU time on the shared clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import GpuError
+from ..memory.flatmem import FlatMemory
+from ..memory.heap import Heap
+from ..memory.layout import DEVICE_BASE, DEVICE_CAPACITY, GlobalLayout
+from .timing import LANE_COMM, SimClock
+
+
+class GpuDevice:
+    """One simulated CUDA-like device with its own address space."""
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self.memory = FlatMemory("gpu")
+        #: Reserve a slice of the device range for module globals; the
+        #: rest is the cuMemAlloc arena.
+        globals_capacity = 64 << 20
+        stack_capacity = 32 << 20
+        self.memory.add_segment("module", DEVICE_BASE, globals_capacity)
+        self.memory.add_segment(
+            "device-stack", DEVICE_BASE + globals_capacity, stack_capacity)
+        self.memory.add_segment(
+            "device-heap", DEVICE_BASE + globals_capacity + stack_capacity,
+            DEVICE_CAPACITY - globals_capacity - stack_capacity)
+        self.heap = Heap(self.memory, "device-heap")
+        #: Base of the per-thread scratch stack used for kernel allocas.
+        self.stack_base = DEVICE_BASE + globals_capacity
+        self.module_globals: Dict[str, int] = {}
+        self._module_sizes: Dict[str, int] = {}
+
+    # -- module loading ----------------------------------------------------
+
+    def load_module(self, layout: GlobalLayout) -> None:
+        """Give every host global a device-resident named region.
+
+        CUDA modules declare ``__device__`` globals that occupy device
+        memory from load time; ``cuModuleGetGlobal`` looks them up by
+        name.  CGCM's ``map`` relies on this for globals (Algorithm 1).
+        """
+        cursor = DEVICE_BASE
+        for name, _, size in layout.items():
+            aligned = (cursor + 15) // 16 * 16
+            if aligned + size > DEVICE_BASE + (64 << 20):
+                raise GpuError("device module segment exhausted")
+            self.module_globals[name] = aligned
+            self._module_sizes[name] = size
+            cursor = aligned + size
+
+    def module_get_global(self, name: str) -> int:
+        """``cuModuleGetGlobal``: device address of a named global."""
+        try:
+            return self.module_globals[name]
+        except KeyError:
+            raise GpuError(f"no device global named {name!r}") from None
+
+    # -- memory management --------------------------------------------------
+
+    def mem_alloc(self, size: int) -> int:
+        """``cuMemAlloc``: allocate device memory."""
+        if size <= 0:
+            raise GpuError(f"cuMemAlloc of {size} bytes")
+        self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
+                           "cuMemAlloc")
+        self.clock.count("device_allocs")
+        return self.heap.malloc(size)
+
+    def mem_free(self, address: int) -> None:
+        """``cuMemFree``: release device memory."""
+        self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
+                           "cuMemFree")
+        self.clock.count("device_frees")
+        self.heap.free(address)
+
+    # -- transfers ------------------------------------------------------------
+
+    def memcpy_htod(self, device_address: int, data: bytes) -> None:
+        """``cuMemcpyHtoD``: copy host bytes into device memory."""
+        self.memory.write(device_address, data)
+        self.clock.advance(LANE_COMM,
+                           self.clock.model.transfer_time(len(data)),
+                           f"HtoD {len(data)}B")
+        self.clock.count("htod_copies")
+        self.clock.count("htod_bytes", len(data))
+
+    def memcpy_dtoh(self, device_address: int, size: int) -> bytes:
+        """``cuMemcpyDtoH``: copy device bytes back to the host."""
+        data = self.memory.read(device_address, size)
+        self.clock.advance(LANE_COMM, self.clock.model.transfer_time(size),
+                           f"DtoH {size}B")
+        self.clock.count("dtoh_copies")
+        self.clock.count("dtoh_bytes", size)
+        return data
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self.heap.allocations)
+
+    def __repr__(self) -> str:
+        return (f"<GpuDevice {self.live_allocations} live allocs, "
+                f"{len(self.module_globals)} module globals>")

@@ -1,0 +1,12 @@
+"""IR interpreter, external functions, and execution traces."""
+
+from .externals import (ExitProgram, GPU_SAFE, call_cost, default_externals,
+                        external_signatures)
+from .machine import Frame, Machine, MAX_CALL_DEPTH
+from .trace import count_direction_switches, render_schedule, summarize_events
+
+__all__ = [
+    "ExitProgram", "GPU_SAFE", "call_cost", "default_externals",
+    "external_signatures", "Frame", "Machine", "MAX_CALL_DEPTH",
+    "count_direction_switches", "render_schedule", "summarize_events",
+]

@@ -1,0 +1,479 @@
+"""The IR interpreter: executes modules on the simulated platform.
+
+One :class:`Machine` owns the whole simulated platform for a program
+run: CPU memory (globals/heap/stack), the GPU device, the shared
+cost-model clock, and the external-function table.  CPU code runs by
+direct interpretation against CPU memory; ``launch`` instructions run
+kernel grids thread-by-thread against *device* memory, charging GPU
+time for the modelled parallel execution.
+
+Address spaces are strictly separate: kernels cannot touch host
+memory, host code cannot touch device memory, and kernels may not
+store pointers (a documented CGCM restriction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..errors import CgcmUnsupportedError, InterpError
+from ..gpu.device import GpuDevice
+from ..gpu.timing import CostModel, LANE_CPU, LANE_GPU, SimClock
+from ..ir.function import Function
+from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
+                               CondBranch, GetElementPtr, LaunchKernel, Load,
+                               Return, Select, Store, Unreachable)
+from ..ir.module import Module
+from ..ir.types import ArrayType, FloatType, IntType, PointerType, StructType
+from ..ir.values import (Argument, Constant, GlobalVariable, UndefValue,
+                         Value)
+from ..memory.flatmem import FlatMemory
+from ..memory.heap import Heap
+from ..memory.layout import GlobalLayout, STACK_BASE, make_cpu_memory
+from .externals import (ExitProgram, GPU_SAFE, call_cost, default_externals,
+                        external_signatures)
+
+#: Modelled op cost per interpreted instruction class.
+_OP_COSTS = {
+    "load": 2, "store": 2, "gep": 1, "binop": 1, "cmp": 1, "cast": 1,
+    "select": 1, "br": 1, "cbr": 1, "ret": 1, "alloca": 2, "call": 5,
+    "launch": 5, "unreachable": 0,
+}
+_DIV_EXTRA = 8
+
+MAX_CALL_DEPTH = 256
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "regs", "sp_base", "frame_id")
+
+    def __init__(self, function: Function, frame_id: int, sp_base: int):
+        self.function = function
+        self.regs: Dict[Value, Union[int, float]] = {}
+        self.sp_base = sp_base
+        self.frame_id = frame_id
+
+
+class Machine:
+    """Interprets one module on the simulated CPU+GPU platform."""
+
+    def __init__(self, module: Module,
+                 cost_model: Optional[CostModel] = None,
+                 record_events: bool = False):
+        self.module = module
+        self.clock = SimClock(cost_model, record_events)
+        self.cpu_memory = make_cpu_memory()
+        self.layout = GlobalLayout(module)
+        self.layout.install(self.cpu_memory)
+        self.heap = Heap(self.cpu_memory, "heap")
+        self.device = GpuDevice(self.clock)
+        self.device.load_module(self.layout)
+        self.externals = default_externals()
+        self.external_types = external_signatures()
+        self.stdout: List[str] = []
+        self.rng_state = 0x9E3779B97F4A7C15
+        self.mode = "cpu"
+        self._cpu_sp = STACK_BASE
+        self._gpu_sp = self.device.stack_base
+        self._frame_counter = 0
+        self._depth = 0
+        self._frame_stack: List[Frame] = []
+        self._pending_cpu_ops = 0
+        self._gpu_ops = 0
+        self.kernel_launch_count = 0
+        #: Hooks fired before each kernel launch:
+        #: ``hook(machine, kernel, grid, args)``.
+        self.launch_hooks: List[Callable] = []
+        #: Hooks fired when a function returns: ``hook(machine, frame_id)``.
+        self.frame_exit_hooks: List[Callable] = []
+        #: Hooks fired on heap activity: ``hook(machine, kind, addr, size)``.
+        self.heap_hooks: List[Callable] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def memory(self) -> FlatMemory:
+        """The address space current code executes against.
+
+        Mode "cpu" and "ie" (the inspector-executor baseline's oracle
+        placement) use host memory; mode "gpu" uses device memory.
+        """
+        return self.device.memory if self.mode == "gpu" \
+            else self.cpu_memory
+
+    @property
+    def in_kernel(self) -> bool:
+        return self.mode != "cpu"
+
+    def charge_ops(self, ops: int) -> None:
+        if self.mode == "cpu":
+            self._pending_cpu_ops += ops
+        else:
+            self._gpu_ops += ops
+
+    def flush_cpu(self) -> None:
+        """Convert accumulated CPU ops into clock time."""
+        if self._pending_cpu_ops:
+            self.clock.advance(LANE_CPU,
+                               self.clock.model.cpu_time(self._pending_cpu_ops),
+                               "cpu")
+            self._pending_cpu_ops = 0
+
+    def notify_heap(self, kind: str, address: int, size: int) -> None:
+        for hook in self.heap_hooks:
+            hook(self, kind, address, size)
+
+    def global_address(self, name: str) -> int:
+        """Host address of a global (for tests and the harness)."""
+        return self.layout.address_of(name)
+
+    def read_global(self, name: str) -> bytes:
+        gv = self.module.get_global(name)
+        return self.cpu_memory.read(self.layout.address_of(name), gv.size)
+
+    # -- entry points --------------------------------------------------------
+
+    def run(self, entry: str = "main",
+            args: Sequence[Union[int, float]] = ()) -> int:
+        """Execute ``entry`` to completion; returns its exit code."""
+        fn = self.module.get_function(entry)
+        try:
+            result = self.call(fn, list(args))
+        except ExitProgram as exit_:
+            result = exit_.code
+        self.flush_cpu()
+        return int(result) if result is not None else 0
+
+    def call(self, fn: Function, args: List[Union[int, float]]):
+        """Call a function (defined or external) with evaluated args."""
+        if fn.is_declaration:
+            return self._call_external(fn.name, args)
+        if len(args) != len(fn.args):
+            raise InterpError(f"@{fn.name}: expected {len(fn.args)} args, "
+                              f"got {len(args)}")
+        if self._depth >= MAX_CALL_DEPTH:
+            raise InterpError(f"call depth exceeded at @{fn.name}")
+        self._depth += 1
+        sp_base = self._gpu_sp if self.mode == "gpu" else self._cpu_sp
+        self._frame_counter += 1
+        frame = Frame(fn, self._frame_counter, sp_base)
+        for formal, actual in zip(fn.args, args):
+            frame.regs[formal] = actual
+        self._frame_stack.append(frame)
+        try:
+            return self._execute(frame)
+        finally:
+            if self.mode == "gpu":
+                self._gpu_sp = sp_base
+            else:
+                self._cpu_sp = sp_base
+            self._frame_stack.pop()
+            for hook in self.frame_exit_hooks:
+                hook(self, frame.frame_id)
+            self._depth -= 1
+
+    def _is_device_stack(self, address: int) -> bool:
+        segment = self.device.memory.segment("device-stack")
+        return segment.contains(address)
+
+    @property
+    def current_frame(self) -> Optional[Frame]:
+        """The innermost IR frame (externals run in their caller's frame)."""
+        return self._frame_stack[-1] if self._frame_stack else None
+
+    def stack_allocate(self, size: int, align: int = 16) -> int:
+        """Bump-allocate in the current frame's stack (for declareAlloca)."""
+        if self.mode == "gpu":
+            address = (self._gpu_sp + align - 1) // align * align
+            self._gpu_sp = address + size
+        else:
+            address = (self._cpu_sp + align - 1) // align * align
+            self._cpu_sp = address + size
+        if size:
+            self.memory.fill(address, size, 0)
+        return address
+
+    def _call_external(self, name: str, args: List):
+        handler = self.externals.get(name)
+        if handler is None:
+            raise InterpError(f"call to undefined external @{name}")
+        if self.in_kernel and name not in GPU_SAFE:
+            raise InterpError(f"kernel called host-only external @{name}")
+        self.charge_ops(call_cost(name))
+        return handler(self, args)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def eval(self, value: Value, frame: Frame) -> Union[int, float]:
+        if isinstance(value, Constant):
+            return value.value
+        if value in frame.regs:
+            return frame.regs[value]
+        if isinstance(value, GlobalVariable):
+            if self.mode == "gpu":
+                return self.device.module_get_global(value.name)
+            return self.layout.address_of(value.name)
+        if isinstance(value, UndefValue):
+            return 0
+        raise InterpError(f"no value bound for {value!r} in "
+                          f"@{frame.function.name}")
+
+    # -- the interpreter loop --------------------------------------------------
+
+    def _execute(self, frame: Frame):
+        block = frame.function.entry_block
+        regs = frame.regs
+        evaluate = self.eval
+        while True:
+            for inst in block.instructions:
+                self.charge_ops(_OP_COSTS.get(inst.opcode, 1))
+                if isinstance(inst, Load):
+                    address = evaluate(inst.pointer, frame)
+                    regs[inst] = self.memory.load_scalar(
+                        int(address), inst.type)
+                elif isinstance(inst, Store):
+                    value = evaluate(inst.value, frame)
+                    address = evaluate(inst.pointer, frame)
+                    if self.mode == "gpu" and inst.value.type.is_pointer \
+                            and not self._is_device_stack(int(address)):
+                        # Spilling a pointer to the thread's private
+                        # stack is fine; storing one into data is the
+                        # restriction (paper section 2.3).
+                        raise CgcmUnsupportedError(
+                            f"kernel @{frame.function.name} stores a "
+                            "pointer into memory (CGCM restriction)")
+                    self.memory.store_scalar(int(address),
+                                             inst.value.type, value)
+                elif isinstance(inst, GetElementPtr):
+                    regs[inst] = self._gep(inst, frame)
+                elif isinstance(inst, BinaryOp):
+                    regs[inst] = self._binop(inst, frame)
+                elif isinstance(inst, Compare):
+                    regs[inst] = self._compare(inst, frame)
+                elif isinstance(inst, Cast):
+                    regs[inst] = self._cast(inst, frame)
+                elif isinstance(inst, Select):
+                    cond = evaluate(inst.condition, frame)
+                    chosen = inst.if_true if cond else inst.if_false
+                    regs[inst] = evaluate(chosen, frame)
+                elif isinstance(inst, Alloca):
+                    regs[inst] = self._alloca(inst, frame)
+                elif isinstance(inst, Call):
+                    args = [evaluate(a, frame) for a in inst.args]
+                    result = self.call(inst.callee, args)
+                    if inst.produces_value:
+                        regs[inst] = result
+                elif isinstance(inst, LaunchKernel):
+                    self._launch(inst, frame)
+                elif isinstance(inst, Branch):
+                    block = inst.target
+                    break
+                elif isinstance(inst, CondBranch):
+                    cond = evaluate(inst.condition, frame)
+                    block = inst.if_true if cond else inst.if_false
+                    break
+                elif isinstance(inst, Return):
+                    if inst.value is None:
+                        return None
+                    return evaluate(inst.value, frame)
+                elif isinstance(inst, Unreachable):
+                    raise InterpError(
+                        f"reached unreachable in @{frame.function.name}")
+                else:
+                    raise InterpError(f"cannot interpret {inst.opcode}")
+            else:
+                raise InterpError(
+                    f"block {block.name} in @{frame.function.name} fell "
+                    "through without a terminator")
+
+    # -- instruction semantics -----------------------------------------------
+
+    def _alloca(self, inst: Alloca, frame: Frame) -> int:
+        count = int(self.eval(inst.count, frame))
+        if count < 0:
+            raise InterpError("alloca with negative count")
+        size = inst.allocated_type.size * count
+        align = max(inst.allocated_type.align, 8)
+        if self.mode == "gpu":
+            address = (self._gpu_sp + align - 1) // align * align
+            self._gpu_sp = address + size
+        else:
+            address = (self._cpu_sp + align - 1) // align * align
+            self._cpu_sp = address + size
+        if size:
+            self.memory.fill(address, size, 0)
+        return address
+
+    def _gep(self, inst: GetElementPtr, frame: Frame) -> int:
+        address = int(self.eval(inst.pointer, frame))
+        pointee = inst.pointer.type.pointee
+        indices = inst.indices
+        address += int(self.eval(indices[0], frame)) * pointee.size
+        current = pointee
+        for index in indices[1:]:
+            if isinstance(current, ArrayType):
+                current = current.element
+                address += int(self.eval(index, frame)) * current.size
+            elif isinstance(current, StructType):
+                field = int(self.eval(index, frame))
+                address += current.field_offset(field)
+                current = current.fields[field][1]
+            else:
+                raise InterpError(f"gep into non-aggregate {current}")
+        return address
+
+    def _binop(self, inst: BinaryOp, frame: Frame):
+        lhs = self.eval(inst.lhs, frame)
+        rhs = self.eval(inst.rhs, frame)
+        op = inst.op
+        type_ = inst.type
+        if isinstance(type_, FloatType):
+            if op == "add":
+                return lhs + rhs
+            if op == "sub":
+                return lhs - rhs
+            if op == "mul":
+                return lhs * rhs
+            if op == "div":
+                self.charge_ops(_DIV_EXTRA)
+                if rhs == 0.0:
+                    return float("inf") if lhs > 0 else (
+                        float("-inf") if lhs < 0 else float("nan"))
+                return lhs / rhs
+            if op == "rem":
+                self.charge_ops(_DIV_EXTRA)
+                return float("nan") if rhs == 0.0 else float(
+                    lhs - rhs * _trunc_div_float(lhs, rhs))
+            raise InterpError(f"float binop {op}")
+        assert isinstance(type_, (IntType, PointerType))
+        lhs, rhs = int(lhs), int(rhs)
+        if op == "add":
+            result = lhs + rhs
+        elif op == "sub":
+            result = lhs - rhs
+        elif op == "mul":
+            result = lhs * rhs
+        elif op == "div":
+            self.charge_ops(_DIV_EXTRA)
+            result = _trunc_div_int(lhs, rhs)
+        elif op == "rem":
+            self.charge_ops(_DIV_EXTRA)
+            result = lhs - rhs * _trunc_div_int(lhs, rhs)
+        elif op == "and":
+            result = lhs & rhs
+        elif op == "or":
+            result = lhs | rhs
+        elif op == "xor":
+            result = lhs ^ rhs
+        elif op == "shl":
+            result = lhs << (rhs & 63)
+        elif op == "shr":
+            result = lhs >> (rhs & 63)
+        else:
+            raise InterpError(f"int binop {op}")
+        if isinstance(type_, IntType):
+            return type_.wrap(result)
+        return result & 0xFFFFFFFFFFFFFFFF
+
+    def _compare(self, inst: Compare, frame: Frame) -> int:
+        lhs = self.eval(inst.lhs, frame)
+        rhs = self.eval(inst.rhs, frame)
+        pred = inst.pred
+        if pred == "eq":
+            return int(lhs == rhs)
+        if pred == "ne":
+            return int(lhs != rhs)
+        if pred == "lt":
+            return int(lhs < rhs)
+        if pred == "le":
+            return int(lhs <= rhs)
+        if pred == "gt":
+            return int(lhs > rhs)
+        return int(lhs >= rhs)
+
+    def _cast(self, inst: Cast, frame: Frame):
+        value = self.eval(inst.value, frame)
+        kind = inst.kind
+        to_type = inst.type
+        if kind in ("bitcast", "inttoptr"):
+            return int(value) & 0xFFFFFFFFFFFFFFFF if to_type.is_pointer \
+                else value
+        if kind == "ptrtoint":
+            assert isinstance(to_type, IntType)
+            return to_type.wrap(int(value))
+        if kind in ("trunc", "zext", "sext"):
+            assert isinstance(to_type, IntType)
+            src_type = inst.value.type
+            assert isinstance(src_type, IntType)
+            if kind == "zext":
+                value = int(value) & ((1 << src_type.bits) - 1)
+            return to_type.wrap(int(value))
+        if kind in ("fptrunc", "fpext"):
+            if to_type == FloatType(32):
+                return _round_f32(float(value))
+            return float(value)
+        if kind == "sitofp":
+            return float(int(value))
+        if kind == "fptosi":
+            assert isinstance(to_type, IntType)
+            fvalue = float(value)
+            if fvalue != fvalue or fvalue in (float("inf"), float("-inf")):
+                return 0
+            return to_type.wrap(int(fvalue))
+        raise InterpError(f"cast kind {kind}")
+
+    # -- kernel launches -----------------------------------------------------
+
+    def _launch(self, inst: LaunchKernel, frame: Frame) -> None:
+        kernel = inst.kernel
+        grid = int(self.eval(inst.grid, frame))
+        if grid < 0:
+            raise InterpError(f"negative grid size {grid}")
+        args = [self.eval(a, frame) for a in inst.args]
+        self.flush_cpu()
+        for hook in self.launch_hooks:
+            hook(self, kernel, grid, args)
+        self.kernel_launch_count += 1
+        self.clock.count("kernel_launches")
+        previous_mode = self.mode
+        self.mode = "gpu"
+        self._gpu_ops = 0
+        total_ops = 0
+        max_ops = 0
+        try:
+            for tid in range(grid):
+                before = self._gpu_ops
+                self.call(kernel, [tid] + args)
+                thread_ops = self._gpu_ops - before
+                if thread_ops > max_ops:
+                    max_ops = thread_ops
+            total_ops = self._gpu_ops
+        finally:
+            self.mode = previous_mode
+            self._gpu_ops = 0
+        model = self.clock.model
+        duration = model.kernel_launch_latency_s
+        if grid:
+            duration += model.gpu_time(total_ops, max_ops)
+        self.clock.advance(LANE_GPU, duration, f"{kernel.name}[{grid}]")
+
+
+def _trunc_div_int(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise InterpError("integer division by zero")
+    quotient = lhs // rhs
+    if (lhs % rhs != 0) and ((lhs < 0) != (rhs < 0)):
+        quotient += 1
+    return quotient
+
+
+def _trunc_div_float(lhs: float, rhs: float) -> float:
+    import math
+    return math.trunc(lhs / rhs)
+
+
+def _round_f32(value: float) -> float:
+    import struct
+    return struct.unpack("<f", struct.pack("<f", value))[0]

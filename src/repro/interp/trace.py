@@ -1,0 +1,65 @@
+"""Render simulated execution traces as ASCII schedules.
+
+Reproduces the *shape* of the paper's Figure 2: three lanes (CPU,
+communication, GPU) with time flowing left to right, so cyclic
+ping-pong patterns and acyclic one-way patterns are visually distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..gpu.timing import LANE_COMM, LANE_CPU, LANE_GPU, TraceEvent
+
+_LANE_ORDER = (LANE_CPU, LANE_COMM, LANE_GPU)
+_LANE_LABELS = {LANE_CPU: "CPU ", LANE_COMM: "Comm", LANE_GPU: "GPU "}
+_LANE_GLYPHS = {LANE_CPU: "#", LANE_COMM: "~", LANE_GPU: "="}
+
+
+def render_schedule(events: Sequence[TraceEvent], width: int = 100) -> str:
+    """Draw events as three timeline lanes of ``width`` columns."""
+    if not events:
+        return "(empty trace)"
+    end = max(e.end for e in events)
+    if end <= 0:
+        return "(zero-length trace)"
+    scale = width / end
+    rows = {lane: [" "] * width for lane in _LANE_ORDER}
+    for event in events:
+        row = rows.get(event.lane)
+        if row is None:
+            continue
+        start = int(event.start * scale)
+        stop = max(start + 1, int(event.end * scale))
+        glyph = _LANE_GLYPHS[event.lane]
+        for column in range(start, min(stop, width)):
+            row[column] = glyph
+    lines = [f"{_LANE_LABELS[lane]} |{''.join(rows[lane])}|"
+             for lane in _LANE_ORDER]
+    lines.append(f"       0.0s{' ' * (width - 18)}{end * 1e3:10.3f}ms")
+    return "\n".join(lines)
+
+
+def summarize_events(events: Iterable[TraceEvent]) -> List[str]:
+    """One line per event: ``lane start-end label`` (for tests/examples)."""
+    return [f"{e.lane:4s} {e.start * 1e6:10.2f}us "
+            f"+{e.duration * 1e6:8.2f}us  {e.label}"
+            for e in events]
+
+
+def count_direction_switches(events: Sequence[TraceEvent]) -> int:
+    """How many times the timeline alternates between comm and GPU lanes.
+
+    A *cyclic* communication pattern (paper Figure 2, left) alternates
+    CPU->GPU copies, kernel, GPU->CPU copies every iteration, giving a
+    high switch count; an *acyclic* pattern switches O(1) times.
+    """
+    switches = 0
+    previous = None
+    for event in events:
+        if event.lane == LANE_CPU:
+            continue
+        if previous is not None and event.lane != previous:
+            switches += 1
+        previous = event.lane
+    return switches

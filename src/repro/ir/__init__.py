@@ -1,0 +1,42 @@
+"""The repro compiler IR: types, values, instructions, and tooling.
+
+A small LLVM-flavoured register IR.  Programs are :class:`Module`
+objects holding globals and functions; functions hold basic blocks of
+typed instructions.  Build IR with :class:`IRBuilder`, print it with
+:func:`module_to_str`, parse the printed form with
+:func:`parse_module`, and check invariants with :func:`verify_module`.
+"""
+
+from .types import (ArrayType, FloatType, FunctionType, IntType, PointerType,
+                    StructType, Type, VoidType, VOID, I1, I8, I16, I32, I64,
+                    F32, F64, RAW_PTR, POINTER_SIZE, pointer_to)
+from .values import (Argument, Constant, GlobalRef, GlobalVariable,
+                     Initializer, UndefValue, Value)
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
+                           CondBranch, GetElementPtr, Instruction,
+                           LaunchKernel, Load, Return, Select, Store,
+                           Terminator, Unreachable, BINARY_OPS, CAST_KINDS,
+                           COMPARE_PREDICATES)
+from .block import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder
+from .printer import (block_to_str, function_to_str, instruction_to_str,
+                      module_to_str)
+from .parser import parse_module
+from .verifier import verify_function, verify_module
+
+__all__ = [
+    "ArrayType", "FloatType", "FunctionType", "IntType", "PointerType",
+    "StructType", "Type", "VoidType", "VOID", "I1", "I8", "I16", "I32",
+    "I64", "F32", "F64", "RAW_PTR", "POINTER_SIZE", "pointer_to",
+    "Argument", "Constant", "GlobalRef", "GlobalVariable", "Initializer",
+    "UndefValue", "Value",
+    "Alloca", "BinaryOp", "Branch", "Call", "Cast", "Compare", "CondBranch",
+    "GetElementPtr", "Instruction", "LaunchKernel", "Load", "Return",
+    "Select", "Store", "Terminator", "Unreachable", "BINARY_OPS",
+    "CAST_KINDS", "COMPARE_PREDICATES",
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "block_to_str", "function_to_str", "instruction_to_str", "module_to_str",
+    "parse_module", "verify_function", "verify_module",
+]

@@ -1,0 +1,452 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+Exists mainly for the test-suite (IR fixtures as strings) and to
+guarantee the printed form is a faithful serialization: ``parse`` and
+``module_to_str`` round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IRParseError
+from .block import BasicBlock
+from .function import Function
+from .instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
+                           CondBranch, GetElementPtr, LaunchKernel, Load,
+                           Return, Select, Store, Unreachable, BINARY_OPS)
+from .module import Module
+from .types import (ArrayType, FloatType, FunctionType, IntType, PointerType,
+                    StructType, Type, VOID)
+from .values import Constant, GlobalRef, UndefValue, Value
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+|-?\d+)
+  | (?P<arrow>->)
+  | (?P<ellipsis>\.\.\.)
+  | (?P<global>@[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<local>%[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<punct>[:,=(){}\[\]<>+])
+""", re.VERBOSE)
+
+_KEYWORD_OPCODES = {
+    "store", "br", "cbr", "ret", "launch", "call", "unreachable",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r}>"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise IRParseError(f"bad character {source[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup or ""
+        text = match.group()
+        line += text.count("\n")
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, text, line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+def _unquote(text: str) -> bytes:
+    body = text[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char == "\\":
+            nxt = body[i + 1]
+            if nxt in ('"', "\\"):
+                out.append(ord(nxt))
+                i += 2
+            else:
+                out.append(int(body[i + 1:i + 3], 16))
+                i += 3
+        else:
+            out.append(ord(char))
+            i += 1
+    return bytes(out)
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self.module = Module()
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> _Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise IRParseError(
+                f"expected {want!r}, found {token.text!r}", token.line)
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _error(self, message: str) -> IRParseError:
+        return IRParseError(message, self.current.line)
+
+    # -- types -----------------------------------------------------------
+
+    def parse_type(self) -> Type:
+        token = self.current
+        if token.kind == "ident":
+            simple = {
+                "void": VOID, "i1": IntType(1), "i8": IntType(8),
+                "i16": IntType(16), "i32": IntType(32), "i64": IntType(64),
+                "f32": FloatType(32), "f64": FloatType(64),
+            }
+            if token.text in simple:
+                self._advance()
+                return simple[token.text]
+            if token.text == "ptr":
+                self._advance()
+                self._expect("punct", "<")
+                pointee = self.parse_type()
+                self._expect("punct", ">")
+                return PointerType(pointee)
+            raise self._error(f"unknown type {token.text!r}")
+        if token.kind == "punct" and token.text == "[":
+            self._advance()
+            count = int(self._expect("number").text)
+            self._expect("ident", "x")
+            element = self.parse_type()
+            self._expect("punct", "]")
+            return ArrayType(element, count)
+        if token.kind == "local":
+            name = self._advance().text[1:]
+            struct = self.module.structs.get(name)
+            if struct is None:
+                raise self._error(f"unknown struct %{name}")
+            return struct
+        raise self._error(f"expected a type, found {token.text!r}")
+
+    # -- module items ----------------------------------------------------
+
+    def parse_module(self) -> Module:
+        if self._accept("ident", "module"):
+            self.module.name = _unquote(self._expect("string").text).decode()
+        while self.current.kind != "eof":
+            keyword = self._expect("ident")
+            if keyword.text == "struct":
+                self._parse_struct()
+            elif keyword.text == "global":
+                self._parse_global()
+            elif keyword.text == "declare":
+                self._parse_declare()
+            elif keyword.text in ("func", "kernel"):
+                self._parse_function(is_kernel=keyword.text == "kernel")
+            else:
+                raise self._error(f"unexpected {keyword.text!r} at top level")
+        return self.module
+
+    def _parse_struct(self) -> None:
+        name = self._expect("local").text[1:]
+        self._expect("punct", "{")
+        fields: List[Tuple[str, Type]] = []
+        if not self._accept("punct", "}"):
+            while True:
+                field_type = self.parse_type()
+                field_name = self._expect("ident").text
+                fields.append((field_name, field_type))
+                if not self._accept("punct", ","):
+                    break
+            self._expect("punct", "}")
+        self.module.add_struct(StructType(name, fields))
+
+    def _parse_global(self) -> None:
+        name = self._expect("global").text[1:]
+        self._expect("punct", ":")
+        value_type = self.parse_type()
+        self._expect("punct", "=")
+        init = self._parse_initializer()
+        read_only = bool(self._accept("ident", "readonly"))
+        self.module.add_global(name, value_type, init, read_only)
+
+    def _parse_initializer(self):
+        token = self.current
+        if token.kind == "ident" and token.text == "zero":
+            self._advance()
+            return None
+        if token.kind == "ident" and token.text in ("c", "s"):
+            self._advance()
+            data = _unquote(self._expect("string").text)
+            return data if token.text == "c" else data.decode("utf-8")
+        if token.kind == "number":
+            text = self._advance().text
+            return float(text) if any(c in text for c in ".eE") else int(text)
+        if token.kind == "global":
+            ref_name = self._advance().text[1:]
+            offset = 0
+            if self._accept("punct", "+"):
+                offset = int(self._expect("number").text)
+            return GlobalRef(ref_name, offset)
+        if token.kind == "punct" and token.text == "{":
+            self._advance()
+            items = []
+            if not self._accept("punct", "}"):
+                while True:
+                    items.append(self._parse_initializer())
+                    if not self._accept("punct", ","):
+                        break
+                self._expect("punct", "}")
+            return items
+        raise self._error(f"bad initializer near {token.text!r}")
+
+    def _parse_declare(self) -> None:
+        name = self._expect("global").text[1:]
+        self._expect("punct", ":")
+        return_type = self.parse_type()
+        self._expect("punct", "(")
+        params: List[Type] = []
+        variadic = False
+        if not self._accept("punct", ")"):
+            while True:
+                if self._accept("ellipsis"):
+                    variadic = True
+                    break
+                params.append(self.parse_type())
+                if not self._accept("punct", ","):
+                    break
+            self._expect("punct", ")")
+        self.module.declare_function(
+            name, FunctionType(return_type, params, variadic))
+
+    # -- functions -------------------------------------------------------
+
+    def _parse_function(self, is_kernel: bool) -> None:
+        name = self._expect("global").text[1:]
+        self._expect("punct", "(")
+        param_names: List[str] = []
+        param_types: List[Type] = []
+        if not self._accept("punct", ")"):
+            while True:
+                param_names.append(self._expect("local").text[1:])
+                self._expect("punct", ":")
+                param_types.append(self.parse_type())
+                if not self._accept("punct", ","):
+                    break
+            self._expect("punct", ")")
+        self._expect("arrow")
+        return_type = self.parse_type()
+        ftype = FunctionType(return_type, param_types)
+        fn = self.module.functions.get(name)
+        if fn is None:
+            fn = self.module.add_function(name, ftype, param_names, is_kernel)
+        self._expect("punct", "{")
+        self._parse_body(fn)
+        self._expect("punct", "}")
+
+    def _parse_body(self, fn: Function) -> None:
+        registers: Dict[str, Value] = {f"%{a.name}": a for a in fn.args}
+        blocks: Dict[str, BasicBlock] = {}
+        pending: List[Tuple[BasicBlock, List[_Token]]] = []
+
+        # First pass: split the body into labelled blocks of tokens.
+        while not (self.current.kind == "punct" and self.current.text == "}"):
+            label = self._expect("ident").text
+            self._expect("punct", ":")
+            if label in blocks:
+                raise self._error(f"duplicate block label {label}")
+            block = BasicBlock(label, fn)
+            blocks[label] = block
+            fn.blocks.append(block)
+            body_tokens: List[_Token] = []
+            while not self._at_block_boundary():
+                body_tokens.append(self._advance())
+            pending.append((block, body_tokens))
+
+        # Second pass: parse instructions with all labels resolved.
+        for block, body_tokens in pending:
+            sub = Parser("")
+            sub.module = self.module
+            sub.tokens = body_tokens + [_Token("eof", "", 0)]
+            sub.pos = 0
+            sub._parse_instructions(fn, block, registers, blocks)
+
+    def _at_block_boundary(self) -> bool:
+        token = self.current
+        if token.kind == "eof":
+            return True
+        if token.kind == "punct" and token.text == "}":
+            return True
+        if (token.kind == "ident" and token.text not in _KEYWORD_OPCODES
+                and self.tokens[self.pos + 1].kind == "punct"
+                and self.tokens[self.pos + 1].text == ":"):
+            return True
+        return False
+
+    def _parse_instructions(self, fn: Function, block: BasicBlock,
+                            registers: Dict[str, Value],
+                            blocks: Dict[str, BasicBlock]) -> None:
+        while self.current.kind != "eof":
+            inst_name = ""
+            if self.current.kind == "local":
+                inst_name = self._advance().text[1:]
+                self._expect("punct", "=")
+            opcode = self._expect("ident").text
+            inst = self._parse_one(fn, opcode, inst_name, registers, blocks)
+            inst.name = inst_name
+            block.append(inst)
+            if inst.produces_value:
+                registers[f"%{inst_name}"] = inst
+
+    def _parse_operand(self, registers: Dict[str, Value]) -> Value:
+        operand_type = self.parse_type()
+        token = self._advance()
+        if token.kind == "local":
+            value = registers.get(token.text)
+            if value is None:
+                raise IRParseError(f"use of undefined register {token.text}",
+                                   token.line)
+            return value
+        if token.kind == "global":
+            return self.module.get_global(token.text[1:])
+        if token.kind == "number":
+            text = token.text
+            num = float(text) if any(c in text for c in ".eE") else int(text)
+            return Constant(operand_type, num)
+        if token.kind == "ident" and token.text == "null":
+            return Constant(operand_type, 0)
+        if token.kind == "ident" and token.text == "undef":
+            return UndefValue(operand_type)
+        raise IRParseError(f"bad operand {token.text!r}", token.line)
+
+    def _parse_label(self, blocks: Dict[str, BasicBlock]) -> BasicBlock:
+        self._expect("ident", "label")
+        token = self._expect("local")
+        target = blocks.get(token.text[1:])
+        if target is None:
+            raise IRParseError(f"unknown block {token.text}", token.line)
+        return target
+
+    def _parse_one(self, fn: Function, opcode: str, name: str,
+                   registers: Dict[str, Value],
+                   blocks: Dict[str, BasicBlock]):
+        if opcode == "alloca":
+            allocated = self.parse_type()
+            self._expect("punct", ",")
+            count = self._parse_operand(registers)
+            return Alloca(allocated, count, name)
+        if opcode == "load":
+            return Load(self._parse_operand(registers), name)
+        if opcode == "store":
+            value = self._parse_operand(registers)
+            self._expect("punct", ",")
+            ptr = self._parse_operand(registers)
+            return Store(value, ptr)
+        if opcode == "gep":
+            ptr = self._parse_operand(registers)
+            indices = []
+            while self._accept("punct", ","):
+                indices.append(self._parse_operand(registers))
+            return GetElementPtr(ptr, indices, name)
+        if opcode in BINARY_OPS:
+            lhs = self._parse_operand(registers)
+            self._expect("punct", ",")
+            rhs = self._parse_operand(registers)
+            return BinaryOp(opcode, lhs, rhs, name)
+        if opcode == "cmp":
+            pred = self._expect("ident").text
+            lhs = self._parse_operand(registers)
+            self._expect("punct", ",")
+            rhs = self._parse_operand(registers)
+            return Compare(pred, lhs, rhs, name)
+        if opcode == "cast":
+            kind = self._expect("ident").text
+            value = self._parse_operand(registers)
+            self._expect("ident", "to")
+            to_type = self.parse_type()
+            return Cast(kind, value, to_type, name)
+        if opcode == "select":
+            cond = self._parse_operand(registers)
+            self._expect("punct", ",")
+            if_true = self._parse_operand(registers)
+            self._expect("punct", ",")
+            if_false = self._parse_operand(registers)
+            return Select(cond, if_true, if_false, name)
+        if opcode == "call":
+            callee = self.module.get_function(self._expect("global").text[1:])
+            self._expect("punct", "(")
+            args = []
+            if not self._accept("punct", ")"):
+                while True:
+                    args.append(self._parse_operand(registers))
+                    if not self._accept("punct", ","):
+                        break
+                self._expect("punct", ")")
+            return Call(callee, args, name)
+        if opcode == "launch":
+            kernel = self.module.get_function(self._expect("global").text[1:])
+            self._expect("punct", "[")
+            grid = self._parse_operand(registers)
+            self._expect("punct", "]")
+            self._expect("punct", "(")
+            args = []
+            if not self._accept("punct", ")"):
+                while True:
+                    args.append(self._parse_operand(registers))
+                    if not self._accept("punct", ","):
+                        break
+                self._expect("punct", ")")
+            return LaunchKernel(kernel, grid, args)
+        if opcode == "br":
+            return Branch(self._parse_label(blocks))
+        if opcode == "cbr":
+            cond = self._parse_operand(registers)
+            self._expect("punct", ",")
+            if_true = self._parse_label(blocks)
+            self._expect("punct", ",")
+            if_false = self._parse_label(blocks)
+            return CondBranch(cond, if_true, if_false)
+        if opcode == "ret":
+            if self._accept("ident", "void"):
+                return Return()
+            return Return(self._parse_operand(registers))
+        if opcode == "unreachable":
+            return Unreachable()
+        raise self._error(f"unknown opcode {opcode!r}")
+
+
+def parse_module(source: str) -> Module:
+    """Parse textual IR into a :class:`Module`."""
+    return Parser(source).parse_module()

@@ -1,0 +1,145 @@
+"""Value hierarchy for the repro IR.
+
+Everything an instruction can use as an operand is a :class:`Value`:
+constants, global variables, function arguments, functions themselves,
+and the results of other instructions.  Instructions live in
+``instructions.py`` and are themselves values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .types import (FloatType, FunctionType, IntType, PointerType, Type,
+                    pointer_to)
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    @property
+    def ref(self) -> str:
+        """How this value is spelled when used as an operand."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref}: {self.type}>"
+
+
+class Constant(Value):
+    """A compile-time constant scalar (int, float, or null pointer)."""
+
+    def __init__(self, type_: Type, value: Union[int, float]):
+        super().__init__(type_)
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        elif isinstance(type_, FloatType):
+            value = float(value)
+        elif isinstance(type_, PointerType):
+            value = int(value)
+        else:
+            raise ValueError(f"cannot make a constant of type {type_}")
+        self.value = value
+
+    @property
+    def ref(self) -> str:
+        if isinstance(self.type, PointerType):
+            return "null" if self.value == 0 else str(self.value)
+        if isinstance(self.type, FloatType):
+            return repr(self.value)
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Constant) and self.type == other.type
+                and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class UndefValue(Value):
+    """An unspecified value of a given type (used by outlining spills)."""
+
+    @property
+    def ref(self) -> str:
+        return "undef"
+
+
+class GlobalRef:
+    """Initializer element that resolves to another global's address.
+
+    Used for pointer-typed initializers like ``char *xs[] = {s0, s1}``;
+    the memory layout code patches in the referenced global's base
+    address when the module image is built.
+    """
+
+    def __init__(self, name: str, offset: int = 0):
+        self.name = name
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        if self.offset:
+            return f"@{self.name}+{self.offset}"
+        return f"@{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, GlobalRef) and self.name == other.name
+                and self.offset == other.offset)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.offset))
+
+
+#: Things accepted as a global initializer: ``None`` (zero-fill), a raw
+#: byte string, a scalar, a GlobalRef, a str (NUL-terminated C string),
+#: or a (possibly nested) list of initializers for arrays/structs.
+Initializer = Union[None, bytes, int, float, str, GlobalRef, list]
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    Its :class:`Value` type is a *pointer* to ``value_type``, matching
+    LLVM: using ``@g`` as an operand yields the global's address.
+    """
+
+    def __init__(self, name: str, value_type: Type,
+                 initializer: Initializer = None,
+                 is_read_only: bool = False):
+        super().__init__(pointer_to(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_read_only = is_read_only
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+    @property
+    def size(self) -> int:
+        return self.value_type.size
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int,
+                 function: Optional["object"] = None):
+        super().__init__(type_, name)
+        self.index = index
+        self.function = function
+
+
+class FunctionValue(Value):
+    """Mixin base giving functions a ``@name`` operand spelling."""
+
+    def __init__(self, ftype: FunctionType, name: str):
+        super().__init__(ftype, name)
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"

@@ -1,0 +1,14 @@
+"""Simulated flat memories, heap allocator, and global layout."""
+
+from .flatmem import FlatMemory, Segment, scalar_format
+from .heap import Heap
+from .layout import (DEVICE_BASE, DEVICE_CAPACITY, GLOBALS_BASE, HEAP_BASE,
+                     STACK_BASE, GlobalLayout, initializer_bytes,
+                     is_device_address, make_cpu_memory)
+
+__all__ = [
+    "FlatMemory", "Segment", "scalar_format", "Heap",
+    "DEVICE_BASE", "DEVICE_CAPACITY", "GLOBALS_BASE", "HEAP_BASE",
+    "STACK_BASE", "GlobalLayout", "initializer_bytes", "is_device_address",
+    "make_cpu_memory",
+]

@@ -1,0 +1,153 @@
+"""Byte-addressable simulated memory.
+
+Each :class:`FlatMemory` is one address space made of named segments
+(globals, stack, heap for the CPU; a single device segment for the
+GPU).  Every access is bounds-checked against its segment, so a CPU
+dereference of a GPU pointer -- the bug class CGCM prevents -- raises
+:class:`MemoryFault` instead of silently reading garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Union
+
+from ..errors import MemoryFault
+from ..ir.types import FloatType, IntType, PointerType, Type
+
+_INT_FORMATS = {1: "<b", 8: "<b", 16: "<h", 32: "<i", 64: "<q"}
+_FLOAT_FORMATS = {32: "<f", 64: "<d"}
+_POINTER_FORMAT = "<Q"
+
+
+class Segment:
+    """A contiguous, growable span of one address space."""
+
+    def __init__(self, name: str, base: int, capacity: int):
+        self.name = name
+        self.base = base
+        self.capacity = capacity
+        self.data = bytearray()
+
+    @property
+    def end(self) -> int:
+        """One past the last *live* byte."""
+        return self.base + len(self.data)
+
+    @property
+    def limit(self) -> int:
+        """One past the last byte the segment may ever hold."""
+        return self.base + self.capacity
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+    def grow_to(self, size: int) -> None:
+        if size > self.capacity:
+            raise MemoryFault(
+                f"segment {self.name} overflow: need {size} bytes, "
+                f"capacity {self.capacity}", self.base + size)
+        if size > len(self.data):
+            self.data.extend(b"\x00" * (size - len(self.data)))
+
+    def __repr__(self) -> str:
+        return (f"<Segment {self.name} [{self.base:#x}, {self.limit:#x}) "
+                f"live={len(self.data)}>")
+
+
+class FlatMemory:
+    """One simulated address space built from disjoint segments."""
+
+    def __init__(self, name: str = "memory"):
+        self.name = name
+        self.segments: List[Segment] = []
+        self._by_name: Dict[str, Segment] = {}
+
+    def add_segment(self, name: str, base: int, capacity: int) -> Segment:
+        segment = Segment(name, base, capacity)
+        for other in self.segments:
+            if base < other.limit and other.base < base + capacity:
+                raise MemoryFault(
+                    f"segment {name} overlaps {other.name}", base)
+        self.segments.append(segment)
+        self._by_name[name] = segment
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        return self._by_name[name]
+
+    def segment_for(self, address: int) -> Segment:
+        for segment in self.segments:
+            if segment.contains(address):
+                return segment
+        raise MemoryFault(
+            f"{self.name}: address {address:#x} is outside every segment "
+            "of this address space (foreign or wild pointer)", address)
+
+    def _span(self, address: int, size: int) -> tuple:
+        if size < 0:
+            raise MemoryFault(f"negative access size {size}", address)
+        segment = self.segment_for(address)
+        offset = address - segment.base
+        if offset + size > segment.capacity:
+            raise MemoryFault(
+                f"{self.name}: access of {size} bytes at {address:#x} "
+                f"overruns segment {segment.name}", address)
+        segment.grow_to(offset + size)
+        return segment, offset
+
+    # -- raw bytes -------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        segment, offset = self._span(address, size)
+        return bytes(segment.data[offset:offset + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        segment, offset = self._span(address, len(data))
+        segment.data[offset:offset + len(data)] = data
+
+    def fill(self, address: int, size: int, byte: int = 0) -> None:
+        segment, offset = self._span(address, size)
+        segment.data[offset:offset + size] = bytes([byte]) * size
+
+    def read_c_string(self, address: int, max_len: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string starting at ``address``."""
+        out = bytearray()
+        for i in range(max_len):
+            byte = self.read(address + i, 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise MemoryFault("unterminated C string", address)
+
+    # -- typed scalars ---------------------------------------------------
+
+    def load_scalar(self, address: int, type_: Type) -> Union[int, float]:
+        fmt = scalar_format(type_)
+        raw = self.read(address, struct.calcsize(fmt))
+        value = struct.unpack(fmt, raw)[0]
+        if isinstance(type_, IntType) and type_.bits == 1:
+            value &= 1
+        return value
+
+    def store_scalar(self, address: int, type_: Type,
+                     value: Union[int, float]) -> None:
+        fmt = scalar_format(type_)
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        elif isinstance(type_, PointerType):
+            value = int(value) & 0xFFFFFFFFFFFFFFFF
+        else:
+            value = float(value)
+        self.write(address, struct.pack(fmt, value))
+
+
+def scalar_format(type_: Type) -> str:
+    """The ``struct`` format character encoding a scalar type."""
+    if isinstance(type_, IntType):
+        return _INT_FORMATS[type_.bits]
+    if isinstance(type_, FloatType):
+        return _FLOAT_FORMATS[type_.bits]
+    if isinstance(type_, PointerType):
+        return _POINTER_FORMAT
+    raise MemoryFault(f"cannot access memory as {type_}")

@@ -1,0 +1,121 @@
+"""A first-fit heap allocator over one memory segment.
+
+Backs the MiniC ``malloc``/``calloc``/``realloc``/``free`` externals.
+Blocks are tracked in a sorted free list; allocation metadata lives on
+the side (not in the simulated memory), so heap scribbles cannot
+corrupt the allocator -- determinism matters more than realism here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MemoryFault
+from .flatmem import FlatMemory, Segment
+
+_ALIGNMENT = 16
+
+
+def _align_up(value: int, alignment: int = _ALIGNMENT) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class Heap:
+    """First-fit allocator handing out addresses inside a segment."""
+
+    def __init__(self, memory: FlatMemory, segment_name: str = "heap"):
+        self.memory = memory
+        self.segment: Segment = memory.segment(segment_name)
+        #: Sorted list of (base, size) free spans.
+        self._free: List[Tuple[int, int]] = [
+            (self.segment.base, self.segment.capacity)
+        ]
+        #: Live allocations: base address -> size.
+        self.allocations: Dict[int, int] = {}
+        #: Total bytes ever allocated (for stats/tests).
+        self.total_allocated = 0
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns 0 (NULL) for size 0."""
+        if size < 0:
+            raise MemoryFault(f"malloc of negative size {size}")
+        if size == 0:
+            return 0
+        rounded = _align_up(size)
+        for i, (base, span) in enumerate(self._free):
+            if span >= rounded:
+                remaining = span - rounded
+                if remaining:
+                    self._free[i] = (base + rounded, remaining)
+                else:
+                    del self._free[i]
+                self.allocations[base] = size
+                self.total_allocated += size
+                self.memory.fill(base, size, 0xCD)  # poison fresh memory
+                return base
+        raise MemoryFault(f"heap exhausted allocating {size} bytes")
+
+    def calloc(self, count: int, size: int) -> int:
+        total = count * size
+        address = self.malloc(total)
+        if address:
+            self.memory.fill(address, total, 0)
+        return address
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        size = self.allocations.pop(address, None)
+        if size is None:
+            raise MemoryFault(f"free of non-heap pointer {address:#x}",
+                              address)
+        self._insert_free(address, _align_up(size))
+
+    def realloc(self, address: int, new_size: int) -> int:
+        if address == 0:
+            return self.malloc(new_size)
+        old_size = self.allocations.get(address)
+        if old_size is None:
+            raise MemoryFault(f"realloc of non-heap pointer {address:#x}",
+                              address)
+        if new_size == 0:
+            self.free(address)
+            return 0
+        new_address = self.malloc(new_size)
+        keep = min(old_size, new_size)
+        self.memory.write(new_address, self.memory.read(address, keep))
+        self.free(address)
+        return new_address
+
+    def size_of(self, address: int) -> int:
+        """Size of the live allocation starting at ``address``."""
+        try:
+            return self.allocations[address]
+        except KeyError:
+            raise MemoryFault(
+                f"{address:#x} is not the base of a live allocation",
+                address) from None
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(self.allocations.values())
+
+    def _insert_free(self, base: int, size: int) -> None:
+        """Insert a span into the free list, coalescing neighbours."""
+        spans = self._free
+        lo, hi = 0, len(spans)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if spans[mid][0] < base:
+                lo = mid + 1
+            else:
+                hi = mid
+        spans.insert(lo, (base, size))
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(spans) and base + size == spans[lo + 1][0]:
+            base, size = base, size + spans[lo + 1][1]
+            spans[lo] = (base, size)
+            del spans[lo + 1]
+        if lo > 0 and spans[lo - 1][0] + spans[lo - 1][1] == base:
+            spans[lo - 1] = (spans[lo - 1][0], spans[lo - 1][1] + size)
+            del spans[lo]

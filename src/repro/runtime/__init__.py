@@ -1,0 +1,12 @@
+"""CGCM run-time library: allocation tracking and pointer translation."""
+
+from .allocmap import AvlTreeMap
+from .cgcm import (AllocationInfo, CgcmRuntime, MAP_FUNCTIONS,
+                   RELEASE_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
+                   RUNTIME_SIGNATURES, UNMAP_FUNCTIONS, declare_runtime)
+
+__all__ = [
+    "AvlTreeMap", "AllocationInfo", "CgcmRuntime", "MAP_FUNCTIONS",
+    "RELEASE_FUNCTIONS", "RUNTIME_FUNCTION_NAMES", "RUNTIME_SIGNATURES",
+    "UNMAP_FUNCTIONS", "declare_runtime",
+]

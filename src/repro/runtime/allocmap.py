@@ -1,0 +1,221 @@
+"""Self-balancing binary tree map keyed by allocation base address.
+
+The paper (section 3.1): "The run-time library stores the base and
+size of each allocation unit in a self-balancing binary tree map
+indexed by the base address of each allocation unit.  To determine the
+base and size of a pointer's allocation unit, the run-time library
+finds the greatest key in the allocation map less than or equal to the
+pointer."
+
+This is an AVL tree written from scratch; ``find_le`` implements the
+greatest-key-<= lookup (``greatestLTE`` in the paper's pseudo-code).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: int, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    pivot = node.left
+    assert pivot is not None
+    node.left = pivot.right
+    pivot.right = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rotate_left(node: _Node) -> _Node:
+    pivot = node.right
+    assert pivot is not None
+    node.right = pivot.left
+    pivot.left = node
+    _update(node)
+    _update(pivot)
+    return pivot
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AvlTreeMap:
+    """An AVL-balanced ordered map from int keys to arbitrary values."""
+
+    def __init__(self):
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.find(key) is not None
+
+    # -- queries ---------------------------------------------------------
+
+    def find(self, key: int) -> Optional[Any]:
+        """Value stored at exactly ``key``, or None."""
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def find_le(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Greatest (key, value) with key <= the query (``greatestLTE``)."""
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def min_key(self) -> Optional[int]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> Optional[int]:
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order (sorted) iteration."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        return (key for key, _ in self.items())
+
+    def values(self) -> Iterator[Any]:
+        return (value for _, value in self.items())
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or replace the value at ``key``."""
+        self._root, added = self._insert(self._root, key, value)
+        if added:
+            self._size += 1
+
+    def _insert(self, node: Optional[_Node], key: int,
+                value: Any) -> Tuple[_Node, bool]:
+        if node is None:
+            return _Node(key, value), True
+        if key == node.key:
+            node.value = value
+            return node, False
+        if key < node.key:
+            node.left, added = self._insert(node.left, key, value)
+        else:
+            node.right, added = self._insert(node.right, key, value)
+        return _rebalance(node), added
+
+    def remove(self, key: int) -> bool:
+        """Remove ``key``; returns False if it was absent."""
+        self._root, removed = self._remove(self._root, key)
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _remove(self, node: Optional[_Node],
+                key: int) -> Tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._remove(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key = successor.key
+            node.value = successor.value
+            node.right, _ = self._remove(node.right, successor.key)
+        return _rebalance(node), removed
+
+    # -- invariant checks (used by property tests) -------------------------
+
+    def check_invariants(self) -> None:
+        """Assert AVL balance and BST ordering over the whole tree."""
+        def recurse(node: Optional[_Node],
+                    lo: Optional[int], hi: Optional[int]) -> int:
+            if node is None:
+                return 0
+            if lo is not None and node.key <= lo:
+                raise AssertionError("BST order violated (left)")
+            if hi is not None and node.key >= hi:
+                raise AssertionError("BST order violated (right)")
+            left = recurse(node.left, lo, node.key)
+            right = recurse(node.right, node.key, hi)
+            if abs(left - right) > 1:
+                raise AssertionError(f"AVL balance violated at {node.key}")
+            height = 1 + max(left, right)
+            if node.height != height:
+                raise AssertionError(f"stale height at {node.key}")
+            return height
+
+        recurse(self._root, None, None)

@@ -1,0 +1,317 @@
+"""The CGCM run-time library (paper section 3).
+
+Tracks allocation units (globals, heap blocks, escaping stack
+variables) in a self-balancing tree map and translates CPU pointers to
+equivalent GPU pointers:
+
+* ``map(ptr)``     -- Algorithm 1: copy the allocation unit to the GPU
+  (allocating if needed), bump its reference count, return the
+  translated pointer.  Interior pointers keep their offset.
+* ``unmap(ptr)``   -- Algorithm 2: copy the unit back to CPU memory if
+  its epoch is stale and it is not read-only; at most one copy per
+  epoch (epochs advance on every kernel launch).
+* ``release(ptr)`` -- Algorithm 3: drop a reference; free the device
+  buffer at zero (never for globals).
+* ``mapArray`` / ``unmapArray`` / ``releaseArray`` -- the same for
+  doubly-indirect pointers: each element is translated, and the
+  translated pointer array is what lands in device memory.
+* ``declareGlobal`` / ``declareAlloca`` -- registration entry points
+  inserted by the compiler; heap allocations are tracked automatically
+  by wrapping malloc/calloc/realloc/free.
+
+Attach to a machine with ``CgcmRuntime(machine)``; this registers the
+externals, the heap wrappers, the kernel-launch epoch hook, and the
+frame-exit expiry for stack registrations.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from ..errors import CgcmRuntimeError, CgcmUnsupportedError
+from ..gpu.timing import LANE_CPU
+from ..interp.machine import Machine
+from ..ir.module import Module
+from ..ir.types import FunctionType, I64, RAW_PTR, VOID
+from .allocmap import AvlTreeMap
+
+#: Modelled CPU ops per run-time library call (tree lookup + bookkeeping).
+_RUNTIME_CALL_OPS = 30
+
+#: IR signatures of the run-time entry points (paper Table 2).
+RUNTIME_SIGNATURES = {
+    "map": FunctionType(RAW_PTR, [RAW_PTR]),
+    "unmap": FunctionType(VOID, [RAW_PTR]),
+    "release": FunctionType(VOID, [RAW_PTR]),
+    "mapArray": FunctionType(RAW_PTR, [RAW_PTR]),
+    "unmapArray": FunctionType(VOID, [RAW_PTR]),
+    "releaseArray": FunctionType(VOID, [RAW_PTR]),
+    "declareAlloca": FunctionType(RAW_PTR, [I64]),
+    "declareGlobal": FunctionType(VOID, [RAW_PTR, RAW_PTR, I64, I64]),
+}
+
+#: Names of the map/unmap/release family (used by the compiler passes).
+MAP_FUNCTIONS = ("map", "mapArray")
+UNMAP_FUNCTIONS = ("unmap", "unmapArray")
+RELEASE_FUNCTIONS = ("release", "releaseArray")
+RUNTIME_FUNCTION_NAMES = tuple(RUNTIME_SIGNATURES)
+
+
+def declare_runtime(module: Module) -> Dict[str, "object"]:
+    """Declare every run-time entry point in ``module`` (idempotent)."""
+    return {name: module.declare_function(name, sig)
+            for name, sig in RUNTIME_SIGNATURES.items()}
+
+
+class AllocationInfo:
+    """Base, size, and GPU state of one allocation unit."""
+
+    __slots__ = ("base", "size", "is_global", "name", "is_read_only",
+                 "ref_count", "epoch", "device_ptr", "is_array", "frame_id")
+
+    def __init__(self, base: int, size: int, is_global: bool = False,
+                 name: str = "", is_read_only: bool = False,
+                 frame_id: Optional[int] = None):
+        self.base = base
+        self.size = size
+        self.is_global = is_global
+        self.name = name
+        self.is_read_only = is_read_only
+        self.ref_count = 0
+        self.epoch = -1
+        self.device_ptr: Optional[int] = None
+        self.is_array = False
+        self.frame_id = frame_id
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __repr__(self) -> str:
+        kind = "global " if self.is_global else ""
+        return (f"<AllocationInfo {kind}[{self.base:#x},{self.end:#x}) "
+                f"refs={self.ref_count} dev={self.device_ptr}>")
+
+
+class CgcmRuntime:
+    """The run-time half of CGCM, attached to one machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.device = machine.device
+        self.alloc_map = AvlTreeMap()
+        self.global_epoch = 0
+        self._stack_regs: Dict[int, List[int]] = {}
+        machine.launch_hooks.append(self._on_launch)
+        machine.heap_hooks.append(self._on_heap)
+        machine.frame_exit_hooks.append(self._on_frame_exit)
+        machine.externals.update({
+            "map": lambda m, a: self.map_ptr(int(a[0])),
+            "unmap": lambda m, a: self.unmap_ptr(int(a[0])),
+            "release": lambda m, a: self.release_ptr(int(a[0])),
+            "mapArray": lambda m, a: self.map_array(int(a[0])),
+            "unmapArray": lambda m, a: self.unmap_array(int(a[0])),
+            "releaseArray": lambda m, a: self.release_array(int(a[0])),
+            "declareAlloca": lambda m, a: self.declare_alloca(int(a[0])),
+            "declareGlobal": self._declare_global_external,
+        })
+        machine.external_types.update(RUNTIME_SIGNATURES)
+
+    # -- registration ------------------------------------------------------
+
+    def declare_global(self, name: str, base: int, size: int,
+                       is_read_only: bool = False) -> None:
+        """Register a global variable's allocation unit."""
+        info = AllocationInfo(base, size, is_global=True, name=name,
+                              is_read_only=is_read_only)
+        self.alloc_map.insert(base, info)
+
+    def declare_all_globals(self) -> None:
+        """Convenience used by tests and manual-mode programs: register
+        every module global (the compiler pass inserts equivalent
+        ``declareGlobal`` calls at the top of ``main``)."""
+        for gv in self.machine.module.globals.values():
+            self.declare_global(gv.name,
+                                self.machine.layout.address_of(gv.name),
+                                gv.size, gv.is_read_only)
+
+    def _declare_global_external(self, machine: Machine, args: List) -> None:
+        name = machine.cpu_memory.read_c_string(int(args[0])).decode()
+        self.declare_global(name, int(args[1]), int(args[2]),
+                            bool(int(args[3])))
+
+    def declare_alloca(self, size: int) -> int:
+        """Allocate stack memory and register it; the registration
+        expires when the owning function returns."""
+        machine = self.machine
+        frame = machine.current_frame
+        if frame is None:
+            raise CgcmRuntimeError("declareAlloca outside any function")
+        base = machine.stack_allocate(size)
+        info = AllocationInfo(base, size, frame_id=frame.frame_id)
+        self.alloc_map.insert(base, info)
+        self._stack_regs.setdefault(frame.frame_id, []).append(base)
+        return base
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _on_launch(self, machine: Machine, kernel, grid: int,
+                   args: List) -> None:
+        self.global_epoch += 1
+
+    def _on_heap(self, machine: Machine, kind: str, address: int,
+                 size: int) -> None:
+        if kind == "malloc":
+            if address:
+                self.alloc_map.insert(address,
+                                      AllocationInfo(address, size))
+        elif kind == "free":
+            if not address:
+                return
+            entry = self.alloc_map.find(address)
+            if entry is None:
+                return
+            if entry.ref_count > 0:
+                raise CgcmRuntimeError(
+                    f"free of heap block {address:#x} still mapped to the "
+                    f"GPU ({entry.ref_count} references)")
+            self.alloc_map.remove(address)
+
+    def _on_frame_exit(self, machine: Machine, frame_id: int) -> None:
+        for base in self._stack_regs.pop(frame_id, ()):
+            info = self.alloc_map.find(base)
+            if info is None:
+                continue
+            if info.ref_count > 0:
+                raise CgcmRuntimeError(
+                    f"stack variable at {base:#x} left scope while still "
+                    f"mapped to the GPU")
+            self.alloc_map.remove(base)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, ptr: int) -> AllocationInfo:
+        """Allocation unit containing ``ptr`` (greatestLTE + bound check)."""
+        self._charge()
+        entry = self.alloc_map.find_le(ptr)
+        if entry is not None:
+            info = entry[1]
+            if ptr < info.end:
+                return info
+        raise CgcmRuntimeError(
+            f"pointer {ptr:#x} does not belong to any tracked allocation "
+            "unit (unregistered stack variable, foreign pointer, or "
+            "out-of-bounds arithmetic)")
+
+    def _charge(self) -> None:
+        self.machine.charge_ops(_RUNTIME_CALL_OPS)
+
+    # -- Algorithm 1: map -------------------------------------------------------
+
+    def map_ptr(self, ptr: int) -> int:
+        info = self.lookup(ptr)
+        if info.ref_count == 0:
+            if not info.is_global:
+                info.device_ptr = self.device.mem_alloc(info.size)
+            else:
+                info.device_ptr = self.device.module_get_global(info.name)
+            self.machine.flush_cpu()
+            data = self.machine.cpu_memory.read(info.base, info.size)
+            self.device.memcpy_htod(info.device_ptr, data)
+            info.epoch = self.global_epoch
+        info.ref_count += 1
+        assert info.device_ptr is not None
+        return info.device_ptr + (ptr - info.base)
+
+    # -- Algorithm 2: unmap -----------------------------------------------------
+
+    def unmap_ptr(self, ptr: int) -> None:
+        info = self.lookup(ptr)
+        if info.epoch == self.global_epoch or info.is_read_only:
+            return
+        if info.device_ptr is None:
+            raise CgcmRuntimeError(
+                f"unmap of {ptr:#x}: allocation unit has no device copy")
+        self.machine.flush_cpu()
+        data = self.device.memcpy_dtoh(info.device_ptr, info.size)
+        self.machine.cpu_memory.write(info.base, data)
+        info.epoch = self.global_epoch
+
+    # -- Algorithm 3: release ---------------------------------------------------
+
+    def release_ptr(self, ptr: int) -> None:
+        info = self.lookup(ptr)
+        if info.ref_count <= 0:
+            raise CgcmRuntimeError(
+                f"release of {ptr:#x} below zero references")
+        info.ref_count -= 1
+        if info.ref_count == 0 and not info.is_global:
+            assert info.device_ptr is not None
+            self.device.mem_free(info.device_ptr)
+            info.device_ptr = None
+
+    # -- array (doubly indirect) variants ----------------------------------------
+
+    def _read_pointer_array(self, info: AllocationInfo) -> List[int]:
+        count = info.size // 8
+        data = self.machine.cpu_memory.read(info.base, count * 8)
+        return list(struct.unpack(f"<{count}Q", data))
+
+    def map_array(self, ptr: int) -> int:
+        info = self.lookup(ptr)
+        if info.ref_count == 0:
+            elements = self._read_pointer_array(info)
+            for element in elements:
+                if element:
+                    depth_guard = self.lookup(element)
+                    if depth_guard.is_array:
+                        raise CgcmUnsupportedError(
+                            "pointers with three or more degrees of "
+                            "indirection are not supported (CGCM "
+                            "restriction, paper section 2.3)")
+            translated = [self.map_ptr(e) if e else 0 for e in elements]
+            if not info.is_global:
+                info.device_ptr = self.device.mem_alloc(info.size)
+            else:
+                info.device_ptr = self.device.module_get_global(info.name)
+            self.machine.flush_cpu()
+            payload = struct.pack(f"<{len(translated)}Q", *translated)
+            self.device.memcpy_htod(info.device_ptr, payload)
+            info.epoch = self.global_epoch
+            info.is_array = True
+        info.ref_count += 1
+        assert info.device_ptr is not None
+        return info.device_ptr + (ptr - info.base)
+
+    def unmap_array(self, ptr: int) -> None:
+        info = self.lookup(ptr)
+        for element in self._read_pointer_array(info):
+            if element:
+                self.unmap_ptr(element)
+
+    def release_array(self, ptr: int) -> None:
+        info = self.lookup(ptr)
+        if info.ref_count <= 0:
+            raise CgcmRuntimeError(
+                f"releaseArray of {ptr:#x} below zero references")
+        if info.ref_count == 1:
+            for element in self._read_pointer_array(info):
+                if element:
+                    self.release_ptr(element)
+            info.is_array = False
+        self.release_ptr(ptr)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def mapped_units(self) -> int:
+        return sum(1 for info in self.alloc_map.values()
+                   if info.ref_count > 0)
+
+    def info_for(self, ptr: int) -> AllocationInfo:
+        """Lookup without charging model time (tests/baselines)."""
+        entry = self.alloc_map.find_le(ptr)
+        if entry is None or ptr >= entry[1].end:
+            raise CgcmRuntimeError(f"untracked pointer {ptr:#x}")
+        return entry[1]

@@ -1,0 +1,17 @@
+"""Compiler transformations: DOALL parallelization, communication
+management insertion, and the three communication optimizations."""
+
+from .outline import clone_instruction, clone_region, erase_blocks
+from .doall import DoallParallelizer
+from .declare_globals import insert_global_declarations
+from .commmgmt import CommunicationManager, insert_communication
+from .map_promotion import MapPromotion
+from .alloca_promotion import AllocaPromotion
+from .glue_kernels import GlueKernels
+
+__all__ = [
+    "clone_instruction", "clone_region", "erase_blocks",
+    "DoallParallelizer", "insert_global_declarations",
+    "CommunicationManager", "insert_communication", "MapPromotion",
+    "AllocaPromotion", "GlueKernels",
+]

@@ -1,0 +1,717 @@
+"""The 16 PolyBench programs, ported to MiniC.
+
+PolyBench kernels are dense linear-algebra and stencil micro-benchmarks
+with file-scope global arrays -- exactly the shape the paper's Table 3
+evaluates.  Problem sizes are scaled down (the interpreter is Python
+and timing is modelled), which preserves the communication *pattern*:
+which allocation units cross the bus, per kernel invocation.
+
+Each program ends with a checksum over its outputs printed via
+``print_f64``; the harness compares checksums across configurations.
+"""
+
+from __future__ import annotations
+
+from .data import PaperRow, Workload
+
+GEMM = Workload(
+    name="gemm", suite="PolyBench",
+    description="C = alpha*A*B + beta*C (matrix multiply)",
+    paper=PaperRow(4, "GPU", (73.49, 73.76), (19.69, 19.49), 4, 4, 4),
+    source=r"""
+/* gemm, N = 32 */
+double A[32][32];
+double B[32][32];
+double C[32][32];
+double alpha;
+double beta;
+
+void multiply(void) {
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < 32; k++)
+                acc += alpha * A[i][k] * B[k][j];
+            C[i][j] = C[i][j] * beta + acc;
+        }
+    }
+}
+
+int main(void) {
+    alpha = 1.5;
+    beta = 1.2;
+    for (int i = 0; i < 32; i++)
+        for (int j = 0; j < 32; j++) {
+            A[i][j] = (i * j + 1) % 7 * 0.25;
+            B[i][j] = (i + j * 2) % 9 * 0.5;
+            C[i][j] = (i - j) * 0.125;
+        }
+    for (int rep = 0; rep < 4; rep++)
+        multiply();
+    double cs = 0.0;
+    for (int i = 0; i < 32; i += 2)
+        for (int j = 0; j < 32; j += 2)
+            cs += C[i][j] * ((i + 2 * j) % 5 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+TWO_MM = Workload(
+    name="2mm", suite="PolyBench",
+    description="D = alpha*A*B*C + beta*D (two matrix multiplies)",
+    paper=PaperRow(7, "GPU", (75.53, 77.25), (17.96, 18.25), 7, 7, 7),
+    source=r"""
+/* 2mm, N = 28 */
+double A[28][28];
+double B[28][28];
+double C[28][28];
+double D[28][28];
+double tmp[28][28];
+
+int main(void) {
+    for (int i = 0; i < 28; i++)
+        for (int j = 0; j < 28; j++) {
+            A[i][j] = (i * 3 + j) % 5 * 0.5;
+            B[i][j] = (i + j * 2) % 7 * 0.25;
+            C[i][j] = (i * j + 3) % 4 * 0.75;
+            D[i][j] = (i + j) % 3 * 1.5;
+        }
+    for (int rep = 0; rep < 3; rep++) {
+    /* tmp = alpha * A * B */
+    for (int i = 0; i < 28; i++)
+        for (int j = 0; j < 28; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < 28; k++)
+                acc += 1.25 * A[i][k] * B[k][j];
+            tmp[i][j] = acc;
+        }
+    /* D = tmp * C + beta * D */
+    for (int i = 0; i < 28; i++)
+        for (int j = 0; j < 28; j++) {
+            double acc = D[i][j] * 1.05;
+            for (int k = 0; k < 28; k++)
+                acc += tmp[i][k] * C[k][j];
+            D[i][j] = acc;
+        }
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 28; i += 2)
+        for (int j = 0; j < 28; j += 2)
+            cs += D[i][j] * ((i * 2 + j) % 6 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+THREE_MM = Workload(
+    name="3mm", suite="PolyBench",
+    description="G = (A*B) * (C*D) (three matrix multiplies)",
+    paper=PaperRow(10, "GPU", (78.75, 79.29), (17.86, 17.85), 10, 10, 10),
+    source=r"""
+/* 3mm, N = 24 */
+double A[24][24];
+double B[24][24];
+double C[24][24];
+double D[24][24];
+double E[24][24];
+double F[24][24];
+double G[24][24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++) {
+            A[i][j] = (i * j + 1) % 5 * 0.4;
+            B[i][j] = (i + j) % 7 * 0.3;
+            C[i][j] = (i * 2 + j) % 4 * 0.6;
+            D[i][j] = (i + j * 3) % 6 * 0.2;
+        }
+    for (int rep = 0; rep < 3; rep++) {
+    /* E = A * B */
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < 24; k++)
+                acc += A[i][k] * B[k][j];
+            E[i][j] = acc;
+        }
+    /* F = C * D */
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < 24; k++)
+                acc += C[i][k] * D[k][j];
+            F[i][j] = acc;
+        }
+    /* G = E * F */
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < 24; k++)
+                acc += E[i][k] * F[k][j];
+            G[i][j] = acc;
+        }
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i += 2)
+        for (int j = 0; j < 24; j += 2)
+            cs += G[i][j] * ((i + j) % 5 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+ATAX = Workload(
+    name="atax", suite="PolyBench",
+    description="y = A^T (A x) (matrix transpose-vector products)",
+    paper=PaperRow(3, "Comm.", (0.28, 0.28), (98.20, 98.44), 3, 3, 3),
+    source=r"""
+/* atax, N = 24: the y-accumulation launches one small kernel per row,
+   so communication dominates (paper: comm-bound). */
+double A[24][24];
+double x[24];
+double y[24];
+double tmp[24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++) {
+        x[i] = 1.0 + i * 0.1;
+        y[i] = 0.0;
+        for (int j = 0; j < 24; j++)
+            A[i][j] = ((i + j * 3) % 11) * 0.125;
+    }
+    /* tmp = A x  (DOALL over rows) */
+    for (int i = 0; i < 24; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < 24; j++)
+            acc += A[i][j] * x[j];
+        tmp[i] = acc;
+    }
+    /* y += A^T tmp: the i loop carries y, its j body is DOALL */
+    for (int i = 0; i < 24; i++) {
+        for (int j = 0; j < 24; j++)
+            y[j] = y[j] + A[i][j] * tmp[i];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++) cs += y[i] * (i % 4 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+BICG = Workload(
+    name="bicg", suite="PolyBench",
+    description="s = A^T r; q = A p (BiCG sub-kernels)",
+    paper=PaperRow(2, "Comm.", (4.36, 4.46), (72.38, 74.15), 2, 2, 2),
+    source=r"""
+/* bicg, N = 24 */
+double A[24][24];
+double r[24];
+double s[24];
+double p[24];
+double q[24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++) {
+        r[i] = i * 0.25 + 1.0;
+        p[i] = (i % 5) * 0.5;
+        s[i] = 0.0;
+        for (int j = 0; j < 24; j++)
+            A[i][j] = ((i * 2 + j) % 9) * 0.2;
+    }
+    /* s = A^T r: i loop accumulates, j body is DOALL */
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            s[j] = s[j] + r[i] * A[i][j];
+    /* q = A p (DOALL over rows) */
+    for (int i = 0; i < 24; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < 24; j++)
+            acc += A[i][j] * p[j];
+        q[i] = acc;
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++) cs += s[i] + q[i] * 0.5;
+    print_f64(cs);
+    return 0;
+}
+""")
+
+GESUMMV = Workload(
+    name="gesummv", suite="PolyBench",
+    description="y = alpha*A*x + beta*B*x (summed matrix-vector)",
+    paper=PaperRow(2, "Comm.", (6.17, 6.29), (86.17, 86.74), 2, 2, 2),
+    source=r"""
+/* gesummv, N = 24 */
+double A[24][24];
+double B[24][24];
+double x[24];
+double y[24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++) {
+        x[i] = (i % 7) * 0.3;
+        for (int j = 0; j < 24; j++) {
+            A[i][j] = ((i + j) % 8) * 0.25;
+            B[i][j] = ((i * 3 + j) % 6) * 0.5;
+        }
+    }
+    for (int i = 0; i < 24; i++) {
+        double va = 0.0;
+        double vb = 0.0;
+        for (int j = 0; j < 24; j++) {
+            va += A[i][j] * x[j];
+            vb += B[i][j] * x[j];
+        }
+        y[i] = 1.5 * va + 1.2 * vb;
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++) cs += y[i] * (i % 3 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+GEMVER = Workload(
+    name="gemver", suite="PolyBench",
+    description="rank-2 update + two transposed matrix-vector products",
+    paper=PaperRow(5, "Comm.", (4.06, 4.10), (88.21, 89.36), 5, 5, 5),
+    source=r"""
+/* gemver, N = 24 */
+double A[24][24];
+double u1[24];
+double v1[24];
+double u2[24];
+double v2[24];
+double w[24];
+double x[24];
+double y[24];
+double z[24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++) {
+        u1[i] = i * 0.5;
+        u2[i] = (i + 1) * 0.25;
+        v1[i] = (i % 4) * 0.75;
+        v2[i] = (i % 6) * 0.4;
+        y[i] = (i % 5) * 0.3;
+        z[i] = (i % 3) * 0.2;
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for (int j = 0; j < 24; j++)
+            A[i][j] = ((i * j + 2) % 10) * 0.1;
+    }
+    /* A += u1 v1^T + u2 v2^T */
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    /* x = beta * A^T y + z: DOALL over i with column reads */
+    for (int i = 0; i < 24; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < 24; j++)
+            acc += A[j][i] * y[j];
+        x[i] = 1.2 * acc + z[i];
+    }
+    /* w = alpha * A x */
+    for (int i = 0; i < 24; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < 24; j++)
+            acc += A[i][j] * x[j];
+        w[i] = 1.5 * acc;
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++) cs += w[i] + x[i] * 0.5;
+    print_f64(cs);
+    return 0;
+}
+""")
+
+DOITGEN = Workload(
+    name="doitgen", suite="PolyBench",
+    description="multi-resolution analysis kernel (3D tensor contraction)",
+    paper=PaperRow(3, "GPU", (87.48, 87.52), (11.29, 11.20), 3, 3, 3),
+    source=r"""
+/* doitgen, R=Q=P=14.  The per-slice temporary lives in a helper's
+   frame: alloca promotion hoists it so map promotion can climb. */
+double A[14][14][14];
+double C4[14][14];
+
+void process_slice(long r) {
+    double sum[14][14];
+    for (int q = 0; q < 14; q++)
+        for (int p = 0; p < 14; p++) {
+            double acc = 0.0;
+            for (int s = 0; s < 14; s++)
+                acc += A[r][q][s] * C4[s][p];
+            sum[q][p] = acc;
+        }
+    for (int q = 0; q < 14; q++)
+        for (int p = 0; p < 14; p++)
+            A[r][q][p] = sum[q][p];
+}
+
+int main(void) {
+    for (int r = 0; r < 14; r++)
+        for (int q = 0; q < 14; q++)
+            for (int p = 0; p < 14; p++)
+                A[r][q][p] = ((r + q * 2 + p) % 7) * 0.25;
+    for (int s = 0; s < 14; s++)
+        for (int p = 0; p < 14; p++)
+            C4[s][p] = ((s * p + 1) % 5) * 0.5;
+    for (int r = 0; r < 14; r++)
+        process_slice(r);
+    double cs = 0.0;
+    for (int r = 0; r < 14; r++)
+        for (int q = 0; q < 14; q++)
+            for (int p = 0; p < 14; p++)
+                cs += A[r][q][p] * ((r + q + p) % 3 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+COVARIANCE = Workload(
+    name="covariance", suite="PolyBench",
+    description="covariance matrix of a data set",
+    paper=PaperRow(4, "GPU", (77.12, 77.28), (18.61, 18.43), 4, 4, 4),
+    source=r"""
+/* covariance, N(points)=24, M(vars)=24 */
+double data[24][24];
+double cov[24][24];
+double mean[24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            data[i][j] = ((i * 5 + j * 3) % 13) * 0.3;
+    for (int rep = 0; rep < 3; rep++) {
+    /* column means (DOALL over columns) */
+    for (int j = 0; j < 24; j++) {
+        double acc = 0.0;
+        for (int i = 0; i < 24; i++)
+            acc += data[i][j];
+        mean[j] = acc / 24.0;
+    }
+    /* center the data */
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            data[i][j] = data[i][j] - mean[j];
+    /* covariance (DOALL over rows of cov) */
+    for (int j1 = 0; j1 < 24; j1++)
+        for (int j2 = 0; j2 < 24; j2++) {
+            double acc = 0.0;
+            for (int i = 0; i < 24; i++)
+                acc += data[i][j1] * data[i][j2];
+            cov[j1][j2] = acc / 23.0;
+        }
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            cs += cov[i][j] * ((i + j) % 4 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+CORRELATION = Workload(
+    name="correlation", suite="PolyBench",
+    description="correlation matrix of a data set",
+    paper=PaperRow(5, "GPU", (87.49, 87.39), (10.17, 10.12), 5, 5, 5),
+    source=r"""
+/* correlation, 24x24 */
+double data[24][24];
+double corr[24][24];
+double mean[24];
+double stddev[24];
+
+int main(void) {
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            data[i][j] = ((i * 7 + j * 5 + 3) % 17) * 0.2;
+    for (int rep = 0; rep < 3; rep++) {
+    for (int j = 0; j < 24; j++) {
+        double acc = 0.0;
+        for (int i = 0; i < 24; i++)
+            acc += data[i][j];
+        mean[j] = acc / 24.0;
+    }
+    for (int j = 0; j < 24; j++) {
+        double acc = 0.0;
+        for (int i = 0; i < 24; i++)
+            acc += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+        double sd = sqrt(acc / 24.0);
+        stddev[j] = (sd <= 0.1) ? 1.0 : sd;
+    }
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            data[i][j] = (data[i][j] - mean[j])
+                / (sqrt(24.0) * stddev[j]);
+    for (int j1 = 0; j1 < 24; j1++)
+        for (int j2 = 0; j2 < 24; j2++) {
+            double acc = 0.0;
+            for (int i = 0; i < 24; i++)
+                acc += data[i][j1] * data[i][j2];
+            corr[j1][j2] = acc;
+        }
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            cs += corr[i][j] * ((i * 2 + j) % 5 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+GRAMSCHMIDT = Workload(
+    name="gramschmidt", suite="PolyBench",
+    description="Gram-Schmidt QR decomposition",
+    paper=PaperRow(3, "Comm.", (1.82, 8.37), (98.18, 90.91), 3, 3, 3),
+    source=r"""
+/* gramschmidt, 12x12.  Column norms and projections are sequential
+   CPU reductions between the kernels: the communication pattern stays
+   cyclic even after optimization (comm-bound; the one program where
+   the idealized inspector-executor beat CGCM). */
+double A[12][12];
+double R[12][12];
+double Q[12][12];
+
+int main(void) {
+    for (int i = 0; i < 12; i++)
+        for (int j = 0; j < 12; j++)
+            A[i][j] = ((i * j + i + 1) % 11) * 0.25 + 1.0;
+    for (int k = 0; k < 12; k++) {
+        double acc = 0.0;
+        for (int i = 0; i < 12; i++)
+            acc += A[i][k] * A[i][k];
+        double nrm = sqrt(acc);
+        R[k][k] = nrm;
+        for (int i = 0; i < 12; i++)
+            Q[i][k] = A[i][k] / nrm;
+        for (int j = k + 1; j < 12; j++) {
+            double dot = 0.0;
+            for (int i = 0; i < 12; i++)
+                dot += Q[i][k] * A[i][j];
+            R[k][j] = dot;
+            for (int i = 0; i < 12; i++)
+                A[i][j] = A[i][j] - Q[i][k] * dot;
+        }
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 12; i++)
+        for (int j = 0; j < 12; j++)
+            cs += Q[i][j] + R[i][j] * 0.5;
+    print_f64(cs);
+    return 0;
+}
+""")
+
+JACOBI_2D = Workload(
+    name="jacobi-2d-imper", suite="PolyBench",
+    description="2D Jacobi stencil with time steps",
+    paper=PaperRow(3, "GPU", (7.20, 95.97), (92.82, 3.32), 3, 3, 3),
+    source=r"""
+/* jacobi-2d-imper, 32x32, T=8: the classic map-promotion showcase. */
+double A[32][32];
+double B[32][32];
+
+int main(void) {
+    for (int i = 0; i < 32; i++)
+        for (int j = 0; j < 32; j++)
+            A[i][j] = ((i * 3 + j * 7) % 13) * 0.5;
+    for (int t = 0; t < 8; t++) {
+        for (int i = 1; i < 31; i++)
+            for (int j = 1; j < 31; j++)
+                B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1]
+                                 + A[i - 1][j] + A[i + 1][j]);
+        for (int i = 1; i < 31; i++)
+            for (int j = 1; j < 31; j++)
+                A[i][j] = B[i][j];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 32; i++)
+        for (int j = 0; j < 32; j++)
+            cs += A[i][j] * ((i + j) % 7 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+SEIDEL = Workload(
+    name="seidel", suite="PolyBench",
+    description="Gauss-Seidel stencil (inherently sequential sweeps)",
+    paper=PaperRow(1, "Other", (0.01, 0.01), (0.59, 0.59), 1, 1, 1),
+    source=r"""
+/* seidel, 16x16, T=3: the sweep is a true recurrence in both
+   dimensions, so only the init loop is DOALL (paper: 1 kernel,
+   'Other'-bound). */
+double A[16][16];
+
+int main(void) {
+    for (int i = 0; i < 16; i++)
+        for (int j = 0; j < 16; j++)
+            A[i][j] = ((i * 5 + j + 2) % 9) * 0.75;
+    for (int t = 0; t < 3; t++)
+        for (int i = 1; i < 15; i++)
+            for (int j = 1; j < 15; j++)
+                A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                           + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                           + A[i + 1][j - 1] + A[i + 1][j]
+                           + A[i + 1][j + 1]) / 9.0;
+    double cs = 0.0;
+    for (int i = 0; i < 16; i++)
+        for (int j = 0; j < 16; j++)
+            cs += A[i][j] * (i % 3 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+LU = Workload(
+    name="lu", suite="PolyBench",
+    description="LU decomposition (no pivoting)",
+    paper=PaperRow(3, "GPU", (0.41, 88.05), (99.59, 7.02), 3, 2, 2),
+    source=r"""
+/* lu, 20x20.  The pivot row/column are staged through buffers so the
+   update is provably DOALL; the pivot grab is glue-kernel bait. */
+double A[20][20];
+double rowk[20];
+double colk[20];
+double pivot;
+
+int main(void) {
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = ((i * 7 + j * 3) % 11) * 0.25;
+            if (i == j) A[i][j] = A[i][j] + 20.0;
+        }
+    for (int k = 0; k < 20; k++) {
+        pivot = A[k][k];
+        for (int j = k + 1; j < 20; j++)
+            rowk[j] = A[k][j] / pivot;
+        for (int j = k + 1; j < 20; j++)
+            A[k][j] = rowk[j];
+        for (int i = k + 1; i < 20; i++)
+            colk[i] = A[i][k];
+        for (int i = k + 1; i < 20; i++)
+            for (int j = k + 1; j < 20; j++)
+                A[i][j] = A[i][j] - colk[i] * rowk[j];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++)
+            cs += A[i][j] * ((i + 2 * j) % 5 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+LUDCMP = Workload(
+    name="ludcmp", suite="PolyBench",
+    description="LU decomposition plus forward/backward substitution",
+    paper=PaperRow(5, "GPU", (1.23, 87.38), (98.10, 4.13), 5, 3, 3),
+    source=r"""
+/* ludcmp, 20x20: LU factorization plus a triangular solve.  The
+   substitutions are sequential recurrences and stay on the CPU. */
+double A[20][20];
+double b[20];
+double x[20];
+double y[20];
+double rowk[20];
+double colk[20];
+double pivot;
+
+int main(void) {
+    for (int i = 0; i < 20; i++) {
+        b[i] = (i % 5) * 0.5 + 1.0;
+        for (int j = 0; j < 20; j++) {
+            A[i][j] = ((i * 3 + j * 5) % 13) * 0.2;
+            if (i == j) A[i][j] = A[i][j] + 10.0;
+        }
+    }
+    for (int k = 0; k < 20; k++) {
+        pivot = A[k][k];
+        for (int i = k + 1; i < 20; i++)
+            colk[i] = A[i][k] / pivot;
+        for (int i = k + 1; i < 20; i++)
+            A[i][k] = colk[i];
+        for (int j = k; j < 20; j++)
+            rowk[j] = A[k][j];
+        for (int i = k + 1; i < 20; i++)
+            for (int j = k + 1; j < 20; j++)
+                A[i][j] = A[i][j] - colk[i] * rowk[j];
+    }
+    /* forward substitution: L y = b (sequential) */
+    for (int i = 0; i < 20; i++) {
+        double acc = b[i];
+        for (int j = 0; j < i; j++)
+            acc -= A[i][j] * y[j];
+        y[i] = acc;
+    }
+    /* backward substitution: U x = y (sequential) */
+    for (int i = 19; i >= 0; i--) {
+        double acc = y[i];
+        for (int j = i + 1; j < 20; j++)
+            acc -= A[i][j] * x[j];
+        x[i] = acc / A[i][i];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 20; i++) cs += x[i] * (i % 4 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+ADI = Workload(
+    name="adi", suite="PolyBench",
+    description="alternating-direction implicit integration",
+    paper=PaperRow(7, "GPU", (0.02, 100.00), (99.98, 0.00), 7, 7, 7),
+    source=r"""
+/* adi, 32x32, T=7: row sweeps (recurrence along j, DOALL over i) and
+   column sweeps (recurrence along i, DOALL over j) inside a time
+   loop; map promotion makes the whole thing GPU-resident. */
+double X[32][32];
+double B[32][32];
+
+void row_sweep(void) {
+    for (int i = 0; i < 32; i++) {
+        for (int j = 1; j < 32; j++)
+            X[i][j] = X[i][j] - X[i][j - 1] * 0.25 / B[i][j - 1];
+        for (int j = 1; j < 32; j++)
+            B[i][j] = B[i][j] - 0.0625 / B[i][j - 1];
+    }
+}
+
+void column_sweep(void) {
+    for (int j = 0; j < 32; j++) {
+        for (int i = 1; i < 32; i++)
+            X[i][j] = X[i][j] - X[i - 1][j] * 0.25 / B[i - 1][j];
+        for (int i = 1; i < 32; i++)
+            B[i][j] = B[i][j] - 0.0625 / B[i - 1][j];
+    }
+}
+
+int main(void) {
+    for (int i = 0; i < 32; i++)
+        for (int j = 0; j < 32; j++) {
+            X[i][j] = ((i + j * 2) % 9) * 0.3 + 1.0;
+            B[i][j] = ((i * 2 + j) % 7) * 0.2 + 2.0;
+        }
+    for (int t = 0; t < 7; t++) {
+        row_sweep();
+        column_sweep();
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 32; i++)
+        for (int j = 0; j < 32; j++)
+            cs += X[i][j] + B[i][j] * 0.5;
+    print_f64(cs);
+    return 0;
+}
+""")
+
+POLYBENCH = [
+    ADI, ATAX, BICG, CORRELATION, COVARIANCE, DOITGEN, GEMM, GEMVER,
+    GESUMMV, GRAMSCHMIDT, JACOBI_2D, SEIDEL, LU, LUDCMP, TWO_MM, THREE_MM,
+]

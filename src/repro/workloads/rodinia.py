@@ -1,0 +1,354 @@
+"""The six Rodinia programs (MiniC ports, scaled down).
+
+Rodinia programs are larger and more irregular than PolyBench: jagged
+data, index arrays, reductions between kernels, and wavefront
+parallelism.  These exercise CGCM's run-time-library strengths
+(aliasing, indirection) and the glue-kernel optimization.
+"""
+
+from __future__ import annotations
+
+from .data import PaperRow, Workload
+
+CFD = Workload(
+    name="cfd", suite="Rodinia",
+    description="unstructured-grid Euler solver (flux computation)",
+    paper=PaperRow(9, "GPU", (4.65, 77.96), (85.90, 0.16), 9, 3, 3),
+    source=r"""
+/* cfd (euler3d shape), 144 cells, 4 neighbours each, T=6.
+   All state is heap-allocated (as in Rodinia) and indexed through an
+   irregular neighbour table: CGCM's run-time tracking handles the
+   malloc'd units; named-region techniques cannot. */
+double factor;
+double *density;
+double *momentum;
+double *energy;
+double *flux_d;
+double *flux_m;
+double *flux_e;
+long *neighbours;
+
+void compute_fluxes(void) {
+    for (int i = 0; i < 144; i++) {
+        double fd = 0.0;
+        double fm = 0.0;
+        double fe = 0.0;
+        for (int n = 0; n < 4; n++) {
+            long nb = neighbours[i * 4 + n];
+            double dd = density[nb] - density[i];
+            double dm = momentum[nb] - momentum[i];
+            double de = energy[nb] - energy[i];
+            fd += dd * 0.25;
+            fm += dm * 0.2 + dd * dm * 0.01;
+            fe += de * 0.15;
+        }
+        flux_d[i] = fd;
+        flux_m[i] = fm;
+        flux_e[i] = fe;
+    }
+}
+
+void apply_fluxes(void) {
+    for (int i = 0; i < 144; i++) {
+        density[i] = density[i] + factor * flux_d[i];
+        momentum[i] = momentum[i] + factor * flux_m[i];
+        energy[i] = energy[i] + factor * flux_e[i];
+    }
+}
+
+int main(void) {
+    density = (double *) malloc(144 * sizeof(double));
+    momentum = (double *) malloc(144 * sizeof(double));
+    energy = (double *) malloc(144 * sizeof(double));
+    flux_d = (double *) malloc(144 * sizeof(double));
+    flux_m = (double *) malloc(144 * sizeof(double));
+    flux_e = (double *) malloc(144 * sizeof(double));
+    neighbours = (long *) malloc(144 * 4 * sizeof(long));
+    for (int i = 0; i < 144; i++) {
+        density[i] = 1.0 + (i % 7) * 0.1;
+        momentum[i] = (i % 5) * 0.2;
+        energy[i] = 2.0 + (i % 3) * 0.3;
+        for (int n = 0; n < 4; n++)
+            neighbours[i * 4 + n] = (i + n * 11 + 1) % 144;
+    }
+    factor = 0.15;
+    for (int t = 0; t < 6; t++) {
+        compute_fluxes();
+        apply_fluxes();
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 144; i++)
+        cs += density[i] + momentum[i] * 0.5 + energy[i] * 0.25;
+    print_f64(cs);
+    return 0;
+}
+""")
+
+HOTSPOT = Workload(
+    name="hotspot", suite="Rodinia",
+    description="thermal simulation stencil with power input",
+    paper=PaperRow(2, "GPU", (2.78, 71.57), (92.60, 0.89), 2, 1, 1,
+                   has_manual_parallelization=True),
+    source=r"""
+/* hotspot, 28x28 grid, T=10: ping-pong stencil in a time loop. */
+double temp[28][28];
+double power[28][28];
+double next[28][28];
+
+void step(void) {
+    for (int i = 1; i < 27; i++)
+        for (int j = 1; j < 27; j++)
+            next[i][j] = temp[i][j]
+                + 0.1 * (temp[i - 1][j] + temp[i + 1][j]
+                         + temp[i][j - 1] + temp[i][j + 1]
+                         - 4.0 * temp[i][j])
+                + 0.05 * power[i][j];
+    for (int i = 1; i < 27; i++)
+        for (int j = 1; j < 27; j++)
+            temp[i][j] = next[i][j];
+}
+
+int main(void) {
+    for (int i = 0; i < 28; i++)
+        for (int j = 0; j < 28; j++) {
+            temp[i][j] = 328.0 + ((i * 3 + j) % 9) * 1.5;
+            power[i][j] = ((i + j * 2) % 5) * 0.4;
+        }
+    for (int t = 0; t < 10; t++)
+        step();
+    double cs = 0.0;
+    for (int i = 0; i < 28; i++)
+        for (int j = 0; j < 28; j++)
+            cs += temp[i][j] * ((i + j) % 3 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+KMEANS = Workload(
+    name="kmeans", suite="Rodinia",
+    description="k-means clustering (GPU assignment, CPU update)",
+    paper=PaperRow(2, "Other", (0.65, 0.00), (10.84, 0.05), 2, 2, 2,
+                   has_manual_parallelization=True),
+    source=r"""
+/* kmeans: 64 points, 4 features, 3 clusters, 3 iterations.
+   The assignment step is DOALL over points; the centroid update is a
+   sequential CPU scatter (paper: 'Other'-bound). */
+double points[64][4];
+double centroids[3][4];
+double sums[3][4];
+long counts[3];
+long membership[64];
+
+int main(void) {
+    for (int i = 0; i < 64; i++)
+        for (int f = 0; f < 4; f++)
+            points[i][f] = ((i * 7 + f * 13) % 23) * 0.25;
+    for (int c = 0; c < 3; c++)
+        for (int f = 0; f < 4; f++)
+            centroids[c][f] = points[c * 21][f];
+    for (int iter = 0; iter < 4; iter++) {
+        /* assignment: DOALL over points */
+        for (int i = 0; i < 64; i++) {
+            double best = 1.0e30;
+            long best_c = 0;
+            for (int c = 0; c < 3; c++) {
+                double dist = 0.0;
+                for (int f = 0; f < 4; f++) {
+                    double d = points[i][f] - centroids[c][f];
+                    dist += d * d;
+                }
+                if (dist < best) { best = dist; best_c = c; }
+            }
+            membership[i] = best_c;
+        }
+        /* update: sequential scatter on the CPU */
+        for (int c = 0; c < 3; c++) {
+            counts[c] = 0;
+            for (int f = 0; f < 4; f++) sums[c][f] = 0.0;
+        }
+        for (int i = 0; i < 64; i++) {
+            long c = membership[i];
+            counts[c] = counts[c] + 1;
+            for (int f = 0; f < 4; f++)
+                sums[c][f] = sums[c][f] + points[i][f];
+        }
+        for (int c = 0; c < 3; c++)
+            if (counts[c] > 0)
+                for (int f = 0; f < 4; f++)
+                    centroids[c][f] = sums[c][f] / counts[c];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 64; i++) cs += membership[i] * (i % 5 + 1);
+    for (int c = 0; c < 3; c++)
+        for (int f = 0; f < 4; f++) cs += centroids[c][f];
+    print_f64(cs);
+    return 0;
+}
+""")
+
+LUD = Workload(
+    name="lud", suite="Rodinia",
+    description="dense LU decomposition (Rodinia variant)",
+    paper=PaperRow(6, "GPU", (3.77, 63.57), (91.56, 0.39), 6, 1, 1,
+                   has_manual_parallelization=True),
+    source=r"""
+/* lud, 20x20, heap-allocated matrix (Rodinia style): staged pivot
+   row/column keep the update DOALL; only CGCM can manage the
+   malloc'd unit. */
+double rowk[20];
+double colk[20];
+double pivot;
+
+int main(void) {
+    double *A = (double *) malloc(20 * 20 * sizeof(double));
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++) {
+            A[i * 20 + j] = ((i * 5 + j * 7) % 13) * 0.3;
+            if (i == j) A[i * 20 + j] = A[i * 20 + j] + 20.0;
+        }
+    for (int k = 0; k < 20; k++) {
+        pivot = A[k * 20 + k];
+        for (int j = k + 1; j < 20; j++)
+            rowk[j] = A[k * 20 + j];
+        for (int i = k + 1; i < 20; i++)
+            colk[i] = A[i * 20 + k] / pivot;
+        for (int i = k + 1; i < 20; i++)
+            A[i * 20 + k] = colk[i];
+        for (int i = k + 1; i < 20; i++)
+            for (int j = k + 1; j < 20; j++)
+                A[i * 20 + j] = A[i * 20 + j] - colk[i] * rowk[j];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++)
+            cs += A[i * 20 + j] * ((i * 3 + j) % 7 + 1);
+    print_f64(cs);
+    free(A);
+    return 0;
+}
+""")
+
+NW = Workload(
+    name="nw", suite="Rodinia",
+    description="Needleman-Wunsch sequence alignment (wavefront DP)",
+    paper=PaperRow(4, "Other", (0.00, 2.44), (100.00, 24.19), 4, 2, 2,
+                   has_manual_parallelization=True),
+    source=r"""
+/* nw, 24x24 DP matrix on the heap: anti-diagonal wavefronts are
+   DOALL; each diagonal is a (tiny) kernel launch, so communication
+   dominates before optimization (paper: 1126x slowdown unoptimized). */
+double similarity[24][24];
+
+double fmax3(double a, double b, double c) {
+    double m = a;
+    if (b > m) m = b;
+    if (c > m) m = c;
+    return m;
+}
+
+int main(void) {
+    double *score = (double *) malloc(24 * 24 * sizeof(double));
+    for (int i = 0; i < 24; i++)
+        for (int j = 0; j < 24; j++)
+            similarity[i][j] = ((i * 13 + j * 7) % 9) * 0.5 - 2.0;
+    for (int i = 0; i < 24; i++) {
+        score[i * 24] = -1.0 * i;
+        score[i] = -1.0 * i;
+    }
+    /* upper-left triangle of anti-diagonals */
+    for (int d = 2; d < 24; d++) {
+        for (int t = 1; t < d; t++) {
+            score[t * 24 + d - t] = fmax3(
+                score[(t - 1) * 24 + d - t - 1] + similarity[t][d - t],
+                score[(t - 1) * 24 + d - t] - 1.0,
+                score[t * 24 + d - t - 1] - 1.0);
+        }
+    }
+    /* lower-right triangle */
+    for (int d = 24; d < 47; d++) {
+        for (int t = d - 23; t < 24; t++) {
+            score[t * 24 + d - t] = fmax3(
+                score[(t - 1) * 24 + d - t - 1] + similarity[t][d - t],
+                score[(t - 1) * 24 + d - t] - 1.0,
+                score[t * 24 + d - t - 1] - 1.0);
+        }
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 24; i++)
+        cs += score[i * 24 + 23 - i % 3] * (i % 4 + 1);
+    print_f64(cs);
+    free(score);
+    return 0;
+}
+""")
+
+SRAD = Workload(
+    name="srad", suite="Rodinia",
+    description="speckle-reducing anisotropic diffusion",
+    paper=PaperRow(6, "Other", (0.00, 27.08), (100.00, 6.20), 6, 1, 1,
+                   has_manual_parallelization=True),
+    source=r"""
+/* srad, 20x20, T=6: heap-allocated image (Rodinia style); per-step
+   global statistics (a sequential reduction -- glue-kernel bait) feed
+   the diffusion kernels; the update reads pre-saved deltas (paper:
+   4437x slowdown unoptimized). */
+double q0sqr;
+double *image;
+double *coeff;
+double *delta;
+
+int main(void) {
+    image = (double *) malloc(20 * 20 * sizeof(double));
+    coeff = (double *) malloc(20 * 20 * sizeof(double));
+    delta = (double *) malloc(20 * 20 * sizeof(double));
+    /* acquire and log-compress the image: a sequential scanline
+       recurrence stands in for the real application's file IO */
+    double scan = 0.31;
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++) {
+            scan = scan * 3.7 * (1.0 - scan);
+            image[i * 20 + j] = exp(1.0 + scan * 0.5);
+        }
+    for (int t = 0; t < 6; t++) {
+        /* statistics over a seed region (sequential reduction) */
+        double sum = 0.0;
+        double sum2 = 0.0;
+        for (int i = 2; i < 18; i++) {
+            sum += image[i * 20 + 6];
+            sum2 += image[i * 20 + 6] * image[i * 20 + 6];
+        }
+        q0sqr = (sum2 / 16.0 - (sum / 16.0) * (sum / 16.0))
+            / ((sum / 16.0) * (sum / 16.0) + 0.01);
+        /* diffusion coefficient and saved delta (DOALL) */
+        for (int i = 1; i < 19; i++)
+            for (int j = 1; j < 19; j++) {
+                double gx = image[(i + 1) * 20 + j]
+                    - image[(i - 1) * 20 + j];
+                double gy = image[i * 20 + j + 1]
+                    - image[i * 20 + j - 1];
+                double g2 = (gx * gx + gy * gy)
+                    / (image[i * 20 + j] * image[i * 20 + j] + 0.01);
+                coeff[i * 20 + j] = 1.0 / (1.0 + fabs(g2 - q0sqr)
+                                           / (1.0 + q0sqr));
+                delta[i * 20 + j] = image[(i + 1) * 20 + j]
+                    + image[(i - 1) * 20 + j]
+                    + image[i * 20 + j + 1] + image[i * 20 + j - 1]
+                    - 4.0 * image[i * 20 + j];
+            }
+        /* update from the saved deltas (DOALL: no neighbour reads) */
+        for (int i = 1; i < 19; i++)
+            for (int j = 1; j < 19; j++)
+                image[i * 20 + j] = image[i * 20 + j]
+                    + 0.125 * coeff[i * 20 + j] * delta[i * 20 + j];
+    }
+    double cs = 0.0;
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++)
+            cs += image[i * 20 + j] * ((i + j * 2) % 5 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+RODINIA = [CFD, HOTSPOT, KMEANS, LUD, NW, SRAD]

@@ -1,0 +1,155 @@
+"""The StreamIt (fm) and PARSEC (blackscholes) programs.
+
+Both are Amdahl-limited in the paper: large sequential CPU phases
+surround modest parallel kernels, so whole-program speedup saturates
+near 1x even with perfect communication.
+"""
+
+from __future__ import annotations
+
+from .data import PaperRow, Workload
+
+FM = Workload(
+    name="fm", suite="StreamIt",
+    description="FM radio: synthesis, FIR low-pass, demodulation, EQ",
+    paper=PaperRow(4, "Other", (0.00, 0.00), (0.00, 0.00), 4, 4, 4),
+    source=r"""
+/* fm: 1024 samples, 12-tap FIR, 2 equalizer bands.  Signal
+   synthesis and FM demodulation are phase recurrences (inherently
+   sequential, like the StreamIt pipeline's stateful filters); only
+   the FIR stages are DOALL -- the program stays CPU-bound (paper:
+   'Other', ~0% GPU and comm). */
+double samples[1036];
+double lowpassed[1024];
+double demodulated[1024];
+double band_low[1024];
+double band_high[1024];
+double output[1024];
+double taps_low[12];
+double taps_high[12];
+
+int main(void) {
+    /* synthesize the RF samples: sequential phase accumulator */
+    double phase = 0.0;
+    for (int i = 0; i < 1036; i++) {
+        phase = phase + 0.05 + 0.01 * ((i % 13) - 6);
+        if (phase > 6.2831853) phase = phase - 6.2831853;
+        samples[i] = sin(phase) + 0.1 * cos(3.0 * phase);
+    }
+    for (int t = 0; t < 12; t++) {
+        taps_low[t] = 1.0 / (1.0 + t);
+        taps_high[t] = (t % 2 == 0) ? 0.5 / (1.0 + t) : -0.5 / (1.0 + t);
+    }
+    /* FIR low-pass (DOALL over output samples) */
+    for (int i = 0; i < 1024; i++) {
+        double acc = 0.0;
+        for (int t = 0; t < 12; t++)
+            acc += samples[i + t] * taps_low[t];
+        lowpassed[i] = acc;
+    }
+    /* FM demodulation: phase-difference recurrence (sequential) */
+    double prev = lowpassed[0];
+    for (int i = 0; i < 1024; i++) {
+        double current = lowpassed[i];
+        demodulated[i] = atan(current * prev) * 2.5;
+        prev = current * 0.7 + prev * 0.3;
+    }
+    /* two equalizer bands (DOALL each) */
+    for (int i = 0; i < 1012; i++) {
+        double acc = 0.0;
+        for (int t = 0; t < 12; t++)
+            acc += demodulated[i + t] * taps_low[t];
+        band_low[i] = acc;
+    }
+    for (int i = 0; i < 1012; i++) {
+        double acc = 0.0;
+        for (int t = 0; t < 12; t++)
+            acc += demodulated[i + t] * taps_high[t];
+        band_high[i] = acc;
+    }
+    /* combine (DOALL) */
+    for (int i = 0; i < 1012; i++)
+        output[i] = band_low[i] * 0.6 + band_high[i] * 0.4;
+    double cs = 0.0;
+    for (int i = 0; i < 1012; i += 4) cs += output[i] * (i % 7 + 1);
+    print_f64(cs);
+    return 0;
+}
+""")
+
+BLACKSCHOLES = Workload(
+    name="blackscholes", suite="PARSEC",
+    description="Black-Scholes option pricing",
+    paper=PaperRow(1, "Other", (1.74, 3.23), (45.84, 0.96), 1, 1, 0),
+    source=r"""
+/* blackscholes: 512 heap-allocated options priced over 4 rounds.
+   Parsing each option from its "record" and the final validation are
+   sequential CPU phases, so the whole program is Amdahl-limited
+   (paper: 'Other'; named regions handle 0 of its 1 kernel because the
+   portfolio lives on the heap). */
+double *spot;
+double *strike;
+double *rate;
+double *volatility;
+double *expiry;
+double *prices;
+
+double cndf(double x) {
+    double ax = fabs(x);
+    double k = 1.0 / (1.0 + 0.2316419 * ax);
+    double w = 1.0 - 0.39894228 * exp(-0.5 * x * x)
+        * (0.31938153 * k - 0.356563782 * k * k
+           + 1.781477937 * k * k * k);
+    if (x < 0.0) return 1.0 - w;
+    return w;
+}
+
+int main(void) {
+    spot = (double *) malloc(512 * sizeof(double));
+    strike = (double *) malloc(512 * sizeof(double));
+    rate = (double *) malloc(512 * sizeof(double));
+    volatility = (double *) malloc(512 * sizeof(double));
+    expiry = (double *) malloc(512 * sizeof(double));
+    prices = (double *) malloc(512 * sizeof(double));
+    /* "parse" the portfolio: a sequential recurrence models the IO
+       and record decoding of the PARSEC input file */
+    double seed = 0.37;
+    for (int i = 0; i < 512; i++) {
+        seed = seed * 3.9 * (1.0 - seed);   /* logistic map */
+        double field1 = seed;
+        seed = seed * 3.9 * (1.0 - seed);
+        double field2 = seed;
+        seed = seed * 3.9 * (1.0 - seed);
+        double field3 = seed;
+        spot[i] = 20.0 + field1 * 80.0;
+        strike[i] = 20.0 + field2 * 80.0;
+        rate[i] = 0.01 + field3 * 0.004;
+        volatility[i] = 0.10 + 0.01 * (i % 9);
+        expiry[i] = 0.25 + 0.125 * (i % 5);
+    }
+    for (int round = 0; round < 4; round++) {
+        for (int i = 0; i < 512; i++) {
+            double d1 = (log(spot[i] / strike[i])
+                         + (rate[i]
+                            + 0.5 * volatility[i] * volatility[i])
+                         * expiry[i])
+                / (volatility[i] * sqrt(expiry[i]));
+            double d2 = d1 - volatility[i] * sqrt(expiry[i]);
+            prices[i] = spot[i] * cndf(d1)
+                - strike[i] * exp(-rate[i] * expiry[i]) * cndf(d2);
+        }
+    }
+    /* sequential validation pass (running error accumulator) */
+    double cs = 0.0;
+    double prev = 0.0;
+    for (int i = 0; i < 512; i++) {
+        cs += prices[i] * (i % 5 + 1) + prev * 0.01;
+        prev = prices[i] * 0.5 + prev * 0.5;
+    }
+    print_f64(cs);
+    return 0;
+}
+""")
+
+STREAMIT = [FM]
+PARSEC = [BLACKSCHOLES]

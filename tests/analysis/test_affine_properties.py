@@ -1,0 +1,79 @@
+"""Property test: the conflict decision is conservative.
+
+``_conflict_exists`` answers "may two iterations touch overlapping
+bytes?".  It must never answer *no* when a brute-force enumeration of
+the small parameter space finds a collision (soundness); answering
+*yes* unnecessarily only costs parallelism.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.affine import _conflict_exists, _lattice_hits
+
+
+def brute_force(coeff, win_lo, win_hi, lo, hi, base, lattice,
+                max_delta):
+    """Ground truth by enumeration over a small space."""
+    deltas = range(-max_delta, max_delta + 1)
+    if lattice == 0:
+        r_values = [base] if lo <= base <= hi else []
+    else:
+        r_values = [r for r in range(lo, hi + 1)
+                    if (r - base) % lattice == 0]
+    for delta in deltas:
+        if delta == 0:
+            continue
+        for r in r_values:
+            if win_lo <= coeff * delta + r <= win_hi:
+                return True
+    return False
+
+
+small = st.integers(-40, 40)
+
+
+@settings(max_examples=300, deadline=None)
+@given(coeff=st.integers(-16, 16), win=st.integers(0, 8),
+       lo=small, span=st.integers(0, 30), base=small,
+       lattice=st.integers(0, 12), max_delta=st.integers(1, 6))
+def test_conflict_decision_is_sound(coeff, win, lo, span, base, lattice,
+                                    max_delta):
+    hi = lo + span
+    win_lo, win_hi = -win, win
+    decided = _conflict_exists(coeff, win_lo, win_hi, lo, hi, base,
+                               lattice, max_delta)
+    truth = brute_force(coeff, win_lo, win_hi, lo, hi, base, lattice,
+                        max_delta)
+    if truth:
+        assert decided, (
+            "unsound: brute force finds a collision the solver missed",
+            coeff, win_lo, win_hi, lo, hi, base, lattice, max_delta)
+
+
+@settings(max_examples=300, deadline=None)
+@given(coeff=st.integers(-16, 16), win=st.integers(0, 8),
+       lo=small, span=st.integers(0, 30), base=small,
+       lattice=st.integers(0, 12), max_delta=st.integers(1, 6))
+def test_conflict_decision_is_exact_on_lattice_form(coeff, win, lo, span,
+                                                    base, lattice,
+                                                    max_delta):
+    """On the exact problem it models (R drawn freely from the lattice
+    inside [lo, hi]), the solver is not merely sound but precise."""
+    hi = lo + span
+    decided = _conflict_exists(coeff, -win, win, lo, hi, base, lattice,
+                               max_delta)
+    truth = brute_force(coeff, -win, win, lo, hi, base, lattice,
+                        max_delta)
+    assert decided == truth
+
+
+@settings(max_examples=200, deadline=None)
+@given(base=small, lattice=st.integers(0, 12), lo=small,
+       span=st.integers(0, 25))
+def test_lattice_hits_matches_enumeration(base, lattice, lo, span):
+    hi = lo + span
+    if lattice == 0:
+        truth = lo <= base <= hi
+    else:
+        truth = any((v - base) % lattice == 0 for v in range(lo, hi + 1))
+    assert _lattice_hits(base, lattice, lo, hi) == truth

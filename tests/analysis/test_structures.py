@@ -1,0 +1,216 @@
+"""Tests for CFG orderings, dominators, loops, liveness, call graph."""
+
+import pytest
+
+from repro.analysis import (CallGraph, DominatorTree, Liveness, find_loops,
+                            loop_preheader, predecessor_map,
+                            recognize_counted_loop, reverse_postorder)
+from repro.frontend import compile_minic
+from repro.ir import Constant
+
+
+DIAMOND = """
+int main(void) {
+    long x = 0;
+    if (x < 1) { x = 2; } else { x = 3; }
+    return (int) x;
+}
+"""
+
+
+class TestCfg:
+    def test_rpo_starts_at_entry(self):
+        fn = compile_minic(DIAMOND).get_function("main")
+        rpo = reverse_postorder(fn)
+        assert rpo[0] is fn.entry_block
+        assert set(rpo) == set(fn.blocks)
+
+    def test_predecessors(self):
+        fn = compile_minic(DIAMOND).get_function("main")
+        preds = predecessor_map(fn)
+        end = fn.block_by_name("if.end")
+        assert {b.name for b in preds[end]} == {"if.then", "if.else"}
+
+
+class TestDominators:
+    def test_diamond(self):
+        fn = compile_minic(DIAMOND).get_function("main")
+        tree = DominatorTree(fn)
+        entry = fn.entry_block
+        then = fn.block_by_name("if.then")
+        other = fn.block_by_name("if.else")
+        end = fn.block_by_name("if.end")
+        assert tree.dominates(entry, end)
+        assert not tree.dominates(then, end)
+        assert tree.immediate_dominator(end).name == "body"
+
+    def test_loop_header_dominates_body(self):
+        source = """
+        int main(void) {
+            for (int i = 0; i < 4; i++) { }
+            return 0;
+        }"""
+        fn = compile_minic(source).get_function("main")
+        tree = DominatorTree(fn)
+        head = fn.block_by_name("for.head")
+        body = fn.block_by_name("for.body")
+        assert tree.dominates(head, body)
+        assert not tree.dominates(body, head)
+
+
+class TestLoops:
+    def test_nesting(self):
+        source = """
+        int main(void) {
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 4; j++)
+                    while (j < 2) j++;
+            return 0;
+        }"""
+        fn = compile_minic(source).get_function("main")
+        loops = find_loops(fn)
+        assert len(loops) == 3
+        assert [l.depth for l in loops] == [1, 2, 3]
+        assert loops[1].parent is loops[0]
+        assert loops[2] in loops[1].children
+
+    def test_counted_loop_recognition(self):
+        source = """
+        int main(void) {
+            long total = 0;
+            for (int i = 2; i < 19; i += 3) total += i;
+            return (int) total;
+        }"""
+        fn = compile_minic(source).get_function("main")
+        counted = recognize_counted_loop(fn, find_loops(fn)[0])
+        assert counted is not None
+        assert isinstance(counted.start, Constant) and \
+            counted.start.value == 2
+        assert isinstance(counted.end, Constant) and counted.end.value == 19
+        assert counted.step == 3
+        assert counted.pred == "lt"
+
+    def test_variable_bound_recognized_with_computation(self):
+        source = """
+        long work(long n) {
+            long total = 0;
+            for (int i = 0; i < n; i++) total += i;
+            return total;
+        }
+        int main(void) { return (int) work(5); }"""
+        fn = compile_minic(source).get_function("work")
+        counted = recognize_counted_loop(fn, find_loops(fn)[0])
+        assert counted is not None
+        assert counted.end_computation  # the 'load n' in the header
+
+    def test_while_loop_with_complex_exit_not_counted(self):
+        source = """
+        int main(void) {
+            long i = 0;
+            while (1) {
+                i++;
+                if (i > 5) break;
+            }
+            return (int) i;
+        }"""
+        fn = compile_minic(source).get_function("main")
+        loops = find_loops(fn)
+        assert loops
+        assert recognize_counted_loop(fn, loops[0]) is None
+
+    def test_modified_ivar_in_body_not_counted(self):
+        source = """
+        int main(void) {
+            for (int i = 0; i < 10; i++) { i = i + 1; }
+            return 0;
+        }"""
+        fn = compile_minic(source).get_function("main")
+        assert recognize_counted_loop(fn, find_loops(fn)[0]) is None
+
+    def test_preheader_detection(self):
+        source = "int main(void) { for (int i = 0; i < 3; i++); return 0; }"
+        fn = compile_minic(source).get_function("main")
+        loop = find_loops(fn)[0]
+        preheader = loop_preheader(loop, predecessor_map(fn))
+        assert preheader is not None
+        assert loop.header in preheader.successors
+
+
+class TestLiveness:
+    def test_register_live_across_blocks(self):
+        source = """
+        long f(long a, long b) {
+            long c = a * b;
+            if (c > 10) return c;
+            return a;
+        }
+        int main(void) { return (int) f(3, 4); }"""
+        fn = compile_minic(source).get_function("f")
+        liveness = Liveness(fn)
+        body = fn.block_by_name("body")
+        # Argument registers are spilled in the body block, so they are
+        # live into it (and through the entry block).
+        assert fn.args[0] in liveness.use[body]
+        assert fn.args[0] in liveness.live_out[fn.entry_block]
+
+    def test_live_into_region(self):
+        source = """
+        int main(void) {
+            long a = 5;
+            long total = 0;
+            for (int i = 0; i < 4; i++) total += a;
+            return (int) total;
+        }"""
+        fn = compile_minic(source).get_function("main")
+        liveness = Liveness(fn)
+        loop = find_loops(fn)[0]
+        live_in = liveness.live_into_blocks(loop.blocks)
+        # The loop reads the allocas of a/total/i: all defined outside.
+        names = {getattr(v, "name", "") for v in live_in}
+        assert any("a.addr" in n for n in names)
+
+
+class TestCallGraph:
+    def test_edges_and_recursion(self):
+        source = """
+        long leaf(long x) { return x + 1; }
+        long middle(long x) { return leaf(x) * 2; }
+        long rec(long x) { if (x < 1) return 0; return rec(x - 1); }
+        long a(long x) { return b(x); }
+        long b(long x) { if (x > 0) return a(x - 1); return 0; }
+        int main(void) { return (int) (middle(1) + rec(3) + a(2)); }
+        """
+        module = compile_minic(source)
+        graph = CallGraph(module)
+        main = module.get_function("main")
+        middle = module.get_function("middle")
+        leaf = module.get_function("leaf")
+        assert middle in graph.callees[main]
+        assert leaf in graph.callees[middle]
+        assert graph.is_recursive(module.get_function("rec"))
+        assert graph.is_recursive(module.get_function("a"))
+        assert graph.is_recursive(module.get_function("b"))
+        assert not graph.is_recursive(leaf)
+        assert not graph.is_recursive(main)
+
+    def test_bottom_up_order(self):
+        source = """
+        long leaf(long x) { return x; }
+        long mid(long x) { return leaf(x); }
+        int main(void) { return (int) mid(1); }
+        """
+        module = compile_minic(source)
+        graph = CallGraph(module)
+        order = graph.bottom_up()
+        names = [fn.name for fn in order]
+        assert names.index("leaf") < names.index("mid") < \
+            names.index("main")
+
+    def test_call_sites(self):
+        source = """
+        long f(long x) { return x; }
+        int main(void) { return (int) (f(1) + f(2)); }
+        """
+        module = compile_minic(source)
+        graph = CallGraph(module)
+        assert len(graph.call_sites_of(module.get_function("f"))) == 2

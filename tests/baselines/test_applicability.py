@@ -1,0 +1,116 @@
+"""Applicability analysis tests (Table 1 / Table 3 support)."""
+
+import pytest
+
+from repro.baselines import analyze_module
+from repro.frontend import compile_minic
+from repro.transforms import DoallParallelizer
+
+
+def analyzed(source):
+    module = compile_minic(source)
+    DoallParallelizer(module).run()
+    return analyze_module(module)
+
+
+class TestNamedRegionCriteria:
+    def test_simple_global_kernel_fully_applicable(self):
+        result = analyzed("""
+        double A[16];
+        int main(void) {
+            for (int i = 0; i < 16; i++) A[i] = i * 2.0;
+            return 0;
+        }""")
+        assert result.total_kernels == 1
+        assert result.cgcm == 1
+        assert result.inspector_executor == 1
+        assert result.named_regions == 1
+
+    def test_heap_data_defeats_prior_techniques(self):
+        """malloc'd buffers are not named regions."""
+        result = analyzed("""
+        int main(void) {
+            double *xs = (double *) malloc(16 * sizeof(double));
+            for (int i = 0; i < 16; i++) xs[i] = i;
+            double s = 0.0;
+            for (int i = 0; i < 16; i++) s += xs[i];
+            print_f64(s);
+            free(xs);
+            return 0;
+        }""")
+        assert result.total_kernels == 1
+        assert result.cgcm == 1
+        assert result.inspector_executor == 0
+        assert result.named_regions == 0
+
+    def test_irregular_indexing_defeats_named_regions_only(self):
+        """Index arrays are fine for IE (it inspects) but not for
+        induction-based named regions."""
+        result = analyzed("""
+        double values[32];
+        double out[16];
+        long idx[16];
+        int main(void) {
+            for (int i = 0; i < 32; i++) values[i] = i;
+            for (int i = 0; i < 16; i++) idx[i] = (i * 5) % 32;
+            for (int i = 0; i < 16; i++) out[i] = values[idx[i]];
+            double s = 0.0;
+            for (int i = 0; i < 16; i++) s += out[i];
+            print_f64(s);
+            return 0;
+        }""")
+        gather = [d for d in result.details if d.cgcm]
+        assert result.cgcm == result.total_kernels
+        assert result.named_regions < result.total_kernels
+
+    def test_double_indirection_only_cgcm(self):
+        source = """
+        char *rows[4];
+        __global__ void poke(long tid, char **rs) {
+            char *row = rs[tid];
+            row[0] = (char) tid;
+        }
+        int main(void) {
+            for (int r = 0; r < 4; r++) rows[r] = (char *) malloc(8);
+            __launch(poke, 4, rows);
+            return 0;
+        }
+        """
+        module = compile_minic(source)
+        result = analyze_module(module)
+        assert result.total_kernels == 1
+        assert result.cgcm == 1
+        assert result.inspector_executor == 0
+        assert result.named_regions == 0
+
+    def test_triple_indirection_defeats_even_cgcm(self):
+        source = """
+        char ***deep;
+        __global__ void bad(long tid, char ***d) {
+            char **mid = d[tid];
+            char *leaf = mid[0];
+            leaf[0] = 1;
+        }
+        int main(void) {
+            __launch(bad, 1, deep);
+            return 0;
+        }
+        """
+        module = compile_minic(source)
+        result = analyze_module(module)
+        assert result.cgcm == 0
+
+    def test_ordering_invariant(self):
+        """named_regions <= inspector_executor <= total everywhere."""
+        result = analyzed("""
+        double A[8][8];
+        double B[8][8];
+        int main(void) {
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++) A[i][j] = i + j;
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++) B[i][j] = A[i][j] * 2.0;
+            return 0;
+        }""")
+        assert result.named_regions <= result.inspector_executor
+        assert result.inspector_executor <= result.total_kernels

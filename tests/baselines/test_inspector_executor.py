@@ -1,0 +1,110 @@
+"""Inspector-executor baseline tests (paper section 6.3 idealization)."""
+
+import pytest
+
+from repro.baselines import (INSPECTION_OPS_PER_ACCESS,
+                             InspectorExecutorMachine)
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.transforms import DoallParallelizer
+
+PROGRAM = r"""
+double A[32];
+double B[32];
+int main(void) {
+    for (int i = 0; i < 32; i++) { A[i] = i; B[i] = 2 * i; }
+    for (int t = 0; t < 4; t++) {
+        for (int i = 0; i < 32; i++)
+            A[i] = A[i] * 0.5 + B[i];
+    }
+    double s = 0.0;
+    for (int i = 0; i < 32; i++) s += A[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+
+def run_ie(source=PROGRAM):
+    module = compile_minic(source, "ie")
+    DoallParallelizer(module).run()
+    machine = InspectorExecutorMachine(module)
+    machine.run()
+    return machine
+
+
+class TestCorrectness:
+    def test_matches_sequential(self):
+        seq = Machine(compile_minic(PROGRAM))
+        seq.run()
+        ie = run_ie()
+        assert ie.stdout == seq.stdout
+
+    def test_heap_programs(self):
+        source = r"""
+        int main(void) {
+            double *xs = (double *) malloc(16 * sizeof(double));
+            for (int i = 0; i < 16; i++) xs[i] = i * 1.5;
+            double s = 0.0;
+            for (int i = 0; i < 16; i++) s += xs[i];
+            print_f64(s);
+            return 0;
+        }
+        """
+        seq = Machine(compile_minic(source))
+        seq.run()
+        ie = run_ie(source)
+        assert ie.stdout == seq.stdout
+
+
+class TestCostModel:
+    def test_transfers_one_byte_per_unit(self):
+        """Oracle transfers: bytes moved = accessed allocation units,
+        not array sizes."""
+        ie = run_ie()
+        launches = ie.clock.counters["kernel_launches"]
+        # Two arrays accessed per compute launch: at most 2 bytes in.
+        assert ie.clock.counters["htod_bytes"] <= 3 * launches
+        # Far less than the 256-byte arrays a full copy would move.
+        assert ie.clock.counters["htod_bytes"] < 64
+
+    def test_inspection_charges_cpu_time(self):
+        ie = run_ie()
+        accesses = ie.clock.counters["ie_accesses"]
+        assert accesses > 0
+        expected = ie.clock.model.cpu_time(
+            accesses * INSPECTION_OPS_PER_ACCESS)
+        # CPU lane includes inspection plus ordinary CPU execution.
+        assert ie.clock.cpu_seconds > expected * 0.9
+
+    def test_pattern_is_cyclic(self):
+        """Every launch syncs both directions (the defining weakness)."""
+        ie = run_ie()
+        launches = ie.clock.counters["kernel_launches"]
+        assert ie.clock.counters["htod_copies"] == launches
+        assert ie.clock.counters["dtoh_copies"] == launches
+
+    def test_written_units_counted(self):
+        ie = run_ie()
+        assert ie.clock.counters["ie_written_units"] >= 1
+        assert ie.clock.counters["ie_read_units"] >= \
+            ie.clock.counters["ie_written_units"]
+
+
+class TestComparisonShape:
+    def test_ie_between_unopt_and_opt_on_time_loops(self):
+        """On a time-stepped workload: unopt < IE (fewer bytes) and
+        IE < opt (still cyclic + sequential inspection)."""
+        results = {}
+        for level in (OptLevel.SEQUENTIAL, OptLevel.UNOPTIMIZED,
+                      OptLevel.OPTIMIZED):
+            compiler = CgcmCompiler(CgcmConfig(opt_level=level))
+            report = compiler.compile_source(PROGRAM, "cmp")
+            results[level] = compiler.execute(report)
+        ie = run_ie()
+        seq = results[OptLevel.SEQUENTIAL].total_seconds
+        assert ie.clock.total_seconds < \
+            results[OptLevel.UNOPTIMIZED].total_seconds
+        assert results[OptLevel.OPTIMIZED].total_seconds < \
+            ie.clock.total_seconds

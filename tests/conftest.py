@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.runtime import CgcmRuntime
+
+
+def run_source(source: str, opt_level: OptLevel = OptLevel.SEQUENTIAL,
+               record_events: bool = False):
+    """Compile MiniC at a level and execute it; returns ExecutionResult."""
+    config = CgcmConfig(opt_level=opt_level, record_events=record_events)
+    compiler = CgcmCompiler(config)
+    report = compiler.compile_source(source)
+    return compiler.execute(report)
+
+
+def machine_for(source: str, with_runtime: bool = False) -> Machine:
+    """A machine for untransformed MiniC source (manual-mode tests)."""
+    module = compile_minic(source)
+    machine = Machine(module)
+    if with_runtime:
+        runtime = CgcmRuntime(machine)
+        runtime.declare_all_globals()
+    return machine
+
+
+@pytest.fixture
+def simple_kernel_module():
+    """A module with one kernel that doubles an 8-element global."""
+    return compile_minic(r"""
+        double A[8];
+
+        __global__ void scale(long tid, double *a) {
+            a[tid] = a[tid] * 2.0;
+        }
+
+        int main(void) {
+            for (int i = 0; i < 8; i++) A[i] = i + 1;
+            double *d = (double *) map((char *) A);
+            __launch(scale, 8, d);
+            unmap((char *) A);
+            release((char *) A);
+            double s = 0.0;
+            for (int i = 0; i < 8; i++) s += A[i];
+            print_f64(s);
+            return 0;
+        }
+    """)

@@ -1,0 +1,88 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAM = r"""
+double xs[16];
+int main(void) {
+    for (int i = 0; i < 16; i++) xs[i] = i;
+    for (int t = 0; t < 3; t++)
+        for (int i = 0; i < 16; i++)
+            xs[i] = xs[i] + 1.0;
+    double s = 0.0;
+    for (int i = 0; i < 16; i++) s += xs[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_program_output(self, source_file, capsys):
+        code = main(["run", source_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "168"
+
+    def test_levels_agree(self, source_file, capsys):
+        outputs = []
+        for level in ("sequential", "unoptimized", "optimized"):
+            main(["run", source_file, "--level", level])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_stats_go_to_stderr(self, source_file, capsys):
+        main(["run", source_file, "--stats"])
+        captured = capsys.readouterr()
+        assert "modelled time" in captured.err
+        assert "DOALL kernels" in captured.err
+        assert "modelled" not in captured.out
+
+    def test_trace_renders_schedule(self, source_file, capsys):
+        main(["run", source_file, "--level", "unoptimized", "--trace"])
+        captured = capsys.readouterr()
+        assert "CPU " in captured.err
+        assert "Comm" in captured.err
+
+
+class TestEmitIr:
+    def test_optimized_ir_contains_runtime_calls(self, source_file,
+                                                 capsys):
+        main(["emit-ir", source_file])
+        out = capsys.readouterr().out
+        assert "kernel @" in out
+        assert "call @map" in out
+        assert "launch @" in out
+
+    def test_sequential_ir_is_plain(self, source_file, capsys):
+        main(["emit-ir", source_file, "--level", "sequential"])
+        out = capsys.readouterr().out
+        assert "kernel @" not in out
+        assert "call @map" not in out
+
+
+class TestListAndBench:
+    def test_list_names_all_workloads(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert out.count("\n") == 24
+        assert "gemm" in out and "blackscholes" in out
+
+    def test_bench_one_workload(self, capsys):
+        main(["bench", "atax"])
+        out = capsys.readouterr().out
+        assert "atax" in out
+        assert "Comm." in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["bench", "not-a-workload"])

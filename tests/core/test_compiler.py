@@ -1,0 +1,105 @@
+"""Driver-level tests: CgcmCompiler, configs, ExecutionResult."""
+
+import pytest
+
+from repro import (CgcmCompiler, CgcmConfig, CostModel, OptLevel,
+                   compile_and_run)
+
+PROGRAM = r"""
+double xs[32];
+int main(void) {
+    for (int i = 0; i < 32; i++) xs[i] = i;
+    for (int t = 0; t < 4; t++)
+        for (int i = 0; i < 32; i++)
+            xs[i] = xs[i] * 1.01;
+    double s = 0.0;
+    for (int i = 0; i < 32; i++) s += xs[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+
+class TestPipelineLevels:
+    def test_sequential_has_no_kernels(self):
+        compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.SEQUENTIAL))
+        report = compiler.compile_source(PROGRAM)
+        assert report.doall_kernels == []
+        result = compiler.execute(report)
+        assert result.gpu_seconds == 0.0
+        assert result.comm_seconds == 0.0
+
+    def test_unoptimized_manages_but_does_not_optimize(self):
+        compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.UNOPTIMIZED))
+        report = compiler.compile_source(PROGRAM)
+        assert report.doall_kernels
+        assert report.promoted_loops == 0
+        assert report.glue_kernels == []
+
+    def test_optimized_runs_all_passes(self):
+        compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED))
+        report = compiler.compile_source(PROGRAM)
+        assert report.promoted_loops >= 1
+
+    def test_observable_equality_across_levels(self):
+        observations = [
+            compile_and_run(PROGRAM, level).observable()
+            for level in (OptLevel.SEQUENTIAL, OptLevel.UNOPTIMIZED,
+                          OptLevel.OPTIMIZED)
+        ]
+        assert observations[0] == observations[1] == observations[2]
+
+
+class TestExecutionResult:
+    def test_total_is_sum_of_lanes(self):
+        result = compile_and_run(PROGRAM, OptLevel.OPTIMIZED)
+        assert result.total_seconds == pytest.approx(
+            result.cpu_seconds + result.gpu_seconds + result.comm_seconds)
+
+    def test_globals_image_captured(self):
+        result = compile_and_run(PROGRAM, OptLevel.OPTIMIZED)
+        assert "xs" in result.globals_image
+        assert len(result.globals_image["xs"]) == 32 * 8
+
+    def test_internal_globals_not_captured(self):
+        result = compile_and_run(
+            'int main(void) { print_str("hello"); return 0; }',
+            OptLevel.SEQUENTIAL)
+        assert all(not name.startswith(".str")
+                   for name in result.globals_image)
+
+    def test_counters_present_for_gpu_runs(self):
+        result = compile_and_run(PROGRAM, OptLevel.UNOPTIMIZED)
+        assert result.counters["kernel_launches"] >= 4
+        assert result.counters["htod_copies"] >= 1
+
+
+class TestCustomCostModel:
+    def test_slow_bus_hurts_cyclic_patterns_more(self):
+        slow_bus = CostModel(transfer_latency_s=50e-6)
+        unopt = compile_and_run(
+            PROGRAM, OptLevel.UNOPTIMIZED,
+            CgcmConfig(cost_model=slow_bus))
+        opt = compile_and_run(
+            PROGRAM, OptLevel.OPTIMIZED,
+            CgcmConfig(cost_model=slow_bus))
+        assert opt.total_seconds < unopt.total_seconds / 2
+
+    def test_frozen_model(self):
+        model = CostModel()
+        with pytest.raises(Exception):
+            model.gpu_cores = 1
+
+
+class TestConfigProperties:
+    def test_parallelize_and_optimize_flags(self):
+        assert not CgcmConfig(opt_level=OptLevel.SEQUENTIAL).parallelize
+        unopt = CgcmConfig(opt_level=OptLevel.UNOPTIMIZED)
+        assert unopt.parallelize and not unopt.optimize
+        opt = CgcmConfig(opt_level=OptLevel.OPTIMIZED)
+        assert opt.parallelize and opt.optimize
+
+    def test_compile_and_run_level_override(self):
+        config = CgcmConfig(opt_level=OptLevel.SEQUENTIAL)
+        result = compile_and_run(PROGRAM, OptLevel.UNOPTIMIZED, config)
+        assert result.counters.get("kernel_launches", 0) > 0

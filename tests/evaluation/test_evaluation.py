@@ -1,0 +1,82 @@
+"""Evaluation harness tests on a small workload subset."""
+
+import pytest
+
+from repro.evaluation import (CONFIGURATIONS, build_figure4, build_table3,
+                              figure4_geomeans, geomean, render_figure4,
+                              render_table3, render_table3_comparison,
+                              run_benchmark)
+from repro.evaluation.figure4 import Figure4Row
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def jacobi_result():
+    return run_benchmark(get_workload("jacobi-2d-imper"))
+
+
+@pytest.fixture(scope="module")
+def atax_result():
+    return run_benchmark(get_workload("atax"))
+
+
+class TestRunner:
+    def test_all_configurations_present(self, jacobi_result):
+        assert set(jacobi_result.results) == set(CONFIGURATIONS)
+
+    def test_outputs_agree(self, jacobi_result):
+        outputs = {r.stdout for r in jacobi_result.results.values()}
+        assert len(outputs) == 1
+
+    def test_sequential_speedup_is_one(self, jacobi_result):
+        assert jacobi_result.speedup("sequential") == pytest.approx(1.0)
+
+    def test_breakdown_sums_to_hundred(self, jacobi_result):
+        for configuration in CONFIGURATIONS:
+            gpu, comm, cpu = jacobi_result.breakdown(configuration)
+            assert gpu + comm + cpu == pytest.approx(100.0)
+
+    def test_gpu_bound_classification(self, jacobi_result):
+        assert jacobi_result.limiting_factor == "GPU"
+
+    def test_comm_bound_classification(self, atax_result):
+        assert atax_result.limiting_factor == "Comm."
+
+    def test_optimization_effect_on_jacobi(self, jacobi_result):
+        assert jacobi_result.speedup("optimized") > \
+            jacobi_result.speedup("unoptimized")
+        unopt = jacobi_result.results["unoptimized"]
+        opt = jacobi_result.results["optimized"]
+        assert opt.counters["htod_copies"] < unopt.counters["htod_copies"]
+
+
+class TestFigure4Helpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_build_and_render(self, jacobi_result, atax_result):
+        rows = build_figure4([jacobi_result, atax_result])
+        assert [r.program for r in rows] == ["jacobi-2d-imper", "atax"]
+        rendered = render_figure4(rows)
+        assert "jacobi-2d-imper" in rendered
+        assert "geomean" in rendered
+
+    def test_clamped_geomeans_not_below_plain(self, jacobi_result,
+                                              atax_result):
+        rows = build_figure4([jacobi_result, atax_result])
+        plain = figure4_geomeans(rows)
+        clamped = figure4_geomeans(rows, clamp_at_one=True)
+        for series in plain:
+            assert clamped[series] >= plain[series]
+
+
+class TestTable3Helpers:
+    def test_rows_and_rendering(self, jacobi_result, atax_result):
+        rows = build_table3([jacobi_result, atax_result])
+        assert rows[0].kernels >= 1
+        rendered = render_table3(rows)
+        assert "jacobi-2d-imper" in rendered
+        comparison = render_table3_comparison([jacobi_result])
+        assert "GPU / GPU" in comparison

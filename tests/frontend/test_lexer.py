@@ -1,0 +1,60 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import tokenize, unescape_string
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = kinds("int main intx __global__ __launch")
+        assert tokens == [("keyword", "int"), ("ident", "main"),
+                          ("ident", "intx"), ("keyword", "__global__"),
+                          ("keyword", "__launch")]
+
+    def test_numbers(self):
+        tokens = kinds("42 0x1F 3.14 1e9 2.5e-3 1.0f 7f")
+        assert [t[0] for t in tokens] == ["int", "int", "float", "float",
+                                          "float", "float", "float"]
+
+    def test_maximal_munch_operators(self):
+        tokens = kinds("a<<=b >>= == != <= >= && || ++ -- -> +=")
+        ops = [text for kind, text in tokens if kind == "op"]
+        assert ops == ["<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||",
+                       "++", "--", "->", "+="]
+
+    def test_comments_skipped(self):
+        tokens = kinds("a // line comment\nb /* block\ncomment */ c")
+        assert [text for _, text in tokens] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_strings_and_chars(self):
+        tokens = kinds(r'"hello\nworld" ' + r"'x' '\n'")
+        assert tokens[0][0] == "string"
+        assert tokens[1][0] == "char"
+        assert tokens[2][0] == "char"
+
+    def test_bad_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("int a = `5`;")
+
+
+class TestUnescape:
+    def test_common_escapes(self):
+        assert unescape_string(r'"a\tb\nc\0"') == "a\tb\nc\0"
+        assert unescape_string(r"'\\'") == "\\"
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(FrontendError):
+            unescape_string(r'"\q"')

@@ -1,0 +1,183 @@
+"""Lowering tests: semantic checks and generated-IR behaviour."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.ir import verify_module
+
+
+def run(source):
+    module = compile_minic(source)
+    verify_module(module)
+    machine = Machine(module)
+    code = machine.run()
+    return code, machine.stdout
+
+
+class TestConversions:
+    def test_int_to_double_promotion(self):
+        _, out = run("""
+        int main(void) {
+            double d = 1;
+            long n = 3;
+            print_f64(d / 2);
+            print_f64(n / 2.0);
+            return 0;
+        }""")
+        assert out == ["0.5", "1.5"]
+
+    def test_char_arithmetic_promotes(self):
+        _, out = run("""
+        int main(void) {
+            char c = 'A';
+            print_i64(c + 1);
+            return 0;
+        }""")
+        assert out == ["66"]
+
+    def test_float_to_int_truncates(self):
+        _, out = run("""
+        int main(void) {
+            long n = (long) 2.9;
+            long m = (long) -2.9;
+            print_i64(n);
+            print_i64(m);
+            return 0;
+        }""")
+        assert out == ["2", "-2"]
+
+    def test_pointer_int_round_trip(self):
+        _, out = run("""
+        double g;
+        int main(void) {
+            long address = (long) &g;
+            double *p = (double *) address;
+            *p = 4.5;
+            print_f64(g);
+            return 0;
+        }""")
+        assert out == ["4.5"]
+
+    def test_implicit_return_value(self):
+        code, _ = run("long f(void) { } int main(void) { return (int) f(); }")
+        assert code == 0
+
+
+class TestInitializers:
+    def test_global_scalar_and_array(self):
+        _, out = run("""
+        double weights[4] = {0.5, 1.5, 2.5};
+        long count = 7;
+        int main(void) {
+            print_f64(weights[1]);
+            print_f64(weights[3]);
+            print_i64(count);
+            return 0;
+        }""")
+        assert out == ["1.5", "0", "7"]
+
+    def test_nested_array_initializer(self):
+        _, out = run("""
+        long m[2][3] = {{1, 2, 3}, {4, 5, 6}};
+        int main(void) { print_i64(m[1][2]); return 0; }""")
+        assert out == ["6"]
+
+    def test_string_array_global(self):
+        _, out = run("""
+        char *names[] = {"alpha", "beta"};
+        int main(void) {
+            print_str(names[1]);
+            return 0;
+        }""")
+        assert out == ["beta"]
+
+    def test_char_array_from_string(self):
+        _, out = run("""
+        char buffer[10] = "hi";
+        int main(void) { print_str(buffer); print_i64(buffer[5]); return 0; }
+        """)
+        assert out == ["hi", "0"]
+
+    def test_local_array_initializer(self):
+        _, out = run("""
+        int main(void) {
+            double xs[3] = {1.0, 2.0, 4.0};
+            print_f64(xs[0] + xs[1] + xs[2]);
+            return 0;
+        }""")
+        assert out == ["7"]
+
+    def test_string_interning(self):
+        module = compile_minic("""
+        int main(void) {
+            print_str("same");
+            print_str("same");
+            return 0;
+        }""")
+        strings = [n for n in module.globals if n.startswith(".str")]
+        assert len(strings) == 1
+
+
+class TestLValues:
+    def test_compound_assignment_evaluates_target_once(self):
+        _, out = run("""
+        long calls = 0;
+        double xs[4];
+        long index(void) { calls++; return 2; }
+        int main(void) {
+            xs[index()] += 5.0;
+            print_i64(calls);
+            print_f64(xs[2]);
+            return 0;
+        }""")
+        assert out == ["1", "5"]
+
+    def test_increment_pointer(self):
+        _, out = run("""
+        double xs[3];
+        int main(void) {
+            xs[0] = 1.0; xs[1] = 2.0; xs[2] = 3.0;
+            double *p = xs;
+            p++;
+            print_f64(*p);
+            print_f64(*(p + 1));
+            return 0;
+        }""")
+        assert out == ["2", "3"]
+
+    def test_sizeof_variable(self):
+        _, out = run("""
+        double A[10];
+        int main(void) {
+            print_i64(sizeof(A));
+            print_i64(sizeof(double));
+            print_i64(sizeof(double *));
+            return 0;
+        }""")
+        assert out == ["80", "8", "8"]
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize("source,message", [
+        ("int main(void) { return undefined_var; }", "undeclared"),
+        ("int main(void) { unknown_fn(); return 0; }", "unknown function"),
+        ("int main(void) { long x = 5; x(); return 0; }", "unknown"),
+        ("void f(void) { return 5; }", "void function returns"),
+        ("__global__ double k(long tid) { return 0.0; }", "void"),
+        ("__global__ void k(double x) { }", "thread id"),
+        ("int main(void) { return 5 = 6; }", "assignable"),
+        ("int main(void) { sqrt(1.0, 2.0); return 0; }", "argument"),
+        ("struct missing s; int main(void) { return 0; }", "struct"),
+    ])
+    def test_rejected_with_message(self, source, message):
+        with pytest.raises(FrontendError, match=message):
+            compile_minic(source)
+
+    def test_launch_of_non_kernel_rejected(self):
+        with pytest.raises(FrontendError, match="kernel"):
+            compile_minic("""
+            void plain(long tid) {}
+            int main(void) { __launch(plain, 4); return 0; }
+            """)

@@ -1,0 +1,167 @@
+"""MiniC parser tests (AST shape and error recovery)."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import parse_minic
+from repro.frontend import ast
+
+
+class TestDeclarations:
+    def test_global_array_dims(self):
+        program = parse_minic("double A[4][8];")
+        g = program.globals[0]
+        assert g.type_spec.array_dims == (4, 8)
+        assert g.type_spec.base == "double"
+
+    def test_constant_folded_dims(self):
+        program = parse_minic("double A[4 * 8 + 2];")
+        assert program.globals[0].type_spec.array_dims == (34,)
+
+    def test_inferred_dim_from_list(self):
+        program = parse_minic('char *days[] = {"mon", "tue"};')
+        g = program.globals[0]
+        assert g.type_spec.array_dims == (-1,)
+        assert len(g.init_list) == 2
+
+    def test_multiple_declarators(self):
+        program = parse_minic("long a, *b, c[4];")
+        names = [g.name for g in program.globals]
+        assert names == ["a", "b", "c"]
+        assert program.globals[1].type_spec.pointers == 1
+        assert program.globals[2].type_spec.array_dims == (4,)
+
+    def test_const_flag(self):
+        program = parse_minic("const double pi = 3.14;")
+        assert program.globals[0].is_const
+
+    def test_modifier_soup(self):
+        program = parse_minic("static unsigned long int x;")
+        assert program.globals[0].type_spec.base == "long"
+
+    def test_struct_definition(self):
+        program = parse_minic("""
+        struct node { double value; long next_index; };
+        struct node pool[16];
+        """)
+        assert program.structs[0].name == "node"
+        assert len(program.structs[0].fields) == 2
+        assert program.globals[0].type_spec.base == "struct node"
+
+
+class TestFunctions:
+    def test_params_and_array_decay(self):
+        program = parse_minic("void f(double *a, long n, double b[10]) {}")
+        params = program.functions[0].params
+        assert params[0].type_spec.pointers == 1
+        assert params[1].type_spec.pointers == 0
+        assert params[2].type_spec.pointers == 1  # decayed
+
+    def test_kernel_flag(self):
+        program = parse_minic("__global__ void k(long tid) {}")
+        assert program.functions[0].is_kernel
+
+    def test_prototype(self):
+        program = parse_minic("double helper(double x);")
+        assert program.functions[0].body is None
+
+
+class TestExpressions:
+    def _expr(self, text):
+        program = parse_minic(f"int main(void) {{ return {text}; }}")
+        stmt = program.functions[0].body.statements[0]
+        return stmt.value
+
+    def test_precedence(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_shift(self):
+        expr = self._expr("a << 2 < b")
+        assert expr.op == "<"
+        assert expr.lhs.op == "<<"
+
+    def test_ternary(self):
+        expr = self._expr("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Conditional)
+        assert isinstance(expr.if_false, ast.Conditional)
+
+    def test_cast_vs_paren(self):
+        cast = self._expr("(double) x")
+        assert isinstance(cast, ast.CastExpr)
+        paren = self._expr("(x) + 1")
+        assert isinstance(paren, ast.Binary)
+
+    def test_sizeof_type(self):
+        expr = self._expr("sizeof(double)")
+        assert isinstance(expr, ast.SizeofExpr)
+        assert expr.target.base == "double"
+
+    def test_postfix_chain(self):
+        expr = self._expr("a[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_member_arrow(self):
+        expr = self._expr("p->x")
+        assert isinstance(expr, ast.Member) and expr.arrow
+
+    def test_launch_expression(self):
+        program = parse_minic("""
+        __global__ void k(long tid, double *a) {}
+        int main(void) { __launch(k, 64, 0); return 0; }
+        """)
+        stmt = program.functions[1].body.statements[0]
+        assert isinstance(stmt.expr, ast.LaunchExpr)
+        assert stmt.expr.kernel == "k"
+
+    def test_unary_forms(self):
+        assert isinstance(self._expr("-x"), ast.Unary)
+        assert isinstance(self._expr("!x"), ast.Unary)
+        assert isinstance(self._expr("&x"), ast.Unary)
+        assert isinstance(self._expr("*p"), ast.Unary)
+        assert self._expr("x++").op == "p++"
+        assert self._expr("++x").op == "++"
+
+
+class TestStatements:
+    def _stmts(self, body):
+        program = parse_minic(f"int main(void) {{ {body} }}")
+        return program.functions[0].body.statements
+
+    def test_for_with_declaration(self):
+        stmts = self._stmts("for (int i = 0; i < 4; i++) ;")
+        loop = stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Declaration)
+
+    def test_dangling_else(self):
+        stmts = self._stmts("if (a) if (b) x = 1; else x = 2;")
+        outer = stmts[0]
+        assert outer.else_body is None
+        assert outer.then_body.else_body is not None
+
+    def test_do_while(self):
+        stmts = self._stmts("do { x = 1; } while (x < 3);")
+        assert isinstance(stmts[0], ast.DoWhile)
+
+    def test_local_multi_declarator(self):
+        stmts = self._stmts("double a = 1.0, b = 2.0;")
+        assert isinstance(stmts[0], ast.DeclGroup)
+        assert len(stmts[0].declarations) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "int main(void) { return 1 +; }",
+        "int main(void) { if (1 { } }",
+        "int main(void { return 0; }",
+        "double A[x];",          # non-constant dimension
+        "__global__ double g;",  # __global__ on a variable
+        "int main(void) { break; }",
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(FrontendError):
+            from repro.frontend import compile_minic
+            compile_minic(source)

@@ -1,0 +1,62 @@
+"""Tests for event traces and the schedule renderer (Figure 2 support)."""
+
+from repro.gpu.timing import LANE_COMM, LANE_CPU, LANE_GPU, TraceEvent
+from repro.interp import (count_direction_switches, render_schedule,
+                          summarize_events)
+from tests.conftest import run_source
+from repro.core import OptLevel
+
+CYCLIC_PROGRAM = r"""
+double data[64];
+int main(void) {
+    for (int i = 0; i < 64; i++) data[i] = i;
+    for (int t = 0; t < 5; t++) {
+        for (int i = 0; i < 64; i++) {
+            data[i] = data[i] * 1.5 + t;
+        }
+    }
+    double s = 0.0;
+    for (int i = 0; i < 64; i++) s += data[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+
+class TestRenderer:
+    def test_empty_trace(self):
+        assert render_schedule([]) == "(empty trace)"
+
+    def test_lanes_rendered(self):
+        events = [
+            TraceEvent(LANE_CPU, "cpu", 0.0, 1.0),
+            TraceEvent(LANE_COMM, "HtoD", 1.0, 1.0),
+            TraceEvent(LANE_GPU, "kernel", 2.0, 1.0),
+        ]
+        drawing = render_schedule(events, width=30)
+        lines = drawing.splitlines()
+        assert lines[0].startswith("CPU ")
+        assert "#" in lines[0]
+        assert "~" in lines[1]
+        assert "=" in lines[2]
+
+    def test_summarize(self):
+        events = [TraceEvent(LANE_GPU, "k[8]", 0.0, 1e-6)]
+        lines = summarize_events(events)
+        assert len(lines) == 1
+        assert "k[8]" in lines[0]
+
+
+class TestScheduleShape:
+    def test_unoptimized_is_cyclic_optimized_is_acyclic(self):
+        """The core claim of paper Figure 2: optimization removes the
+        back-and-forth alternation between transfers and kernels."""
+        unopt = run_source(CYCLIC_PROGRAM, OptLevel.UNOPTIMIZED,
+                           record_events=True)
+        opt = run_source(CYCLIC_PROGRAM, OptLevel.OPTIMIZED,
+                         record_events=True)
+        assert unopt.observable() == opt.observable()
+        cyclic = count_direction_switches(unopt.events)
+        acyclic = count_direction_switches(opt.events)
+        assert cyclic > acyclic
+        assert acyclic <= 4

@@ -1,0 +1,137 @@
+"""IRBuilder convenience-API tests."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (ArrayType, Constant, FunctionType, IRBuilder, Module,
+                      VOID, F32, F64, I1, I8, I32, I64, pointer_to,
+                      verify_module)
+
+
+def fresh():
+    module = Module("builder-test")
+    fn = module.add_function("f", FunctionType(I64, [I64, F64]),
+                             ["n", "x"])
+    builder = IRBuilder(fn.new_block("entry"))
+    return module, fn, builder
+
+
+class TestPositioning:
+    def test_requires_block(self):
+        builder = IRBuilder()
+        with pytest.raises(IRError, match="insertion block"):
+            builder.i64(1)  # constants fine...
+            builder.ret()   # ...but emission is not
+
+    def test_function_property(self):
+        _, fn, builder = fresh()
+        assert builder.function is fn
+
+    def test_unique_names(self):
+        _, fn, builder = fresh()
+        a = builder.add(fn.args[0], 1)
+        b = builder.add(fn.args[0], 2)
+        c = builder.add(fn.args[0], 3)
+        names = {a.name, b.name, c.name}
+        assert len(names) == 3
+
+
+class TestOperandCoercion:
+    def test_int_literals_coerced_to_lhs_type(self):
+        _, fn, builder = fresh()
+        result = builder.add(fn.args[0], 5)
+        assert isinstance(result.rhs, Constant)
+        assert result.rhs.type == I64
+
+    def test_float_literals(self):
+        _, fn, builder = fresh()
+        result = builder.mul(fn.args[1], 2.5)
+        assert result.rhs.type == F64
+
+    def test_store_coerces_to_pointee(self):
+        _, fn, builder = fresh()
+        slot = builder.alloca(F64)
+        store = builder.store(3, slot)
+        assert store.value.type == F64
+
+    def test_gep_indices_default_i64(self):
+        _, fn, builder = fresh()
+        slot = builder.alloca(ArrayType(F64, 4))
+        element = builder.gep(slot, [0, 2])
+        assert all(index.type == I64 for index in element.indices)
+
+
+class TestCastHelpers:
+    def test_int_cast_picks_direction(self):
+        _, fn, builder = fresh()
+        small = builder.cast("trunc", fn.args[0], I8)
+        widened = builder.int_cast(small, I64)
+        assert widened.kind == "sext"
+        narrowed = builder.int_cast(fn.args[0], I32)
+        assert narrowed.kind == "trunc"
+
+    def test_int_cast_same_type_is_identity(self):
+        _, fn, builder = fresh()
+        assert builder.int_cast(fn.args[0], I64) is fn.args[0]
+
+    def test_bitcast_identity(self):
+        _, fn, builder = fresh()
+        slot = builder.alloca(F64)
+        assert builder.bitcast(slot, slot.type) is slot
+        other = builder.bitcast(slot, pointer_to(I8))
+        assert other.type == pointer_to(I8)
+
+
+class TestCallChecks:
+    def test_arity_enforced(self):
+        module, fn, builder = fresh()
+        callee = module.declare_function("g", FunctionType(VOID, [I64]))
+        with pytest.raises(IRError, match="expected 1 args"):
+            builder.call(callee, [])
+
+    def test_launch_requires_kernel(self):
+        module, fn, builder = fresh()
+        plain = module.declare_function("h", FunctionType(VOID, [I64]))
+        with pytest.raises(IRError, match="not a kernel"):
+            builder.launch(plain, 4, [])
+
+    def test_ret_coerces(self):
+        module, fn, builder = fresh()
+        builder.ret(0)
+        verify_module(module)
+
+
+class TestWholeFunction:
+    def test_build_loop_and_verify(self):
+        module = Module("loop")
+        fn = module.add_function("sum_to", FunctionType(I64, [I64]), ["n"])
+        builder = IRBuilder(fn.new_block("entry"))
+        i_slot = builder.alloca(I64)
+        acc_slot = builder.alloca(I64)
+        builder.store(0, i_slot)
+        builder.store(0, acc_slot)
+        head = fn.new_block("head")
+        body = fn.new_block("body")
+        done = fn.new_block("done")
+        builder.br(head)
+        builder.position_at_end(head)
+        i_val = builder.load(i_slot)
+        builder.cbr(builder.cmp("lt", i_val, fn.args[0]), body, done)
+        builder.position_at_end(body)
+        acc = builder.load(acc_slot)
+        i_again = builder.load(i_slot)
+        builder.store(builder.add(acc, i_again), acc_slot)
+        builder.store(builder.add(i_again, 1), i_slot)
+        builder.br(head)
+        builder.position_at_end(done)
+        builder.ret(builder.load(acc_slot))
+        verify_module(module)
+
+        from repro.interp import Machine
+        module.add_function("main", FunctionType(I32, []))
+        main = module.get_function("main")
+        mb = IRBuilder(main.new_block("entry"))
+        call = mb.call(fn, [10])
+        mb.ret(mb.cast("trunc", call, I32))
+        machine = Machine(module)
+        assert machine.run() == 45

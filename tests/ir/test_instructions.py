@@ -1,0 +1,175 @@
+"""Unit tests for IR instruction construction and invariants."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (Alloca, ArrayType, BasicBlock, BinaryOp, Branch, Cast,
+                      Compare, CondBranch, Constant, GetElementPtr, Load,
+                      Return, Select, Store, StructType, Unreachable, F64,
+                      I1, I8, I64, pointer_to)
+
+
+def const(type_, value):
+    return Constant(type_, value)
+
+
+class TestConstants:
+    def test_int_wrapping_at_construction(self):
+        assert Constant(I8, 300).value == 44
+        assert Constant(I8, -1).value == -1
+
+    def test_float_coercion(self):
+        c = Constant(F64, 3)
+        assert isinstance(c.value, float)
+
+    def test_null_pointer_ref(self):
+        assert Constant(pointer_to(I8), 0).ref == "null"
+
+    def test_aggregate_constant_rejected(self):
+        with pytest.raises(ValueError):
+            Constant(ArrayType(I8, 4), 0)
+
+    def test_equality(self):
+        assert Constant(I64, 5) == Constant(I64, 5)
+        assert Constant(I64, 5) != Constant(I8, 5)
+
+
+class TestMemoryInstructions:
+    def test_load_type_follows_pointee(self):
+        ptr = Alloca(F64, const(I64, 1))
+        assert Load(ptr).type == F64
+
+    def test_load_from_non_pointer_rejected(self):
+        with pytest.raises(IRError):
+            Load(const(I64, 0))
+
+    def test_store_is_void(self):
+        ptr = Alloca(F64, const(I64, 1))
+        store = Store(const(F64, 1.0), ptr)
+        assert not store.produces_value
+
+    def test_alloca_result_is_pointer(self):
+        alloca = Alloca(ArrayType(F64, 4), const(I64, 1))
+        assert alloca.type == pointer_to(ArrayType(F64, 4))
+
+
+class TestGep:
+    def test_flat_pointer_index(self):
+        ptr = Alloca(F64, const(I64, 8))
+        gep = GetElementPtr(ptr, [const(I64, 3)])
+        assert gep.type == pointer_to(F64)
+
+    def test_array_descent(self):
+        base = Alloca(ArrayType(ArrayType(F64, 4), 2), const(I64, 1))
+        gep = GetElementPtr(base, [const(I64, 0), const(I64, 1),
+                                   const(I64, 2)])
+        assert gep.type == pointer_to(F64)
+
+    def test_struct_descent_requires_constant(self):
+        struct = StructType("s", [("a", I64), ("b", F64)])
+        base = Alloca(struct, const(I64, 1))
+        gep = GetElementPtr(base, [const(I64, 0), const(I64, 1)])
+        assert gep.type == pointer_to(F64)
+        load = Load(GetElementPtr(base, [const(I64, 0)]))
+        with pytest.raises(IRError):
+            GetElementPtr(base, [const(I64, 0), load])
+
+    def test_struct_index_out_of_range(self):
+        struct = StructType("s", [("a", I64)])
+        base = Alloca(struct, const(I64, 1))
+        with pytest.raises(IRError):
+            GetElementPtr(base, [const(I64, 0), const(I64, 5)])
+
+    def test_empty_indices_rejected(self):
+        ptr = Alloca(F64, const(I64, 1))
+        with pytest.raises(IRError):
+            GetElementPtr(ptr, [])
+
+
+class TestBinaryAndCompare:
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", const(I64, 1), const(I8, 1))
+
+    def test_int_only_op_on_floats_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("xor", const(F64, 1.0), const(F64, 1.0))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("pow", const(I64, 1), const(I64, 2))
+
+    def test_compare_produces_i1(self):
+        cmp = Compare("lt", const(I64, 1), const(I64, 2))
+        assert cmp.type == I1
+
+    def test_unknown_predicate(self):
+        with pytest.raises(IRError):
+            Compare("ult", const(I64, 1), const(I64, 2))
+
+
+class TestCasts:
+    def test_valid_casts(self):
+        Cast("sext", const(I8, 1), I64)
+        Cast("trunc", const(I64, 1), I8)
+        Cast("sitofp", const(I64, 1), F64)
+        Cast("fptosi", const(F64, 1.0), I64)
+        Cast("bitcast", const(pointer_to(I8), 0), pointer_to(F64))
+        Cast("ptrtoint", const(pointer_to(I8), 0), I64)
+        Cast("inttoptr", const(I64, 0), pointer_to(I8))
+
+    def test_widening_trunc_rejected(self):
+        with pytest.raises(IRError):
+            Cast("trunc", const(I8, 1), I64)
+
+    def test_bitcast_between_scalars_rejected(self):
+        with pytest.raises(IRError):
+            Cast("bitcast", const(I64, 1), F64)
+
+
+class TestSelectAndTerminators:
+    def test_select_requires_i1(self):
+        with pytest.raises(IRError):
+            Select(const(I64, 1), const(I64, 1), const(I64, 2))
+
+    def test_select_arm_types_match(self):
+        cond = Compare("eq", const(I64, 0), const(I64, 0))
+        with pytest.raises(IRError):
+            Select(cond, const(I64, 1), const(F64, 2.0))
+
+    def test_terminator_flags(self):
+        block = BasicBlock("b")
+        assert Branch(block).is_terminator
+        assert Return().is_terminator
+        assert Unreachable().is_terminator
+        assert not Load(Alloca(I64, const(I64, 1))).is_terminator
+
+    def test_cond_branch_successors(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        cond = Compare("eq", const(I64, 0), const(I64, 0))
+        cbr = CondBranch(cond, t, f)
+        assert cbr.successors == [t, f]
+        cbr.replace_successor(t, f)
+        assert cbr.successors == [f, f]
+
+
+class TestBlockDiscipline:
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("b")
+        block.append(Return())
+        with pytest.raises(IRError):
+            block.append(Return())
+
+    def test_insert_before_terminator(self):
+        block = BasicBlock("b")
+        block.append(Return())
+        alloca = Alloca(I64, const(I64, 1))
+        block.insert_before_terminator(alloca)
+        assert block.instructions[0] is alloca
+        assert block.terminator is block.instructions[-1]
+
+    def test_replace_operand(self):
+        a, b = const(I64, 1), const(I64, 2)
+        add = BinaryOp("add", a, a)
+        assert add.replace_operand(a, b) == 2
+        assert add.operands == [b, b]

@@ -1,0 +1,146 @@
+"""Printer/parser round-trip and error-handling tests."""
+
+import pytest
+
+from repro.errors import IRParseError
+from repro.ir import (module_to_str, parse_module, verify_module, Module,
+                      FunctionType, IRBuilder, ArrayType, GlobalRef, VOID,
+                      I8, I64, F64, pointer_to)
+
+EXAMPLE = """\
+module "demo"
+
+struct %pair { i64 first, f64 second }
+
+global @A : [4 x f64] = { 1.0, 2.0, 3.0, 4.0 }
+
+global @msg : [6 x i8] = s"hello" readonly
+
+global @refs : [2 x ptr<i8>] = { @msg, @msg+1 }
+
+declare @sqrt : f64 (f64)
+
+kernel @k(%tid: i64, %a: ptr<f64>) -> void {
+entry:
+  %p = gep ptr<f64> %a, i64 %tid
+  %v = load ptr<f64> %p
+  %r = call @sqrt(f64 %v)
+  store f64 %r, ptr<f64> %p
+  ret void
+}
+
+func @main() -> i64 {
+entry:
+  %i = alloca i64, i64 1
+  store i64 0, ptr<i64> %i
+  br label %head
+head:
+  %iv = load ptr<i64> %i
+  %c = cmp lt i64 %iv, i64 4
+  cbr i1 %c, label %body, label %exit
+body:
+  %base = gep ptr<[4 x f64]> @A, i64 0, i64 0
+  launch @k[i64 4](ptr<f64> %base)
+  %n = add i64 %iv, i64 1
+  store i64 %n, ptr<i64> %i
+  br label %head
+exit:
+  %sel = select i1 %c, i64 1, i64 0
+  %w = cast sitofp i64 %sel to f64
+  %t = cast fptosi f64 %w to i64
+  ret i64 %t
+}
+"""
+
+
+class TestRoundTrip:
+    def test_parse_then_print_is_stable(self):
+        module = parse_module(EXAMPLE)
+        verify_module(module)
+        printed = module_to_str(module)
+        reparsed = parse_module(printed)
+        verify_module(reparsed)
+        assert module_to_str(reparsed) == printed
+
+    def test_programmatic_build_round_trips(self):
+        module = Module("built")
+        module.add_global("g", ArrayType(I8, 4), b"ab")
+        fn = module.add_function("main", FunctionType(I64, []))
+        builder = IRBuilder(fn.new_block("entry"))
+        slot = builder.alloca(F64)
+        builder.store(2.5, slot)
+        value = builder.load(slot)
+        as_int = builder.cast("fptosi", value, I64)
+        builder.ret(as_int)
+        verify_module(module)
+        text = module_to_str(module)
+        again = parse_module(text)
+        assert module_to_str(again) == text
+
+    def test_struct_and_globalref_round_trip(self):
+        module = parse_module(EXAMPLE)
+        refs = module.get_global("refs")
+        assert refs.initializer == [GlobalRef("msg"), GlobalRef("msg", 1)]
+        pair = module.structs["pair"]
+        assert pair.fields[0][0] == "first"
+
+    def test_string_escapes_round_trip(self):
+        module = Module("esc")
+        module.add_global("s", ArrayType(I8, 5), "a\"\\\n")
+        text = module_to_str(module)
+        again = parse_module(text)
+        assert again.get_global("s").initializer == "a\"\\\n"
+
+
+class TestParserErrors:
+    def test_undefined_register(self):
+        source = """
+        func @f() -> i64 {
+        entry:
+          ret i64 %nope
+        }
+        """
+        with pytest.raises(IRParseError):
+            parse_module(source)
+
+    def test_unknown_block_label(self):
+        source = """
+        func @f() -> void {
+        entry:
+          br label %missing
+        }
+        """
+        with pytest.raises(IRParseError):
+            parse_module(source)
+
+    def test_duplicate_block_label(self):
+        source = """
+        func @f() -> void {
+        entry:
+          ret void
+        entry:
+          ret void
+        }
+        """
+        with pytest.raises(IRParseError):
+            parse_module(source)
+
+    def test_unknown_opcode(self):
+        source = """
+        func @f() -> void {
+        entry:
+          frobnicate i64 1
+        }
+        """
+        with pytest.raises(IRParseError):
+            parse_module(source)
+
+    def test_bad_character(self):
+        with pytest.raises(IRParseError):
+            parse_module("func @f() -> void { entry: ret void } $")
+
+    def test_error_carries_line_number(self):
+        source = "module \"x\"\n\nglobal @g : [1 x i8] = ???"
+        with pytest.raises(IRParseError) as err:
+            parse_module(source)
+        assert err.value.line >= 3

@@ -1,0 +1,127 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (ArrayType, FloatType, FunctionType, IntType,
+                      PointerType, StructType, VOID, I1, I8, I32, I64, F32,
+                      F64, POINTER_SIZE, pointer_to)
+
+
+class TestScalarTypes:
+    def test_integer_sizes(self):
+        assert I8.size == 1
+        assert IntType(16).size == 2
+        assert I32.size == 4
+        assert I64.size == 8
+        assert I1.size == 1
+
+    def test_float_sizes(self):
+        assert F32.size == 4
+        assert F64.size == 8
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(7)
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_structural_equality(self):
+        assert IntType(64) == I64
+        assert IntType(64) is not I64
+        assert FloatType(32) != FloatType(64)
+        assert I32 != F32
+
+    def test_hashable(self):
+        assert len({IntType(64), I64, IntType(32)}) == 2
+
+    def test_void_has_no_size(self):
+        with pytest.raises(ValueError):
+            _ = VOID.size
+
+    def test_predicates(self):
+        assert I64.is_integer and I64.is_scalar
+        assert F64.is_float and F64.is_scalar
+        assert not I64.is_float
+        assert VOID.is_void
+
+
+class TestIntWrapping:
+    def test_wrap_positive_overflow(self):
+        assert I8.wrap(200) == 200 - 256
+        assert I8.wrap(127) == 127
+
+    def test_wrap_negative(self):
+        assert I8.wrap(-129) == 127
+        assert I8.wrap(-1) == -1
+
+    def test_wrap_i1(self):
+        assert I1.wrap(3) == 1
+        assert I1.wrap(2) == 0
+
+    def test_min_max(self):
+        assert I8.min_value == -128
+        assert I8.max_value == 127
+        assert I64.max_value == (1 << 63) - 1
+
+
+class TestPointerTypes:
+    def test_size(self):
+        assert pointer_to(F64).size == POINTER_SIZE
+
+    def test_equality_by_pointee(self):
+        assert pointer_to(F64) == PointerType(F64)
+        assert pointer_to(F64) != pointer_to(F32)
+
+    def test_nested(self):
+        double_ptr = pointer_to(pointer_to(I8))
+        assert double_ptr.pointee == pointer_to(I8)
+        assert str(double_ptr) == "ptr<ptr<i8>>"
+
+
+class TestArrayTypes:
+    def test_size(self):
+        assert ArrayType(F64, 10).size == 80
+        assert ArrayType(ArrayType(F32, 4), 3).size == 48
+
+    def test_zero_length(self):
+        assert ArrayType(I8, 0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_str(self):
+        assert str(ArrayType(ArrayType(F64, 4), 2)) == "[2 x [4 x f64]]"
+
+
+class TestStructTypes:
+    def test_layout_with_padding(self):
+        struct = StructType("point", [("tag", I8), ("x", F64), ("y", F64)])
+        assert struct.field_offset(0) == 0
+        assert struct.field_offset(1) == 8  # padded to f64 alignment
+        assert struct.field_offset(2) == 16
+        assert struct.size == 24
+        assert struct.align == 8
+
+    def test_field_index(self):
+        struct = StructType("p", [("x", I64), ("y", F64)])
+        assert struct.field_index("y") == 1
+        with pytest.raises(KeyError):
+            struct.field_index("z")
+
+    def test_empty_struct(self):
+        assert StructType("e", []).size == 0
+
+
+class TestFunctionTypes:
+    def test_str(self):
+        ftype = FunctionType(VOID, [I64, pointer_to(F64)])
+        assert str(ftype) == "void (i64, ptr<f64>)"
+
+    def test_variadic_str(self):
+        assert str(FunctionType(I32, [I64], variadic=True)) == \
+            "i32 (i64, ...)"
+
+    def test_no_size(self):
+        with pytest.raises(ValueError):
+            _ = FunctionType(VOID, []).size

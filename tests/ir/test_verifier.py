@@ -1,0 +1,134 @@
+"""Verifier tests: each broken invariant is reported."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (Alloca, Branch, Constant, FunctionType, IRBuilder,
+                      Load, Module, Return, Store, verify_module, VOID, F64,
+                      I32, I64, pointer_to)
+
+
+def fresh_module():
+    module = Module("verifier-test")
+    fn = module.add_function("main", FunctionType(I32, []))
+    return module, fn
+
+
+class TestBlockInvariants:
+    def test_ok_module_passes(self):
+        module, fn = fresh_module()
+        builder = IRBuilder(fn.new_block("entry"))
+        builder.ret(0)
+        verify_module(module)
+
+    def test_missing_terminator(self):
+        module, fn = fresh_module()
+        block = fn.new_block("entry")
+        block.instructions.append(Alloca(I64, Constant(I64, 1)))
+        block.instructions[-1].parent = block
+        with pytest.raises(IRError, match="terminator"):
+            verify_module(module)
+
+    def test_empty_block(self):
+        module, fn = fresh_module()
+        fn.new_block("entry")
+        with pytest.raises(IRError, match="empty"):
+            verify_module(module)
+
+    def test_function_without_blocks_is_declaration(self):
+        module = Module("m")
+        module.declare_function("ext", FunctionType(VOID, []))
+        verify_module(module)  # declarations are fine
+
+
+class TestValueInvariants:
+    def test_use_of_foreign_register(self):
+        module, fn = fresh_module()
+        other = module.add_function("other", FunctionType(VOID, []))
+        builder = IRBuilder(other.new_block("entry"))
+        foreign = builder.alloca(I64)
+        builder.ret()
+        main_builder = IRBuilder(fn.new_block("entry"))
+        load = Load(foreign)
+        load.name = "bad"
+        fn.entry_block.append(load)
+        main_builder.ret(0)
+        with pytest.raises(IRError, match="undefined register"):
+            verify_module(module)
+
+    def test_return_type_mismatch(self):
+        module, fn = fresh_module()
+        block = fn.new_block("entry")
+        ret = Return(Constant(I64, 0))
+        block.append(ret)
+        with pytest.raises(IRError, match="returns"):
+            verify_module(module)
+
+    def test_void_function_returning_value(self):
+        module = Module("m")
+        fn = module.add_function("f", FunctionType(VOID, []))
+        fn.new_block("entry").append(Return(Constant(I64, 0)))
+        with pytest.raises(IRError, match="void"):
+            verify_module(module)
+
+
+class TestCallInvariants:
+    def test_call_arity_checked(self):
+        module = Module("m")
+        callee = module.declare_function("sqrt", FunctionType(F64, [F64]))
+        fn = module.add_function("main", FunctionType(I32, []))
+        builder = IRBuilder(fn.new_block("entry"))
+        builder.ret(0)
+        from repro.ir import Call
+        bad = Call(callee, [])
+        fn.entry_block.insert(0, bad)
+        with pytest.raises(IRError, match="args"):
+            verify_module(module)
+
+    def test_call_argument_type_checked(self):
+        module = Module("m")
+        callee = module.declare_function("sqrt", FunctionType(F64, [F64]))
+        fn = module.add_function("main", FunctionType(I32, []))
+        builder = IRBuilder(fn.new_block("entry"))
+        from repro.ir import Call
+        bad = Call(callee, [Constant(I64, 1)])
+        bad.name = "x"
+        fn.entry_block.append(bad)
+        builder.position_at_end(fn.entry_block)
+        builder.ret(0)
+        with pytest.raises(IRError, match="argument type"):
+            verify_module(module)
+
+
+class TestKernelInvariants:
+    def test_kernel_must_return_void(self):
+        module = Module("m")
+        kernel = module.add_function("k", FunctionType(I64, [I64]),
+                                     is_kernel=True)
+        IRBuilder(kernel.new_block("entry")).ret(0)
+        with pytest.raises(IRError, match="void"):
+            verify_module(module)
+
+    def test_kernel_needs_thread_id_param(self):
+        module = Module("m")
+        kernel = module.add_function("k", FunctionType(VOID, [F64]),
+                                     is_kernel=True)
+        IRBuilder(kernel.new_block("entry")).ret()
+        with pytest.raises(IRError, match="thread id"):
+            verify_module(module)
+
+    def test_launch_argument_types_checked(self):
+        module = Module("m")
+        kernel = module.add_function(
+            "k", FunctionType(VOID, [I64, pointer_to(F64)]),
+            is_kernel=True)
+        IRBuilder(kernel.new_block("entry")).ret()
+        fn = module.add_function("main", FunctionType(I32, []))
+        builder = IRBuilder(fn.new_block("entry"))
+        from repro.ir import LaunchKernel
+        bad = LaunchKernel(kernel, Constant(I64, 4), [Constant(I64, 0)])
+        fn.entry_block.append(bad)
+        builder.position_at_end(fn.entry_block)
+        builder.ret(0)
+        with pytest.raises(IRError, match="argument type"):
+            verify_module(module)

@@ -1,0 +1,95 @@
+"""Tests for the segmented flat memory."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.ir import F32, F64, I8, I64, pointer_to
+from repro.memory import FlatMemory, make_cpu_memory
+from repro.memory.layout import (DEVICE_BASE, GLOBALS_BASE, HEAP_BASE,
+                                 STACK_BASE, is_device_address)
+
+
+@pytest.fixture
+def memory():
+    return make_cpu_memory()
+
+
+class TestSegments:
+    def test_standard_layout(self, memory):
+        assert memory.segment("globals").base == GLOBALS_BASE
+        assert memory.segment("heap").base == HEAP_BASE
+        assert memory.segment("stack").base == STACK_BASE
+
+    def test_overlapping_segments_rejected(self):
+        memory = FlatMemory()
+        memory.add_segment("a", 0x1000, 0x1000)
+        with pytest.raises(MemoryFault):
+            memory.add_segment("b", 0x1800, 0x1000)
+
+    def test_device_range_is_foreign(self, memory):
+        assert is_device_address(DEVICE_BASE)
+        with pytest.raises(MemoryFault, match="foreign or wild"):
+            memory.read(DEVICE_BASE, 8)
+
+    def test_wild_pointer_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.write(0x10, b"x")
+
+    def test_segment_overflow_faults(self, memory):
+        heap = memory.segment("heap")
+        with pytest.raises(MemoryFault, match="overruns"):
+            memory.read(heap.limit - 4, 8)
+
+
+class TestRawAccess:
+    def test_write_read_roundtrip(self, memory):
+        memory.write(HEAP_BASE + 16, b"hello world")
+        assert memory.read(HEAP_BASE + 16, 11) == b"hello world"
+
+    def test_unwritten_memory_reads_zero(self, memory):
+        assert memory.read(HEAP_BASE + 100, 4) == b"\x00" * 4
+
+    def test_fill(self, memory):
+        memory.fill(HEAP_BASE, 8, 0xAB)
+        assert memory.read(HEAP_BASE, 8) == b"\xab" * 8
+
+    def test_c_string(self, memory):
+        memory.write(GLOBALS_BASE, b"repro\x00junk")
+        assert memory.read_c_string(GLOBALS_BASE) == b"repro"
+
+    def test_unterminated_c_string(self, memory):
+        memory.write(GLOBALS_BASE, b"x" * 64)
+        with pytest.raises(MemoryFault, match="unterminated"):
+            memory.read_c_string(GLOBALS_BASE, max_len=32)
+
+    def test_negative_size_rejected(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.read(HEAP_BASE, -1)
+
+
+class TestTypedAccess:
+    @pytest.mark.parametrize("type_,value", [
+        (I8, -5), (I64, 1 << 40), (F32, 1.5), (F64, -2.25),
+    ])
+    def test_scalar_roundtrip(self, memory, type_, value):
+        memory.store_scalar(HEAP_BASE, type_, value)
+        assert memory.load_scalar(HEAP_BASE, type_) == value
+
+    def test_integer_store_wraps(self, memory):
+        memory.store_scalar(HEAP_BASE, I8, 300)
+        assert memory.load_scalar(HEAP_BASE, I8) == 44
+
+    def test_f32_store_rounds(self, memory):
+        memory.store_scalar(HEAP_BASE, F32, 0.1)
+        loaded = memory.load_scalar(HEAP_BASE, F32)
+        assert loaded != 0.1  # f32 precision
+        assert abs(loaded - 0.1) < 1e-7
+
+    def test_pointer_roundtrip(self, memory):
+        ptr_type = pointer_to(F64)
+        memory.store_scalar(HEAP_BASE, ptr_type, STACK_BASE + 8)
+        assert memory.load_scalar(HEAP_BASE, ptr_type) == STACK_BASE + 8
+
+    def test_little_endian_layout(self, memory):
+        memory.store_scalar(HEAP_BASE, I64, 1)
+        assert memory.read(HEAP_BASE, 8) == b"\x01" + b"\x00" * 7

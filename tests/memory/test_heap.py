@@ -1,0 +1,124 @@
+"""Heap allocator tests, including property-based free-list checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryFault
+from repro.memory import Heap, make_cpu_memory
+from repro.memory.layout import HEAP_BASE
+
+
+@pytest.fixture
+def heap():
+    return Heap(make_cpu_memory())
+
+
+class TestMalloc:
+    def test_returns_aligned_addresses(self, heap):
+        for size in (1, 7, 16, 100):
+            assert heap.malloc(size) % 16 == 0
+
+    def test_zero_size_returns_null(self, heap):
+        assert heap.malloc(0) == 0
+
+    def test_negative_size_faults(self, heap):
+        with pytest.raises(MemoryFault):
+            heap.malloc(-4)
+
+    def test_allocations_are_disjoint(self, heap):
+        blocks = [(heap.malloc(24), 24) for _ in range(10)]
+        spans = sorted((base, base + size) for base, size in blocks)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_poisons_fresh_memory(self, heap):
+        address = heap.malloc(8)
+        assert heap.memory.read(address, 8) == b"\xcd" * 8
+
+    def test_size_of(self, heap):
+        address = heap.malloc(100)
+        assert heap.size_of(address) == 100
+        with pytest.raises(MemoryFault):
+            heap.size_of(address + 1)
+
+
+class TestFree:
+    def test_free_reuses_memory(self, heap):
+        a = heap.malloc(64)
+        heap.free(a)
+        b = heap.malloc(64)
+        assert b == a  # first fit re-uses the hole
+
+    def test_double_free_faults(self, heap):
+        a = heap.malloc(8)
+        heap.free(a)
+        with pytest.raises(MemoryFault):
+            heap.free(a)
+
+    def test_free_of_interior_pointer_faults(self, heap):
+        a = heap.malloc(32)
+        with pytest.raises(MemoryFault):
+            heap.free(a + 8)
+
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+
+    def test_coalescing(self, heap):
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        c = heap.malloc(16)
+        heap.free(a)
+        heap.free(c)
+        heap.free(b)  # merges with both neighbours
+        big = heap.malloc(48)
+        assert big == a
+
+
+class TestCallocRealloc:
+    def test_calloc_zeroes(self, heap):
+        address = heap.calloc(4, 8)
+        assert heap.memory.read(address, 32) == b"\x00" * 32
+
+    def test_realloc_preserves_prefix(self, heap):
+        a = heap.malloc(16)
+        heap.memory.write(a, b"0123456789abcdef")
+        b = heap.realloc(a, 32)
+        assert heap.memory.read(b, 16) == b"0123456789abcdef"
+
+    def test_realloc_null_is_malloc(self, heap):
+        assert heap.realloc(0, 16) != 0
+
+    def test_realloc_to_zero_frees(self, heap):
+        a = heap.malloc(16)
+        assert heap.realloc(a, 0) == 0
+        assert a not in heap.allocations
+
+
+class TestHeapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(1, 512)),
+                    min_size=1, max_size=60))
+    def test_alloc_free_sequences_never_overlap(self, ops):
+        heap = Heap(make_cpu_memory())
+        live = []
+        for do_free, size in ops:
+            if do_free and live:
+                heap.free(live.pop())
+            else:
+                live.append(heap.malloc(size))
+        spans = sorted((a, a + heap.allocations[a]) for a in live)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+        assert heap.live_bytes == sum(heap.allocations[a] for a in live)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 256), min_size=1, max_size=40))
+    def test_free_everything_restores_capacity(self, sizes):
+        heap = Heap(make_cpu_memory())
+        blocks = [heap.malloc(size) for size in sizes]
+        for block in blocks:
+            heap.free(block)
+        assert heap.live_bytes == 0
+        # A single free span remains, starting at the heap base.
+        assert heap._free[0][0] == HEAP_BASE
+        assert len(heap._free) == 1

@@ -1,0 +1,103 @@
+"""Global layout and initializer serialization tests."""
+
+import struct
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.ir import (ArrayType, GlobalRef, Module, StructType, F64, I8,
+                      I64, pointer_to)
+from repro.memory import GlobalLayout, initializer_bytes, make_cpu_memory
+
+
+def resolve_nothing(name):
+    raise AssertionError(f"unexpected global reference {name}")
+
+
+class TestInitializerBytes:
+    def test_zero_fill(self):
+        assert initializer_bytes(ArrayType(F64, 2), None,
+                                 resolve_nothing) == b"\x00" * 16
+
+    def test_scalar_int(self):
+        assert initializer_bytes(I64, 7, resolve_nothing) == \
+            struct.pack("<q", 7)
+
+    def test_scalar_wraps(self):
+        assert initializer_bytes(I8, 300, resolve_nothing) == \
+            struct.pack("<b", 44)
+
+    def test_float(self):
+        assert initializer_bytes(F64, 2.5, resolve_nothing) == \
+            struct.pack("<d", 2.5)
+
+    def test_string_nul_terminated_and_padded(self):
+        data = initializer_bytes(ArrayType(I8, 8), "hi", resolve_nothing)
+        assert data == b"hi\x00" + b"\x00" * 5
+
+    def test_string_overflow_rejected(self):
+        with pytest.raises(MemoryFault):
+            initializer_bytes(ArrayType(I8, 2), "hi", resolve_nothing)
+
+    def test_array_of_scalars_partial_init(self):
+        data = initializer_bytes(ArrayType(I64, 4), [1, 2], resolve_nothing)
+        assert data == struct.pack("<4q", 1, 2, 0, 0)
+
+    def test_nested_arrays(self):
+        data = initializer_bytes(ArrayType(ArrayType(I64, 2), 2),
+                                 [[1, 2], [3, 4]], resolve_nothing)
+        assert data == struct.pack("<4q", 1, 2, 3, 4)
+
+    def test_global_ref_resolution(self):
+        data = initializer_bytes(ArrayType(pointer_to(I8), 2),
+                                 [GlobalRef("a"), GlobalRef("a", 3)],
+                                 lambda name: 0x1000)
+        assert data == struct.pack("<2Q", 0x1000, 0x1003)
+
+    def test_struct_with_padding(self):
+        struct_type = StructType("s", [("tag", I8), ("x", F64)])
+        data = initializer_bytes(struct_type, [1, 2.0], resolve_nothing)
+        assert len(data) == struct_type.size
+        assert data[0] == 1
+        assert struct.unpack_from("<d", data, 8)[0] == 2.0
+
+    def test_too_many_array_items_rejected(self):
+        with pytest.raises(MemoryFault):
+            initializer_bytes(ArrayType(I64, 1), [1, 2], resolve_nothing)
+
+
+class TestGlobalLayout:
+    def test_addresses_are_disjoint_and_aligned(self):
+        module = Module("m")
+        module.add_global("a", I8)
+        module.add_global("b", ArrayType(F64, 3))
+        module.add_global("c", I64)
+        layout = GlobalLayout(module)
+        items = layout.items()
+        for name, address, _ in items:
+            assert address % 8 == 0
+        spans = sorted((addr, addr + size) for _, addr, size in items)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_install_writes_images(self):
+        module = Module("m")
+        module.add_global("nums", ArrayType(I64, 3), [10, 20, 30])
+        module.add_global("text", ArrayType(I8, 4), "ab")
+        layout = GlobalLayout(module)
+        memory = make_cpu_memory()
+        layout.install(memory)
+        base = layout.address_of("nums")
+        assert memory.load_scalar(base + 8, I64) == 20
+        assert memory.read_c_string(layout.address_of("text")) == b"ab"
+
+    def test_cross_global_pointer_initializer(self):
+        module = Module("m")
+        module.add_global("target", ArrayType(I8, 4), "hey")
+        module.add_global("ptr", pointer_to(I8), GlobalRef("target", 1))
+        layout = GlobalLayout(module)
+        memory = make_cpu_memory()
+        layout.install(memory)
+        stored = memory.load_scalar(layout.address_of("ptr"),
+                                    pointer_to(I8))
+        assert stored == layout.address_of("target") + 1

@@ -1,0 +1,115 @@
+"""AVL allocation-map tests, including hypothesis model checking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import AvlTreeMap
+
+
+class TestBasicOperations:
+    def test_insert_find(self):
+        tree = AvlTreeMap()
+        tree.insert(10, "a")
+        tree.insert(5, "b")
+        assert tree.find(10) == "a"
+        assert tree.find(5) == "b"
+        assert tree.find(7) is None
+        assert len(tree) == 2
+
+    def test_insert_replaces(self):
+        tree = AvlTreeMap()
+        tree.insert(1, "old")
+        tree.insert(1, "new")
+        assert tree.find(1) == "new"
+        assert len(tree) == 1
+
+    def test_remove(self):
+        tree = AvlTreeMap()
+        for key in (5, 3, 8, 1, 4):
+            tree.insert(key, key)
+        assert tree.remove(3)
+        assert not tree.remove(3)
+        assert tree.find(3) is None
+        assert len(tree) == 4
+        tree.check_invariants()
+
+    def test_items_sorted(self):
+        tree = AvlTreeMap()
+        for key in (9, 1, 5, 3, 7):
+            tree.insert(key, key * 10)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_min_max(self):
+        tree = AvlTreeMap()
+        assert tree.min_key() is None
+        for key in (4, 2, 9):
+            tree.insert(key, None)
+        assert tree.min_key() == 2
+        assert tree.max_key() == 9
+
+
+class TestGreatestLTE:
+    """The lookup that finds a pointer's allocation unit (paper 3.1)."""
+
+    def test_exact_hit(self):
+        tree = AvlTreeMap()
+        tree.insert(100, "unit")
+        assert tree.find_le(100) == (100, "unit")
+
+    def test_interior_pointer(self):
+        tree = AvlTreeMap()
+        tree.insert(100, "a")
+        tree.insert(200, "b")
+        assert tree.find_le(150) == (100, "a")
+        assert tree.find_le(250) == (200, "b")
+
+    def test_below_everything(self):
+        tree = AvlTreeMap()
+        tree.insert(100, "a")
+        assert tree.find_le(99) is None
+
+    def test_empty(self):
+        assert AvlTreeMap().find_le(5) is None
+
+
+class TestBalance:
+    def test_sequential_insert_stays_balanced(self):
+        tree = AvlTreeMap()
+        for key in range(1000):
+            tree.insert(key, key)
+        tree.check_invariants()
+        # AVL height bound: 1.44 * log2(n + 2).
+        assert tree._root.height <= 15
+
+    def test_reverse_insert_stays_balanced(self):
+        tree = AvlTreeMap()
+        for key in reversed(range(1000)):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+
+class TestModelBased:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "remove", "query"]),
+                              st.integers(0, 64)),
+                    max_size=120))
+    def test_against_dict_model(self, operations):
+        tree = AvlTreeMap()
+        model = {}
+        for op, key in operations:
+            if op == "insert":
+                tree.insert(key, key * 2)
+                model[key] = key * 2
+            elif op == "remove":
+                assert tree.remove(key) == (key in model)
+                model.pop(key, None)
+            else:
+                expected = None
+                le_keys = [k for k in model if k <= key]
+                if le_keys:
+                    best = max(le_keys)
+                    expected = (best, model[best])
+                assert tree.find_le(key) == expected
+            tree.check_invariants()
+            assert len(tree) == len(model)
+        assert dict(tree.items()) == model

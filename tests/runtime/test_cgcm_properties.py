@@ -1,0 +1,161 @@
+"""Property-based tests of the run-time library against a model.
+
+Hypothesis drives random sequences of map/unmap/release/launch events
+on a handful of allocation units and checks the run-time against a
+simple reference model of what CGCM guarantees:
+
+* reference counts never go negative and device buffers live exactly
+  while the count is positive,
+* after an ``unmap`` the CPU copy equals the device copy,
+* at most one DtoH copy happens per unit per epoch,
+* interior pointers always translate to base-relative offsets.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CgcmRuntimeError
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.ir import F64
+from repro.runtime import CgcmRuntime
+
+UNIT_COUNT = 3
+UNIT_ELEMS = 4
+
+SOURCE = "\n".join(
+    f"double unit{i}[{UNIT_ELEMS}];" for i in range(UNIT_COUNT)
+) + "\nint main(void) { return 0; }"
+
+
+def fresh():
+    machine = Machine(compile_minic(SOURCE))
+    runtime = CgcmRuntime(machine)
+    runtime.declare_all_globals()
+    bases = [machine.global_address(f"unit{i}") for i in range(UNIT_COUNT)]
+    return machine, runtime, bases
+
+
+class _Model:
+    """Reference semantics for one allocation unit."""
+
+    def __init__(self):
+        self.refs = 0
+        self.copies_in = 0
+        self.copies_out = 0
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["map", "unmap", "release", "launch",
+                         "cpu_write", "gpu_write"]),
+        st.integers(0, UNIT_COUNT - 1),
+        st.integers(0, UNIT_ELEMS - 1),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_runtime_against_model(ops):
+    machine, runtime, bases = fresh()
+    models = [_Model() for _ in range(UNIT_COUNT)]
+    value_counter = 1.0
+
+    for op, unit, elem in ops:
+        base = bases[unit]
+        model = models[unit]
+        address = base + elem * 8
+        if op == "map":
+            device = runtime.map_ptr(address)
+            model.refs += 1
+            # Interior pointers keep their offset (Algorithm 1).
+            info = runtime.info_for(base)
+            assert device == info.device_ptr + elem * 8
+        elif op == "unmap":
+            if model.refs > 0:
+                runtime.unmap_ptr(address)
+                info = runtime.info_for(base)
+                device_bytes = machine.device.memory.read(
+                    info.device_ptr, info.size)
+                host_bytes = machine.cpu_memory.read(base, info.size)
+                assert device_bytes == host_bytes
+        elif op == "release":
+            if model.refs > 0:
+                runtime.release_ptr(address)
+                model.refs -= 1
+            else:
+                with pytest.raises(CgcmRuntimeError):
+                    runtime.release_ptr(address)
+        elif op == "launch":
+            runtime.global_epoch += 1
+        elif op == "cpu_write":
+            if model.refs == 0:  # CPU only touches unmapped units
+                value_counter += 1.0
+                machine.cpu_memory.store_scalar(address, F64,
+                                                value_counter)
+        elif op == "gpu_write":
+            if model.refs > 0:
+                info = runtime.info_for(base)
+                value_counter += 1.0
+                machine.device.memory.store_scalar(
+                    info.device_ptr + elem * 8, F64, value_counter)
+                # Only GPU functions modify device memory, and every
+                # launch advances the epoch (the run-time's contract).
+                runtime.global_epoch += 1
+
+        # Global invariants after every step.
+        for check_unit, check_model in zip(bases, models):
+            info = runtime.info_for(check_unit)
+            assert info.ref_count == check_model.refs
+            if check_model.refs > 0:
+                assert info.device_ptr is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 8))
+def test_unmap_copies_once_per_epoch(launches, unmaps_per_epoch):
+    machine, runtime, bases = fresh()
+    runtime.map_ptr(bases[0])
+    for _ in range(launches):
+        runtime.global_epoch += 1
+        before = machine.clock.counters.get("dtoh_copies", 0)
+        for _ in range(unmaps_per_epoch):
+            runtime.unmap_ptr(bases[0])
+        after = machine.clock.counters.get("dtoh_copies", 0)
+        assert after - before == 1  # exactly one copy per epoch
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, UNIT_COUNT - 1), min_size=1, max_size=20))
+def test_map_release_balance_frees_everything(units):
+    machine, runtime, bases = fresh()
+    for unit in units:
+        runtime.map_ptr(bases[unit])
+    for unit in units:
+        runtime.release_ptr(bases[unit])
+    for base in bases:
+        assert runtime.info_for(base).ref_count == 0
+    # Globals keep their named regions; nothing on the device heap.
+    assert machine.device.live_allocations == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_unmap_reflects_latest_gpu_state(data):
+    machine, runtime, bases = fresh()
+    base = bases[0]
+    device = runtime.map_ptr(base)
+    rounds = data.draw(st.integers(1, 5))
+    expected = None
+    for round_no in range(rounds):
+        value = float(data.draw(st.integers(-1000, 1000)))
+        machine.device.memory.store_scalar(device, F64, value)
+        runtime.global_epoch += 1
+        runtime.unmap_ptr(base)
+        expected = value
+        assert machine.cpu_memory.load_scalar(base, F64) == expected
+    runtime.release_ptr(base)

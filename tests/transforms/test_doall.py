@@ -1,0 +1,265 @@
+"""DOALL parallelizer tests: legality, outlining, correctness."""
+
+import pytest
+
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.ir import verify_module, LaunchKernel
+from repro.runtime import CgcmRuntime
+from repro.transforms import (DoallParallelizer, insert_communication,
+                              insert_global_declarations)
+
+
+def parallelize(source):
+    module = compile_minic(source)
+    kernels = DoallParallelizer(module).run()
+    return module, kernels
+
+
+def run_both(source):
+    """Sequential result vs parallelized+managed result."""
+    seq = Machine(compile_minic(source))
+    seq_code = seq.run()
+
+    module, kernels = parallelize(source)
+    insert_global_declarations(module)
+    insert_communication(module)
+    verify_module(module)
+    machine = Machine(module)
+    CgcmRuntime(machine)
+    code = machine.run()
+    assert (seq_code, seq.stdout) == (code, machine.stdout)
+    return kernels, machine
+
+
+class TestLegality:
+    def test_independent_writes_parallelized(self):
+        _, kernels = parallelize("""
+        double A[16];
+        int main(void) {
+            for (int i = 0; i < 16; i++) A[i] = i * 2.0;
+            return 0;
+        }""")
+        assert len(kernels) == 1
+
+    def test_reduction_rejected(self):
+        _, kernels = parallelize("""
+        double A[16];
+        int main(void) {
+            double total = 0.0;
+            for (int i = 0; i < 16; i++) total += A[i];
+            return (int) total;
+        }""")
+        assert kernels == []
+
+    def test_recurrence_rejected(self):
+        _, kernels = parallelize("""
+        double A[16];
+        int main(void) {
+            for (int i = 1; i < 16; i++) A[i] = A[i - 1] + 1.0;
+            return 0;
+        }""")
+        assert kernels == []
+
+    def test_outer_loop_chosen_over_inner(self):
+        module, kernels = parallelize("""
+        double M[8][8];
+        int main(void) {
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                    M[i][j] = i + j;
+            return 0;
+        }""")
+        assert len(kernels) == 1
+        # The launch sits directly in main; the kernel runs the j loop.
+        main = module.get_function("main")
+        launches = [i for i in main.instructions()
+                    if isinstance(i, LaunchKernel)]
+        assert len(launches) == 1
+        from repro.analysis import find_loops
+        assert len(find_loops(kernels[0])) == 1  # inner loop in kernel
+        assert find_loops(main) == []
+
+    def test_inner_doall_when_outer_carries_dependence(self):
+        module, kernels = parallelize("""
+        double y[8];
+        double A[8][8];
+        int main(void) {
+            for (int i = 0; i < 8; i++)        /* accumulates into y */
+                for (int j = 0; j < 8; j++)
+                    y[j] = y[j] + A[i][j];
+            return 0;
+        }""")
+        assert len(kernels) == 1
+        from repro.analysis import find_loops
+        main = module.get_function("main")
+        assert len(find_loops(main)) == 1  # the i loop survives on CPU
+
+    def test_stencil_outer_rejected_inner_allowed(self):
+        source = """
+        double M[8][8];
+        int main(void) {
+            for (int i = 1; i < 7; i++)
+                for (int j = 1; j < 7; j++)
+                    M[i][j] = (M[i-1][j] + M[i+1][j]) / 2.0;
+            return 0;
+        }"""
+        module, kernels = parallelize(source)
+        # The i loop carries a dependence (rows feed each other), but
+        # for a fixed row the j loop touches disjoint columns: the
+        # parallelizer must keep i sequential and outline only j.
+        assert len(kernels) == 1
+        from repro.analysis import find_loops
+        main = module.get_function("main")
+        assert len(find_loops(main)) == 1  # the i loop stays on the CPU
+        run_both(source)
+
+    def test_call_to_host_external_rejected(self):
+        _, kernels = parallelize("""
+        double A[4];
+        int main(void) {
+            for (int i = 0; i < 4; i++) {
+                A[i] = 1.0;
+                print_i64(i);
+            }
+            return 0;
+        }""")
+        assert kernels == []
+
+    def test_math_externals_allowed(self):
+        _, kernels = parallelize("""
+        double A[4];
+        int main(void) {
+            for (int i = 0; i < 4; i++) A[i] = sqrt(i + 1.0);
+            return 0;
+        }""")
+        assert len(kernels) == 1
+
+    def test_loop_with_break_rejected(self):
+        _, kernels = parallelize("""
+        double A[8];
+        int main(void) {
+            for (int i = 0; i < 8; i++) {
+                if (i == 5) break;
+                A[i] = i;
+            }
+            return 0;
+        }""")
+        assert kernels == []
+
+
+class TestCorrectness:
+    def test_triangular_start(self):
+        run_both("""
+        double M[8][8];
+        int main(void) {
+            for (int k = 0; k < 8; k++)
+                for (int j = k; j < 8; j++)
+                    M[k][j] = k * 10.0 + j;
+            double s = 0.0;
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++) s += M[i][j];
+            print_f64(s);
+            return 0;
+        }""")
+
+    def test_strided_loop(self):
+        kernels, machine = run_both("""
+        double A[32];
+        int main(void) {
+            for (int i = 0; i < 32; i += 4) A[i] = i;
+            double s = 0.0;
+            for (int i = 0; i < 32; i++) s += A[i];
+            print_f64(s);
+            return 0;
+        }""")
+        assert kernels
+
+    def test_variable_bounds_from_param(self):
+        run_both("""
+        double A[16];
+        void fill(long n, double v) {
+            for (int i = 0; i < n; i++) A[i] = v;
+        }
+        int main(void) {
+            fill(10, 2.5);
+            double s = 0.0;
+            for (int i = 0; i < 16; i++) s += A[i];
+            print_f64(s);
+            return 0;
+        }""")
+
+    def test_privatized_scalars(self):
+        run_both("""
+        double out[8];
+        double weights[8];
+        int main(void) {
+            for (int i = 0; i < 8; i++) weights[i] = i * 0.5;
+            for (int i = 0; i < 8; i++) {
+                double acc = 0.0;
+                for (int k = 0; k < 8; k++)
+                    acc += weights[k] * (i + 1);
+                out[i] = acc;
+            }
+            double s = 0.0;
+            for (int i = 0; i < 8; i++) s += out[i];
+            print_f64(s);
+            return 0;
+        }""")
+
+    def test_read_only_scalar_passed_by_value(self):
+        run_both("""
+        double A[8];
+        int main(void) {
+            double scale_factor = 1.5;
+            long offset = 3;
+            for (int i = 0; i < 8; i++)
+                A[i] = i * scale_factor + offset;
+            double s = 0.0;
+            for (int i = 0; i < 8; i++) s += A[i];
+            print_f64(s);
+            return 0;
+        }""")
+
+    def test_induction_variable_final_value(self):
+        run_both("""
+        double A[8];
+        int main(void) {
+            int i;
+            for (i = 0; i < 8; i++) A[i] = 1.0;
+            print_i64(i);   /* must be 8 after the loop */
+            return 0;
+        }""")
+
+    def test_empty_trip_count(self):
+        run_both("""
+        double A[4];
+        int main(void) {
+            long n = 0;
+            for (int i = 0; i < n; i++) A[i] = 99.0;
+            print_f64(A[0]);
+            return 0;
+        }""")
+
+    def test_heap_array(self):
+        run_both("""
+        int main(void) {
+            double *xs = (double *) malloc(16 * sizeof(double));
+            for (int i = 0; i < 16; i++) xs[i] = i * 3.0;
+            double s = 0.0;
+            for (int i = 0; i < 16; i++) s += xs[i];
+            free(xs);
+            print_f64(s);
+            return 0;
+        }""")
+
+    def test_escaping_stack_array(self):
+        run_both("""
+        int main(void) {
+            double buffer[12];
+            for (int i = 0; i < 12; i++) buffer[i] = i + 0.25;
+            double s = 0.0;
+            for (int i = 0; i < 12; i++) s += buffer[i];
+            print_f64(s);
+            return 0;
+        }""")

@@ -1,0 +1,222 @@
+"""Map promotion, alloca promotion, and glue kernel tests (paper §5)."""
+
+import pytest
+
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.frontend import compile_minic
+from repro.ir import Call, verify_module
+from repro.transforms import (AllocaPromotion, DoallParallelizer,
+                              GlueKernels, MapPromotion,
+                              insert_communication,
+                              insert_global_declarations)
+
+
+def build(source, optimize=True, **toggles):
+    config = CgcmConfig(
+        opt_level=OptLevel.OPTIMIZED if optimize else OptLevel.UNOPTIMIZED,
+        **toggles)
+    compiler = CgcmCompiler(config)
+    report = compiler.compile_source(source)
+    result = compiler.execute(report)
+    return report, result
+
+
+TIME_LOOP = """
+double grid[16];
+int main(void) {
+    for (int i = 0; i < 16; i++) grid[i] = i;
+    for (int t = 0; t < 6; t++) {
+        for (int i = 0; i < 16; i++) grid[i] = grid[i] * 0.9 + 1.0;
+    }
+    double s = 0.0;
+    for (int i = 0; i < 16; i++) s += grid[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+
+class TestMapPromotion:
+    def test_copies_collapse_to_one_round_trip(self):
+        _, unopt = build(TIME_LOOP, optimize=False)
+        report, opt = build(TIME_LOOP)
+        assert unopt.observable() == opt.observable()
+        # Unoptimized: one HtoD per launch (init + 6 iterations).
+        assert unopt.counters["htod_copies"] == 7
+        # Optimized: the array crosses once in each direction per region.
+        assert opt.counters["htod_copies"] <= 2
+        assert opt.counters["dtoh_copies"] <= 2
+        assert report.promoted_loops >= 1
+
+    def test_cpu_read_in_loop_blocks_promotion(self):
+        source = """
+        double grid[16];
+        int main(void) {
+            for (int i = 0; i < 16; i++) grid[i] = i;
+            double watch = 0.0;
+            for (int t = 0; t < 6; t++) {
+                for (int i = 0; i < 16; i++) grid[i] = grid[i] + 1.0;
+                watch += grid[0] * t;   /* CPU read forces cyclic comm */
+                srand((long) watch);    /* keep it un-glueable */
+            }
+            print_f64(watch);
+            return 0;
+        }
+        """
+        _, unopt = build(source, optimize=False)
+        _, opt = build(source)
+        assert unopt.observable() == opt.observable()
+        # DtoH must still happen every iteration.
+        assert opt.counters["dtoh_copies"] >= 6
+
+    def test_promotion_climbs_call_graph(self):
+        source = """
+        double field[16];
+        void step(void) {
+            for (int i = 0; i < 16; i++) field[i] = field[i] + 1.0;
+        }
+        int main(void) {
+            for (int i = 0; i < 16; i++) field[i] = 0.0;
+            for (int t = 0; t < 5; t++) step();
+            print_f64(field[3]);
+            return 0;
+        }
+        """
+        report, opt = build(source)
+        _, unopt = build(source, optimize=False)
+        assert unopt.observable() == opt.observable()
+        assert report.promoted_functions >= 1
+        assert opt.counters["htod_copies"] < unopt.counters["htod_copies"]
+
+    def test_pass_is_idempotent(self):
+        module = compile_minic(TIME_LOOP)
+        DoallParallelizer(module).run()
+        insert_global_declarations(module)
+        insert_communication(module)
+        promo = MapPromotion(module)
+        promo.run()
+        first = promo.promoted_loops
+        again = MapPromotion(module)
+        again.run()
+        assert again.promoted_loops == 0
+        verify_module(module)
+
+
+class TestAllocaPromotion:
+    SOURCE = """
+    void smooth(long n) {
+        double tmp[16];
+        for (int i = 0; i < 16; i++) tmp[i] = i * n;
+        double s = 0.0;
+        for (int i = 0; i < 16; i++) s += tmp[i];
+        print_f64(s);
+    }
+    int main(void) {
+        for (int t = 0; t < 3; t++) smooth(t);
+        return 0;
+    }
+    """
+
+    def test_preallocates_in_caller(self):
+        module = compile_minic(self.SOURCE)
+        DoallParallelizer(module).run()
+        insert_global_declarations(module)
+        insert_communication(module)
+        promo = AllocaPromotion(module)
+        promo.run()
+        verify_module(module)
+        assert promo.promoted >= 1
+        main = module.get_function("main")
+        smooth = module.get_function("smooth")
+        main_declares = [i for i in main.instructions()
+                         if isinstance(i, Call)
+                         and i.callee.name == "declareAlloca"]
+        smooth_declares = [i for i in smooth.instructions()
+                           if isinstance(i, Call)
+                           and i.callee.name == "declareAlloca"]
+        assert main_declares and not smooth_declares
+        assert len(smooth.args) >= 2  # gained the prealloc parameter
+
+    def test_behaviour_preserved(self):
+        _, unopt = build(self.SOURCE, optimize=False)
+        _, opt = build(self.SOURCE)
+        assert unopt.observable() == opt.observable()
+
+    def test_recursive_functions_skipped(self):
+        source = """
+        double out[8];
+        void spin(long depth) {
+            double tmp[8];
+            for (int i = 0; i < 8; i++) tmp[i] = depth;
+            for (int i = 0; i < 8; i++) out[i] = out[i] + tmp[i];
+            if (depth > 0) spin(depth - 1);
+        }
+        int main(void) { spin(2); print_f64(out[0]); return 0; }
+        """
+        module = compile_minic(source)
+        DoallParallelizer(module).run()
+        insert_global_declarations(module)
+        insert_communication(module)
+        promo = AllocaPromotion(module)
+        promo.run()
+        spin = module.get_function("spin")
+        own_declares = [i for i in spin.instructions()
+                        if isinstance(i, Call)
+                        and i.callee.name == "declareAlloca"]
+        # Recursion: the declareAlloca must stay inside spin.
+        assert own_declares
+
+
+class TestGlueKernels:
+    SOURCE = """
+    double field[16];
+    double alpha;
+    int main(void) {
+        alpha = 1.0;
+        for (int i = 0; i < 16; i++) field[i] = i;
+        for (int t = 0; t < 5; t++) {
+            for (int i = 0; i < 16; i++)
+                field[i] = field[i] * alpha;
+            alpha = alpha * 0.5 + 0.1;   /* CPU glue between launches */
+        }
+        print_f64(field[5] + alpha);
+        return 0;
+    }
+    """
+
+    def test_scalar_update_outlined(self):
+        report, opt = build(self.SOURCE)
+        assert report.glue_kernels
+        _, unopt = build(self.SOURCE, optimize=False)
+        assert unopt.observable() == opt.observable()
+
+    def test_glue_enables_promotion(self):
+        _, with_glue = build(self.SOURCE)
+        _, without_glue = build(self.SOURCE, enable_glue_kernels=False)
+        assert with_glue.observable() == without_glue.observable()
+        assert with_glue.counters["htod_copies"] < \
+            without_glue.counters["htod_copies"]
+
+    def test_reduction_loop_outlined(self):
+        source = """
+        double data[16];
+        double total;
+        int main(void) {
+            for (int i = 0; i < 16; i++) data[i] = i * 0.5;
+            for (int t = 0; t < 4; t++) {
+                double acc = 0.0;
+                for (int i = 0; i < 16; i++) acc += data[i];
+                total = acc;
+                for (int i = 0; i < 16; i++)
+                    data[i] = data[i] + total * 0.01;
+            }
+            print_f64(total);
+            return 0;
+        }
+        """
+        report, opt = build(source)
+        _, unopt = build(source, optimize=False)
+        assert unopt.observable() == opt.observable()
+        assert report.glue_kernels
+        # With the reduction on the GPU, data stays resident.
+        assert opt.counters["htod_copies"] < unopt.counters["htod_copies"]

@@ -1,0 +1,99 @@
+"""Workload registry and per-program correctness tests.
+
+The full four-configuration sweep lives in the benchmark harness; the
+tests here compile every program, check registry metadata, and run a
+representative subset through all configurations for bit-identical
+output.
+"""
+
+import pytest
+
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.frontend import compile_minic
+from repro.ir import verify_module
+from repro.workloads import (ALL_WORKLOADS, POLYBENCH, RODINIA,
+                             get_workload, workload_names)
+
+
+class TestRegistry:
+    def test_twenty_four_programs(self):
+        assert len(ALL_WORKLOADS) == 24
+        assert len(POLYBENCH) == 16
+        assert len(RODINIA) == 6
+
+    def test_names_unique(self):
+        names = workload_names()
+        assert len(set(names)) == 24
+
+    def test_paper_names_present(self):
+        expected = {"adi", "atax", "bicg", "correlation", "covariance",
+                    "doitgen", "gemm", "gemver", "gesummv", "gramschmidt",
+                    "jacobi-2d-imper", "seidel", "lu", "ludcmp", "2mm",
+                    "3mm", "cfd", "hotspot", "kmeans", "lud", "nw", "srad",
+                    "fm", "blackscholes"}
+        assert set(workload_names()) == expected
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nonexistent")
+
+    def test_paper_rows_sane(self):
+        for workload in ALL_WORKLOADS:
+            paper = workload.paper
+            assert paper.kernels >= 1
+            assert paper.limiting_factor in ("GPU", "Comm.", "Other")
+            assert paper.applicable_cgcm == paper.kernels
+            assert paper.applicable_inspector_executor <= paper.kernels
+            assert paper.applicable_named_regions <= \
+                paper.applicable_inspector_executor
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_program_compiles_and_verifies(self, name):
+        workload = get_workload(name)
+        module = compile_minic(workload.source, name)
+        verify_module(module)
+        assert "main" in module.functions
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_program_parallelizes(self, name):
+        """The DOALL parallelizer finds at least one kernel everywhere
+        (paper: opportunities in all 24 programs)."""
+        workload = get_workload(name)
+        compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.UNOPTIMIZED))
+        report = compiler.compile_source(workload.source, name)
+        assert report.doall_kernels, f"{name}: no DOALL kernels found"
+
+
+class TestCorrectnessSubset:
+    """Bit-identical output across configurations (fast subset; the
+    benchmark harness covers all 24)."""
+
+    SUBSET = ("gemm", "jacobi-2d-imper", "gramschmidt", "lu", "srad",
+              "nw", "kmeans", "blackscholes", "atax", "seidel")
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_all_levels_agree(self, name):
+        workload = get_workload(name)
+        outputs = {}
+        for level in (OptLevel.SEQUENTIAL, OptLevel.UNOPTIMIZED,
+                      OptLevel.OPTIMIZED):
+            compiler = CgcmCompiler(CgcmConfig(opt_level=level))
+            report = compiler.compile_source(workload.source, name)
+            result = compiler.execute(report)
+            outputs[level] = (result.exit_code, result.stdout)
+        assert outputs[OptLevel.SEQUENTIAL] \
+            == outputs[OptLevel.UNOPTIMIZED] \
+            == outputs[OptLevel.OPTIMIZED]
+
+    def test_checksums_are_nontrivial(self):
+        for name in self.SUBSET:
+            workload = get_workload(name)
+            compiler = CgcmCompiler(CgcmConfig(
+                opt_level=OptLevel.SEQUENTIAL))
+            result = compiler.execute(
+                compiler.compile_source(workload.source, name))
+            assert result.stdout, name
+            assert result.stdout[0] not in ("0", "nan", "inf"), \
+                (name, result.stdout)
