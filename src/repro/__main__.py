@@ -5,17 +5,21 @@ Usage::
     python -m repro run program.c [--level optimized] [--trace] [--stats]
     python -m repro emit-ir program.c [--level unoptimized]
     python -m repro bench <workload> [...]
+    python -m repro sanitize <workload-or-source> [...] [--level opt]
     python -m repro list
 
 ``run`` compiles a MiniC source file at the chosen optimization level
 and executes it on the simulated platform; ``emit-ir`` prints the
 transformed IR; ``bench`` runs named paper workloads through all four
-configurations; ``list`` shows the 24 available workloads.
+configurations; ``sanitize`` runs the CPU-vs-GPU differential oracle
+with the communication sanitizer armed; ``list`` shows the 24
+available workloads.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -23,7 +27,7 @@ from .core import CgcmCompiler, CgcmConfig, OptLevel
 from .evaluation import run_benchmark
 from .interp.trace import render_schedule
 from .ir import module_to_str
-from .workloads import ALL_WORKLOADS, get_workload
+from .workloads import ALL_WORKLOADS, get_workload, workload_names
 
 _LEVELS = {level.value: level for level in OptLevel}
 
@@ -61,6 +65,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="run paper workloads through all configurations")
     bench_cmd.add_argument("workloads", nargs="+",
                            help="workload names (see 'list')")
+
+    sanitize_cmd = commands.add_parser(
+        "sanitize",
+        help="run the CPU-vs-GPU differential oracle under the "
+             "communication sanitizer")
+    sanitize_cmd.add_argument(
+        "targets", nargs="+",
+        help="workload names, MiniC source paths, or 'all'")
+    sanitize_cmd.add_argument(
+        "--level", choices=("unoptimized", "optimized"),
+        default="optimized",
+        help="pipeline level for the GPU-managed subject run")
+    sanitize_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="print sanitizer statistics for clean runs too")
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
@@ -124,6 +143,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .sanitizer import run_differential, run_differential_workload
+
+    level = _LEVELS[args.level]
+    targets: List[str] = []
+    for target in args.targets:
+        if target == "all":
+            targets.extend(workload_names())
+        else:
+            targets.append(target)
+
+    failures = 0
+    for target in targets:
+        if os.path.exists(target):
+            with open(target) as handle:
+                source = handle.read()
+            report = run_differential(source, target, level)
+        else:
+            report = run_differential_workload(get_workload(target), level)
+        print(report.summary())
+        if args.verbose and report.ok:
+            stats = report.sanitizer.stats
+            print("  " + ", ".join(f"{k}={v}"
+                                   for k, v in sorted(stats.items())),
+                  file=sys.stderr)
+        if not report.ok:
+            failures += 1
+    total = len(targets)
+    print(f"sanitize: {total - failures}/{total} clean", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for workload in ALL_WORKLOADS:
         print(f"{workload.name:16s} {workload.suite:10s} "
@@ -134,7 +185,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
-                "bench": _cmd_bench, "list": _cmd_list}
+                "bench": _cmd_bench, "sanitize": _cmd_sanitize,
+                "list": _cmd_list}
     return handlers[args.command](args)
 
 

@@ -56,6 +56,8 @@ class ExecutionResult:
     counters: Dict[str, int]
     events: List[TraceEvent] = field(default_factory=list)
     globals_image: Dict[str, bytes] = field(default_factory=dict)
+    #: Present when the run was executed with ``config.sanitize``.
+    sanitizer_report: Optional["object"] = None
 
     @property
     def total_seconds(self) -> float:
@@ -115,18 +117,25 @@ class CgcmCompiler:
 
     def execute(self, report: CompileReport,
                 capture_globals: bool = True) -> ExecutionResult:
-        """Run a compiled module on a fresh simulated machine."""
+        """Run a compiled module on a fresh simulated machine.
+
+        With ``config.sanitize`` set, the communication sanitizer is
+        armed for the run and its report lands on
+        :attr:`ExecutionResult.sanitizer_report`.
+        """
         machine = Machine(report.module, self.config.cost_model,
                           self.config.record_events)
-        if self.config.parallelize:
-            CgcmRuntime(machine)
+        runtime = CgcmRuntime(machine) if self.config.parallelize else None
+        sanitizer = None
+        if self.config.sanitize:
+            # Imported lazily: the sanitizer package depends on this
+            # module for its differential oracle.
+            from ..sanitizer.sanitizer import CommSanitizer
+            sanitizer = CommSanitizer(machine, runtime)
         exit_code = machine.run()
         globals_image: Dict[str, bytes] = {}
         if capture_globals:
-            for name, gv in report.module.globals.items():
-                if name.startswith((".str", ".gname")):
-                    continue
-                globals_image[name] = machine.read_global(name)
+            globals_image = capture_globals_image(machine, report.module)
         return ExecutionResult(
             exit_code=exit_code,
             stdout=tuple(machine.stdout),
@@ -136,7 +145,23 @@ class CgcmCompiler:
             counters=dict(machine.clock.counters),
             events=list(machine.clock.events),
             globals_image=globals_image,
+            sanitizer_report=sanitizer.finish() if sanitizer else None,
         )
+
+
+def capture_globals_image(machine: Machine,
+                          module: Module) -> Dict[str, bytes]:
+    """Final host bytes of every program-visible global.
+
+    Compiler-synthesized string and registration-name globals are
+    excluded: they are not observable program state.
+    """
+    image: Dict[str, bytes] = {}
+    for name in module.globals:
+        if name.startswith((".str", ".gname")):
+            continue
+        image[name] = machine.read_global(name)
+    return image
 
 
 def compile_and_run(source: str, opt_level: OptLevel = OptLevel.OPTIMIZED,

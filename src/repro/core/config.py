@@ -42,6 +42,9 @@ class CgcmConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     record_events: bool = False
     verify: bool = True
+    #: Arm the communication sanitizer for executions; the resulting
+    #: report lands on :attr:`ExecutionResult.sanitizer_report`.
+    sanitize: bool = False
 
     @property
     def parallelize(self) -> bool:

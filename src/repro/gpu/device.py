@@ -13,7 +13,7 @@ kernel grids against :attr:`GpuDevice.memory` (see
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import GpuError
 from ..memory.flatmem import FlatMemory
@@ -43,6 +43,14 @@ class GpuDevice:
         self.stack_base = DEVICE_BASE + globals_capacity
         self.module_globals: Dict[str, int] = {}
         self._module_sizes: Dict[str, int] = {}
+        #: Observers of driver-level events, called as
+        #: ``observer(event, address, size)`` with event one of
+        #: "alloc", "free", "htod", "dtoh".  The sanitizer attaches here.
+        self.observers: List[Callable[[str, int, int], None]] = []
+
+    def _notify(self, event: str, address: int, size: int) -> None:
+        for observer in self.observers:
+            observer(event, address, size)
 
     # -- module loading ----------------------------------------------------
 
@@ -78,13 +86,18 @@ class GpuDevice:
         self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
                            "cuMemAlloc")
         self.clock.count("device_allocs")
-        return self.heap.malloc(size)
+        address = self.heap.malloc(size)
+        if self.observers:
+            self._notify("alloc", address, size)
+        return address
 
     def mem_free(self, address: int) -> None:
         """``cuMemFree``: release device memory."""
         self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
                            "cuMemFree")
         self.clock.count("device_frees")
+        if self.observers:
+            self._notify("free", address, 0)
         self.heap.free(address)
 
     # -- transfers ------------------------------------------------------------
@@ -97,6 +110,8 @@ class GpuDevice:
                            f"HtoD {len(data)}B")
         self.clock.count("htod_copies")
         self.clock.count("htod_bytes", len(data))
+        if self.observers:
+            self._notify("htod", device_address, len(data))
 
     def memcpy_dtoh(self, device_address: int, size: int) -> bytes:
         """``cuMemcpyDtoH``: copy device bytes back to the host."""
@@ -105,6 +120,8 @@ class GpuDevice:
                            f"DtoH {size}B")
         self.clock.count("dtoh_copies")
         self.clock.count("dtoh_bytes", size)
+        if self.observers:
+            self._notify("dtoh", device_address, size)
         return data
 
     # -- introspection ---------------------------------------------------------

@@ -129,11 +129,15 @@ class SimClock:
 
     def advance(self, lane: str, seconds: float, label: str = "") -> None:
         """Append a span of ``seconds`` to ``lane`` at the current time."""
+        if lane not in self.lanes:
+            raise ValueError(
+                f"unknown timeline lane {lane!r}; expected one of "
+                f"{sorted(self.lanes)}")
         if seconds < 0:
             raise ValueError(f"negative duration {seconds}")
         if self.record_events and seconds > 0:
             self.events.append(TraceEvent(lane, label, self.now, seconds))
-        self.lanes[lane] = self.lanes.get(lane, 0.0) + seconds
+        self.lanes[lane] += seconds
 
     def count(self, name: str, delta: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + delta

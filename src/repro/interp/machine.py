@@ -90,6 +90,11 @@ class Machine:
         self.frame_exit_hooks: List[Callable] = []
         #: Hooks fired on heap activity: ``hook(machine, kind, addr, size)``.
         self.heap_hooks: List[Callable] = []
+        #: Hooks fired before every interpreted load/store:
+        #: ``hook(machine, kind, address, size)`` with kind "load" or
+        #: "store".  Empty by default so the interpreter's hot path only
+        #: pays one truthiness check; the sanitizer attaches here.
+        self.mem_hooks: List[Callable] = []
 
     # -- plumbing ----------------------------------------------------------
 
@@ -231,11 +236,18 @@ class Machine:
                 self.charge_ops(_OP_COSTS.get(inst.opcode, 1))
                 if isinstance(inst, Load):
                     address = evaluate(inst.pointer, frame)
+                    if self.mem_hooks:
+                        for hook in self.mem_hooks:
+                            hook(self, "load", int(address), inst.type.size)
                     regs[inst] = self.memory.load_scalar(
                         int(address), inst.type)
                 elif isinstance(inst, Store):
                     value = evaluate(inst.value, frame)
                     address = evaluate(inst.pointer, frame)
+                    if self.mem_hooks:
+                        for hook in self.mem_hooks:
+                            hook(self, "store", int(address),
+                                 inst.value.type.size)
                     if self.mode == "gpu" and inst.value.type.is_pointer \
                             and not self._is_device_stack(int(address)):
                         # Spilling a pointer to the thread's private

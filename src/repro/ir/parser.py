@@ -27,8 +27,8 @@ _TOKEN_RE = re.compile(r"""
   | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+|-?\d+)
   | (?P<arrow>->)
   | (?P<ellipsis>\.\.\.)
-  | (?P<global>@[A-Za-z_][A-Za-z0-9_.$]*)
-  | (?P<local>%[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<global>@[.A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<local>%[.A-Za-z_][A-Za-z0-9_.$]*)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.$]*)
   | (?P<punct>[:,=(){}\[\]<>+])
 """, re.VERBOSE)
@@ -165,6 +165,7 @@ class Parser:
     def parse_module(self) -> Module:
         if self._accept("ident", "module"):
             self.module.name = _unquote(self._expect("string").text).decode()
+        pending: List[Tuple[Function, List[_Token]]] = []
         while self.current.kind != "eof":
             keyword = self._expect("ident")
             if keyword.text == "struct":
@@ -174,9 +175,21 @@ class Parser:
             elif keyword.text == "declare":
                 self._parse_declare()
             elif keyword.text in ("func", "kernel"):
-                self._parse_function(is_kernel=keyword.text == "kernel")
+                pending.append(
+                    self._parse_function(is_kernel=keyword.text == "kernel"))
             else:
                 raise self._error(f"unexpected {keyword.text!r} at top level")
+        # Bodies parse only after every signature is registered, so a
+        # launch may reference a kernel defined later in the file (the
+        # printer emits functions in insertion order, and glue kernels
+        # are created after the function that launches them).
+        for fn, body_tokens in pending:
+            sub = Parser("")
+            sub.module = self.module
+            sub.tokens = body_tokens + [_Token("punct", "}", 0),
+                                        _Token("eof", "", 0)]
+            sub.pos = 0
+            sub._parse_body(fn)
         return self.module
 
     def _parse_struct(self) -> None:
@@ -253,7 +266,8 @@ class Parser:
 
     # -- functions -------------------------------------------------------
 
-    def _parse_function(self, is_kernel: bool) -> None:
+    def _parse_function(self,
+                        is_kernel: bool) -> Tuple[Function, List[_Token]]:
         name = self._expect("global").text[1:]
         self._expect("punct", "(")
         param_names: List[str] = []
@@ -273,8 +287,21 @@ class Parser:
         if fn is None:
             fn = self.module.add_function(name, ftype, param_names, is_kernel)
         self._expect("punct", "{")
-        self._parse_body(fn)
+        depth = 0
+        body_tokens: List[_Token] = []
+        while True:
+            token = self.current
+            if token.kind == "eof":
+                raise self._error("unterminated function body")
+            if token.kind == "punct" and token.text == "{":
+                depth += 1
+            elif token.kind == "punct" and token.text == "}":
+                if depth == 0:
+                    break
+                depth -= 1
+            body_tokens.append(self._advance())
         self._expect("punct", "}")
+        return fn, body_tokens
 
     def _parse_body(self, fn: Function) -> None:
         registers: Dict[str, Value] = {f"%{a.name}": a for a in fn.args}

@@ -27,7 +27,7 @@ frame-exit expiry for stack registrations.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import CgcmRuntimeError, CgcmUnsupportedError
 from ..gpu.timing import LANE_CPU
@@ -103,6 +103,15 @@ class CgcmRuntime:
         self.alloc_map = AvlTreeMap()
         self.global_epoch = 0
         self._stack_regs: Dict[int, List[int]] = {}
+        #: Observers of run-time library operations, called as
+        #: ``hook(stage, op, ptr, info)`` with stage "pre" (before the
+        #: operation mutates any state) or "post" (after it finished),
+        #: and op one of "map"/"unmap"/"release".  ``mapArray`` and
+        #: ``releaseArray`` notify for the pointer-array unit itself;
+        #: per-element work (and all of ``unmapArray``'s) notifies
+        #: through the scalar entry points they call.
+        self.op_hooks: List[Callable[[str, str, int, AllocationInfo],
+                                     None]] = []
         machine.launch_hooks.append(self._on_launch)
         machine.heap_hooks.append(self._on_heap)
         machine.frame_exit_hooks.append(self._on_frame_exit)
@@ -207,10 +216,17 @@ class CgcmRuntime:
     def _charge(self) -> None:
         self.machine.charge_ops(_RUNTIME_CALL_OPS)
 
+    def _notify(self, stage: str, op: str, ptr: int,
+                info: AllocationInfo) -> None:
+        for hook in self.op_hooks:
+            hook(stage, op, ptr, info)
+
     # -- Algorithm 1: map -------------------------------------------------------
 
     def map_ptr(self, ptr: int) -> int:
         info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "map", ptr, info)
         if info.ref_count == 0:
             if not info.is_global:
                 info.device_ptr = self.device.mem_alloc(info.size)
@@ -222,13 +238,19 @@ class CgcmRuntime:
             info.epoch = self.global_epoch
         info.ref_count += 1
         assert info.device_ptr is not None
+        if self.op_hooks:
+            self._notify("post", "map", ptr, info)
         return info.device_ptr + (ptr - info.base)
 
     # -- Algorithm 2: unmap -----------------------------------------------------
 
     def unmap_ptr(self, ptr: int) -> None:
         info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "unmap", ptr, info)
         if info.epoch == self.global_epoch or info.is_read_only:
+            if self.op_hooks:
+                self._notify("post", "unmap", ptr, info)
             return
         if info.device_ptr is None:
             raise CgcmRuntimeError(
@@ -237,11 +259,15 @@ class CgcmRuntime:
         data = self.device.memcpy_dtoh(info.device_ptr, info.size)
         self.machine.cpu_memory.write(info.base, data)
         info.epoch = self.global_epoch
+        if self.op_hooks:
+            self._notify("post", "unmap", ptr, info)
 
     # -- Algorithm 3: release ---------------------------------------------------
 
     def release_ptr(self, ptr: int) -> None:
         info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "release", ptr, info)
         if info.ref_count <= 0:
             raise CgcmRuntimeError(
                 f"release of {ptr:#x} below zero references")
@@ -250,6 +276,8 @@ class CgcmRuntime:
             assert info.device_ptr is not None
             self.device.mem_free(info.device_ptr)
             info.device_ptr = None
+        if self.op_hooks:
+            self._notify("post", "release", ptr, info)
 
     # -- array (doubly indirect) variants ----------------------------------------
 
@@ -260,6 +288,8 @@ class CgcmRuntime:
 
     def map_array(self, ptr: int) -> int:
         info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "map", ptr, info)
         if info.ref_count == 0:
             elements = self._read_pointer_array(info)
             for element in elements:
@@ -282,6 +312,8 @@ class CgcmRuntime:
             info.is_array = True
         info.ref_count += 1
         assert info.device_ptr is not None
+        if self.op_hooks:
+            self._notify("post", "map", ptr, info)
         return info.device_ptr + (ptr - info.base)
 
     def unmap_array(self, ptr: int) -> None:
@@ -293,6 +325,8 @@ class CgcmRuntime:
     def release_array(self, ptr: int) -> None:
         info = self.lookup(ptr)
         if info.ref_count <= 0:
+            if self.op_hooks:
+                self._notify("pre", "release", ptr, info)
             raise CgcmRuntimeError(
                 f"releaseArray of {ptr:#x} below zero references")
         if info.ref_count == 1:

@@ -1,0 +1,26 @@
+"""Communication sanitizer and differential oracle.
+
+A correctness substrate for the CGCM reproduction, in the spirit of
+``compute-sanitizer`` for real CUDA: :class:`CommSanitizer` shadows
+every allocation unit the run-time library manages and reports
+structured :class:`SanitizerViolation` records for stale device
+reads, lost kernel updates, reference-count leaks, double releases,
+frees of live-mapped buffers, and host/device pointer mixing;
+:func:`run_differential` executes a workload CPU-only and
+GPU-managed and compares the observable results byte-for-byte.
+"""
+
+from .differential import (DifferentialReport, run_differential,
+                           run_differential_workload)
+from .sanitizer import CommSanitizer, MAX_VIOLATIONS
+from .shadow import ShadowState, ShadowUnit, unit_label
+from .violations import (SanitizerReport, SanitizerViolation,
+                         ViolationKind)
+
+__all__ = [
+    "CommSanitizer", "MAX_VIOLATIONS",
+    "SanitizerReport", "SanitizerViolation", "ViolationKind",
+    "ShadowState", "ShadowUnit", "unit_label",
+    "DifferentialReport", "run_differential",
+    "run_differential_workload",
+]

@@ -1,0 +1,84 @@
+"""Violation taxonomy and the structured sanitizer report.
+
+Each :class:`SanitizerViolation` names one communication-management
+bug observed at run time: which allocation unit it hit (by the
+runtime's name for globals, by base address for heap and stack
+units), in which kernel epoch, and what went wrong.  Violations are
+structured so tests can assert on :class:`ViolationKind` rather than
+parsing messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class ViolationKind(enum.Enum):
+    """The communication-bug classes the sanitizer detects."""
+
+    #: A kernel read an allocation unit whose host copy was modified
+    #: after the last HtoD copy: the device data is stale.
+    STALE_READ = "stale-read"
+    #: Host code read (or the program ended holding) an allocation unit
+    #: whose device copy was written by a kernel and never copied back:
+    #: the kernel's update is lost.
+    LOST_UPDATE = "lost-update"
+    #: An allocation unit still held map references when the program
+    #: (or its registration scope) ended.
+    REFCOUNT_LEAK = "refcount-leak"
+    #: ``release`` was called on a unit whose reference count was
+    #: already zero.
+    DOUBLE_RELEASE = "double-release"
+    #: ``cuMemFree`` hit a device buffer backing a unit that is still
+    #: mapped (live references outstanding).
+    DEVICE_FREE_LIVE = "device-free-live"
+    #: Host code dereferenced a device pointer, or a kernel
+    #: dereferenced a host pointer.
+    POINTER_MIX = "pointer-mix"
+    #: The sanitizer's independently tracked reference count diverged
+    #: from the runtime's: the run-time library itself misbehaved.
+    SHADOW_DESYNC = "shadow-desync"
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One observed communication-management bug."""
+
+    kind: ViolationKind
+    unit: str                       #: allocation-unit label
+    message: str
+    epoch: int                      #: kernel epoch when observed
+    address: Optional[int] = None   #: faulting address, if any
+
+    def __str__(self) -> str:
+        where = f" at {self.address:#x}" if self.address is not None else ""
+        return (f"[{self.kind.value}] epoch {self.epoch} {self.unit}"
+                f"{where}: {self.message}")
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitized run observed."""
+
+    violations: Tuple[SanitizerViolation, ...] = ()
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_kind(self, kind: ViolationKind) -> Tuple[SanitizerViolation, ...]:
+        return tuple(v for v in self.violations if v.kind == kind)
+
+    def kinds(self) -> Tuple[ViolationKind, ...]:
+        return tuple(sorted({v.kind for v in self.violations},
+                            key=lambda k: k.value))
+
+    def summary(self) -> str:
+        if self.clean:
+            return "sanitizer: clean"
+        lines = [f"sanitizer: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)

@@ -30,6 +30,26 @@ def machine_for(source: str, with_runtime: bool = False) -> Machine:
 
 
 @pytest.fixture
+def differential_oracle():
+    """CPU-vs-GPU differential runner with the sanitizer armed.
+
+    Yields a callable: ``differential_oracle(source_or_workload)``
+    returns a :class:`repro.sanitizer.DifferentialReport`; tests
+    assert on ``report.ok`` / ``report.violations``.
+    """
+    from repro.sanitizer import (run_differential,
+                                 run_differential_workload)
+    from repro.workloads import Workload
+
+    def run(target, level: OptLevel = OptLevel.OPTIMIZED):
+        if isinstance(target, Workload) or "\n" not in target.strip():
+            return run_differential_workload(target, level)
+        return run_differential(target, level=level)
+
+    return run
+
+
+@pytest.fixture
 def simple_kernel_module():
     """A module with one kernel that doubles an 8-element global."""
     return compile_minic(r"""

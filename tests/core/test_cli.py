@@ -86,3 +86,49 @@ class TestListAndBench:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["bench", "not-a-workload"])
+
+
+class TestSanitize:
+    def test_sanitize_workloads_clean(self, capsys):
+        code = main(["sanitize", "atax", "--verbose"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "atax [optimized]: OK" in captured.out
+        assert "1/1 clean" in captured.err
+        assert "kernel_launches=" in captured.err
+
+    def test_sanitize_source_file(self, source_file, capsys):
+        code = main(["sanitize", source_file, "--level", "unoptimized"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[unoptimized]: OK" in captured.out
+
+    def test_sanitize_reports_failure_exit_code(self, tmp_path, capsys):
+        # Manual-mode program with a skipped unmap: the subject's
+        # globals diverge from the reference and the sanitizer flags
+        # the lost update, so the command exits non-zero.
+        path = tmp_path / "buggy.c"
+        path.write_text(r"""
+double A[8];
+
+__global__ void scale(long tid, double *a) { a[tid] = a[tid] * 2.0; }
+
+int main(void) {
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    release((char *) A);
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) s += A[i];
+    print_f64(s);
+    return 0;
+}
+""")
+        code = main(["sanitize", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.out
+        # The structured violation names the mishandled unit even
+        # though the subject run died mid-way.
+        assert "global A" in captured.out
+        assert "0/1 clean" in captured.err

@@ -98,6 +98,15 @@ class TestClock:
         with pytest.raises(ValueError):
             clock.advance(LANE_CPU, -1.0)
 
+    def test_unknown_lane_rejected(self):
+        # Regression: advance() used to silently create a new lane for
+        # a typo'd name, so the time vanished from every breakdown.
+        clock = SimClock()
+        with pytest.raises(ValueError, match="unknown timeline lane"):
+            clock.advance("cmm", 1.0)
+        assert "cmm" not in clock.lanes
+        assert clock.total_seconds == 0.0
+
     def test_event_recording_toggle(self):
         silent = SimClock()
         silent.advance(LANE_CPU, 1.0, "work")

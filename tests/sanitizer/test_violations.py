@@ -1,0 +1,333 @@
+"""Seeded-bug tests: each violation class fires on a program that
+deliberately misuses the CGCM run-time library, and stays silent on
+the correct version of the same program."""
+
+import pytest
+
+from repro.errors import CgcmRuntimeError, MemoryFault
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.runtime import CgcmRuntime
+from repro.sanitizer import CommSanitizer, ViolationKind
+
+
+def sanitized_run(source):
+    """Run manual-mode MiniC under the sanitizer; swallow runtime
+    faults so the violations observed before the crash survive."""
+    module = compile_minic(source)
+    machine = Machine(module)
+    runtime = CgcmRuntime(machine)
+    runtime.declare_all_globals()
+    sanitizer = CommSanitizer(machine, runtime)
+    error = None
+    try:
+        machine.run()
+    except (CgcmRuntimeError, MemoryFault) as exc:
+        error = exc
+    return sanitizer.finish(), error, machine
+
+
+CORRECT = r"""
+double A[8];
+
+__global__ void scale(long tid, double *a) { a[tid] = a[tid] * 2.0; }
+
+int main(void) {
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) s += A[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+
+class TestCleanPrograms:
+    def test_correct_map_unmap_release_is_clean(self):
+        report, error, machine = sanitized_run(CORRECT)
+        assert error is None
+        assert report.clean, report.summary()
+        assert machine.stdout == ["72"]
+
+    def test_stats_observed(self):
+        report, _, _ = sanitized_run(CORRECT)
+        assert report.stats["kernel_launches"] == 1
+        assert report.stats["maps"] == 1
+        assert report.stats["releases"] == 1
+        assert report.stats["htod_copies"] == 1
+        assert report.stats["dtoh_copies"] == 1
+
+
+class TestSkippedUnmap:
+    SOURCE = r"""
+double A[8];
+
+__global__ void scale(long tid, double *a) { a[tid] = a[tid] * 2.0; }
+
+int main(void) {
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    release((char *) A);
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) s += A[i];
+    print_f64(s);
+    return 0;
+}
+"""
+
+    def test_reports_lost_update(self):
+        report, error, machine = sanitized_run(self.SOURCE)
+        assert error is None
+        kinds = report.kinds()
+        assert kinds == (ViolationKind.LOST_UPDATE,), report.summary()
+        violation = report.by_kind(ViolationKind.LOST_UPDATE)[0]
+        assert violation.unit == "global A"
+        # The host really did read stale data: sum of the un-doubled
+        # initial values.
+        assert machine.stdout == ["36"]
+
+    def test_violation_names_unit_and_epoch(self):
+        report, _, _ = sanitized_run(self.SOURCE)
+        violation = report.violations[0]
+        assert violation.unit == "global A"
+        assert violation.epoch == 1
+        assert "never unmapped" in violation.message
+
+    def test_never_read_still_reported_at_exit(self):
+        # Even if the host never loads A, the dirty device copy at
+        # program exit is a lost update.
+        source = self.SOURCE.replace(
+            "    double s = 0.0;\n"
+            "    for (int i = 0; i < 8; i++) s += A[i];\n"
+            "    print_f64(s);\n", "")
+        report, error, _ = sanitized_run(source)
+        assert error is None
+        assert report.kinds() == (ViolationKind.LOST_UPDATE,)
+        assert "skipped" in report.violations[0].message
+
+
+class TestDoubleRelease:
+    SOURCE = r"""
+double A[8];
+
+__global__ void scale(long tid, double *a) { a[tid] = a[tid] * 2.0; }
+
+int main(void) {
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    release((char *) A);
+    return 0;
+}
+"""
+
+    def test_reports_double_release(self):
+        report, error, _ = sanitized_run(self.SOURCE)
+        # The runtime also hard-faults; the sanitizer still produced
+        # the structured record first.
+        assert isinstance(error, CgcmRuntimeError)
+        assert report.kinds() == (ViolationKind.DOUBLE_RELEASE,)
+        assert report.violations[0].unit == "global A"
+
+
+class TestStaleRead:
+    SOURCE = r"""
+double A[8];
+double B[8];
+
+__global__ void copy(long tid, double *b, double *a) {
+    b[tid] = a[tid];
+}
+
+int main(void) {
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    double *da = (double *) map((char *) A);
+    double *db = (double *) map((char *) B);
+    A[0] = 99.0;
+    __launch(copy, 8, db, da);
+    unmap((char *) B);
+    release((char *) B);
+    unmap((char *) A);
+    release((char *) A);
+    print_f64(B[0]);
+    return 0;
+}
+"""
+
+    def test_reports_stale_read(self):
+        report, error, machine = sanitized_run(self.SOURCE)
+        assert error is None
+        assert ViolationKind.STALE_READ in report.kinds()
+        violation = report.by_kind(ViolationKind.STALE_READ)[0]
+        assert violation.unit == "global A"
+        # The kernel really did read the pre-modification value.
+        assert machine.stdout == ["1"]
+
+    def test_reported_once_per_epoch(self):
+        # The kernel reads all 8 elements of the stale unit; the
+        # violation is deduplicated to one record per unit per epoch.
+        report, _, _ = sanitized_run(self.SOURCE)
+        assert len(report.by_kind(ViolationKind.STALE_READ)) == 1
+
+    def test_write_before_map_is_clean(self):
+        source = self.SOURCE.replace(
+            '    double *da = (double *) map((char *) A);\n'
+            '    double *db = (double *) map((char *) B);\n'
+            '    A[0] = 99.0;\n',
+            '    A[0] = 99.0;\n'
+            '    double *da = (double *) map((char *) A);\n'
+            '    double *db = (double *) map((char *) B);\n')
+        report, error, machine = sanitized_run(source)
+        assert error is None
+        assert report.clean, report.summary()
+        assert machine.stdout == ["99"]
+
+
+class TestRefcountLeak:
+    SOURCE = r"""
+double A[8];
+
+__global__ void scale(long tid, double *a) { a[tid] = a[tid] * 2.0; }
+
+int main(void) {
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    return 0;
+}
+"""
+
+    def test_reports_leak_at_exit(self):
+        report, error, _ = sanitized_run(self.SOURCE)
+        assert error is None
+        assert report.kinds() == (ViolationKind.REFCOUNT_LEAK,)
+        violation = report.violations[0]
+        assert violation.unit == "global A"
+        assert "1 map reference" in violation.message
+
+    def test_leak_count_in_message(self):
+        source = self.SOURCE.replace(
+            "    double *d = (double *) map((char *) A);",
+            "    double *d = (double *) map((char *) A);\n"
+            "    map((char *) A);\n"
+            "    map((char *) A);")
+        report, _, _ = sanitized_run(source)
+        leaks = report.by_kind(ViolationKind.REFCOUNT_LEAK)
+        assert len(leaks) == 1
+        assert "3 map reference" in leaks[0].message
+
+
+class TestPointerMixing:
+    def test_host_dereference_of_device_pointer(self):
+        report, error, _ = sanitized_run(r"""
+double A[8];
+
+int main(void) {
+    double *d = (double *) map((char *) A);
+    double x = d[0];
+    print_f64(x);
+    return 0;
+}
+""")
+        assert isinstance(error, MemoryFault)
+        assert ViolationKind.POINTER_MIX in report.kinds()
+        violation = report.by_kind(ViolationKind.POINTER_MIX)[0]
+        assert "host code dereferenced a device pointer" \
+            in violation.message
+        assert violation.address is not None
+        assert violation.address >= 0xD000_0000
+
+    def test_kernel_dereference_of_host_pointer(self):
+        report, error, _ = sanitized_run(r"""
+double A[8];
+
+__global__ void bad(long tid, double *a) { a[tid] = 1.0; }
+
+int main(void) {
+    double *host_ptr = A;
+    __launch(bad, 8, host_ptr);
+    return 0;
+}
+""")
+        assert isinstance(error, MemoryFault)
+        assert ViolationKind.POINTER_MIX in report.kinds()
+        assert "kernel dereferenced a host pointer" \
+            in report.by_kind(ViolationKind.POINTER_MIX)[0].message
+
+
+class TestDeviceFreeLive:
+    def test_free_of_live_mapped_buffer(self):
+        # Globals live in the module segment (cuModuleGetGlobal), so
+        # only heap units get cuMemAlloc'd buffers that cuMemFree can
+        # legally target.  Free one while it is still mapped.
+        module = compile_minic("int main(void) { return 0; }")
+        machine = Machine(module)
+        runtime = CgcmRuntime(machine)
+        sanitizer = CommSanitizer(machine, runtime)
+        base = machine.heap.malloc(64)
+        machine.notify_heap("malloc", base, 64)
+        runtime.map_ptr(base)
+        info = runtime.info_for(base)
+        assert info.ref_count == 1
+        machine.device.mem_free(info.device_ptr)
+        report = sanitizer.finish()
+        assert ViolationKind.DEVICE_FREE_LIVE in report.kinds()
+        violation = report.by_kind(ViolationKind.DEVICE_FREE_LIVE)[0]
+        assert violation.unit.startswith("heap@0x")
+        assert "1 live map reference" in violation.message
+
+    def test_release_driven_free_is_clean(self):
+        module = compile_minic(r"""
+int main(void) {
+    char *p = malloc(64);
+    char *d = map(p);
+    release(p);
+    free(p);
+    return 0;
+}
+""")
+        machine = Machine(module)
+        runtime = CgcmRuntime(machine)
+        sanitizer = CommSanitizer(machine, runtime)
+        machine.run()
+        report = sanitizer.finish()
+        assert report.clean, report.summary()
+
+
+class TestHeapAndStackUnits:
+    def test_heap_unit_label(self):
+        module = compile_minic(r"""
+__global__ void scale(long tid, double *a) { a[tid] = a[tid] * 2.0; }
+
+int main(void) {
+    double *p = (double *) malloc(64);
+    for (int i = 0; i < 8; i++) p[i] = i;
+    double *d = (double *) map((char *) p);
+    __launch(scale, 8, d);
+    release((char *) p);
+    print_f64(p[0]);
+    free((char *) p);
+    return 0;
+}
+""")
+        machine = Machine(module)
+        runtime = CgcmRuntime(machine)
+        sanitizer = CommSanitizer(machine, runtime)
+        machine.run()
+        report = sanitizer.finish()
+        lost = report.by_kind(ViolationKind.LOST_UPDATE)
+        assert lost, report.summary()
+        assert lost[0].unit.startswith("heap@0x")
+
+    def test_violation_str_includes_kind_epoch_unit(self):
+        report, _, _ = sanitized_run(TestSkippedUnmap.SOURCE)
+        text = str(report.violations[0])
+        assert "[lost-update]" in text
+        assert "epoch 1" in text
+        assert "global A" in text

@@ -76,9 +76,17 @@ def test_random_programs_agree_across_configurations(statements,
     observations = []
     for level in (OptLevel.SEQUENTIAL, OptLevel.UNOPTIMIZED,
                   OptLevel.OPTIMIZED):
-        compiler = CgcmCompiler(CgcmConfig(opt_level=level))
+        # Parallelized levels run sanitizer-armed: the communication
+        # the pipeline inserts must be sound, not merely produce the
+        # right bytes.
+        sanitize = level is not OptLevel.SEQUENTIAL
+        compiler = CgcmCompiler(CgcmConfig(opt_level=level,
+                                           sanitize=sanitize))
         report = compiler.compile_source(source, "generated")
         result = compiler.execute(report)
+        if sanitize:
+            assert result.sanitizer_report.clean, \
+                f"{result.sanitizer_report.summary()}\n{source}"
         observations.append(result.observable())
     assert observations[0] == observations[1], \
         f"management broke the program:\n{source}"
