@@ -2,18 +2,20 @@
 
 Usage::
 
-    python -m repro run program.c [--level optimized] [--trace] [--stats]
+    python -m repro run program.c [--level optimized] [--engine compiled]
     python -m repro emit-ir program.c [--level unoptimized]
-    python -m repro bench <workload> [...]
+    python -m repro bench [<workload> ...] [--out BENCH_interp.json]
     python -m repro sanitize <workload-or-source> [...] [--level opt]
     python -m repro list
 
 ``run`` compiles a MiniC source file at the chosen optimization level
 and executes it on the simulated platform; ``emit-ir`` prints the
-transformed IR; ``bench`` runs named paper workloads through all four
-configurations; ``sanitize`` runs the CPU-vs-GPU differential oracle
-with the communication sanitizer armed; ``list`` shows the 24
-available workloads.
+transformed IR; ``bench`` with workload names runs them through all
+four configurations, and with no names runs the full 24-workload
+tree-vs-compiled engine sweep and writes ``BENCH_interp.json``;
+``sanitize`` runs the CPU-vs-GPU differential oracle with the
+communication sanitizer armed; ``list`` shows the 24 available
+workloads.
 """
 
 from __future__ import annotations
@@ -40,6 +42,13 @@ def _add_level_argument(parser: argparse.ArgumentParser) -> None:
              "communication optimizations)")
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("compiled", "tree"), default="compiled",
+        help="execution engine: compiled (closure compiler, fast) or "
+             "tree (tree-walking reference interpreter)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -50,6 +59,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd = commands.add_parser("run", help="compile and execute")
     run_cmd.add_argument("source", help="MiniC source file")
     _add_level_argument(run_cmd)
+    _add_engine_argument(run_cmd)
     run_cmd.add_argument("--trace", action="store_true",
                          help="draw the execution schedule (Figure 2 "
                               "style)")
@@ -62,9 +72,18 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_level_argument(emit_cmd)
 
     bench_cmd = commands.add_parser(
-        "bench", help="run paper workloads through all configurations")
-    bench_cmd.add_argument("workloads", nargs="+",
-                           help="workload names (see 'list')")
+        "bench",
+        help="with names: run workloads through all configurations; "
+             "with no names: tree-vs-compiled engine sweep")
+    bench_cmd.add_argument("workloads", nargs="*",
+                           help="workload names (see 'list'); omit for "
+                                "the engine sweep")
+    bench_cmd.add_argument("--out", default="BENCH_interp.json",
+                           help="engine sweep: where to write the JSON "
+                                "report (default BENCH_interp.json)")
+    bench_cmd.add_argument("--repeat", type=int, default=1,
+                           help="engine sweep: timing runs per engine "
+                                "per workload (min is kept)")
 
     sanitize_cmd = commands.add_parser(
         "sanitize",
@@ -80,23 +99,26 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize_cmd.add_argument(
         "--verbose", action="store_true",
         help="print sanitizer statistics for clean runs too")
+    _add_engine_argument(sanitize_cmd)
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
 
 
-def _compile(path: str, level_name: str, record_events: bool = False):
+def _compile(path: str, level_name: str, record_events: bool = False,
+             engine: str = "compiled"):
     with open(path) as handle:
         source = handle.read()
     config = CgcmConfig(opt_level=_LEVELS[level_name],
-                        record_events=record_events)
+                        record_events=record_events, engine=engine)
     compiler = CgcmCompiler(config)
     report = compiler.compile_source(source, path)
     return compiler, report
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    compiler, report = _compile(args.source, args.level, args.trace)
+    compiler, report = _compile(args.source, args.level, args.trace,
+                                args.engine)
     result = compiler.execute(report)
     for line in result.stdout:
         print(line)
@@ -131,6 +153,8 @@ def _cmd_emit_ir(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if not args.workloads:
+        return _cmd_engine_bench(args)
     print(f"{'workload':16s} {'IE':>8s} {'unopt':>8s} {'opt':>8s} "
           f"{'limit':>6s}")
     for name in args.workloads:
@@ -141,6 +165,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{result.speedup('optimized'):7.2f}x "
               f"{result.limiting_factor:>6s}")
     return 0
+
+
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    """Tree-vs-compiled sweep over all 24 workloads."""
+    from .evaluation.bench import run_engine_bench
+
+    def progress(comparison):
+        status = "ok" if comparison.ok else "DIVERGED"
+        print(f"{comparison.name:16s} {comparison.speedup:6.2f}x  {status}",
+              file=sys.stderr)
+
+    bench = run_engine_bench(repeat=args.repeat, progress=progress)
+    print(bench.render())
+    bench.write(args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if bench.ok else 1
 
 
 def _cmd_sanitize(args: argparse.Namespace) -> int:
@@ -159,9 +199,11 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         if os.path.exists(target):
             with open(target) as handle:
                 source = handle.read()
-            report = run_differential(source, target, level)
+            report = run_differential(source, target, level,
+                                      engine=args.engine)
         else:
-            report = run_differential_workload(get_workload(target), level)
+            report = run_differential_workload(get_workload(target), level,
+                                               engine=args.engine)
         print(report.summary())
         if args.verbose and report.ok:
             stats = report.sanitizer.stats

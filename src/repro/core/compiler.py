@@ -58,6 +58,8 @@ class ExecutionResult:
     globals_image: Dict[str, bytes] = field(default_factory=dict)
     #: Present when the run was executed with ``config.sanitize``.
     sanitizer_report: Optional["object"] = None
+    #: Dynamic count of interpreted IR instructions.
+    instructions: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -116,15 +118,20 @@ class CgcmCompiler:
         return report
 
     def execute(self, report: CompileReport,
-                capture_globals: bool = True) -> ExecutionResult:
+                capture_globals: bool = True,
+                engine: Optional[str] = None) -> ExecutionResult:
         """Run a compiled module on a fresh simulated machine.
 
         With ``config.sanitize`` set, the communication sanitizer is
         armed for the run and its report lands on
-        :attr:`ExecutionResult.sanitizer_report`.
+        :attr:`ExecutionResult.sanitizer_report`.  ``engine``
+        overrides ``config.engine`` for this run (used by the
+        engine-equivalence benchmarks).
         """
         machine = Machine(report.module, self.config.cost_model,
-                          self.config.record_events)
+                          self.config.record_events,
+                          engine=engine if engine is not None
+                          else self.config.engine)
         runtime = CgcmRuntime(machine) if self.config.parallelize else None
         sanitizer = None
         if self.config.sanitize:
@@ -146,6 +153,7 @@ class CgcmCompiler:
             events=list(machine.clock.events),
             globals_image=globals_image,
             sanitizer_report=sanitizer.finish() if sanitizer else None,
+            instructions=machine.executed_instructions,
         )
 
 

@@ -45,6 +45,17 @@ class CgcmConfig:
     #: Arm the communication sanitizer for executions; the resulting
     #: report lands on :attr:`ExecutionResult.sanitizer_report`.
     sanitize: bool = False
+    #: Execution engine for simulated runs: ``"compiled"`` (closure
+    #: compiler, the fast path) or ``"tree"`` (tree-walking reference
+    #: interpreter).  Both are observationally and clock-for-clock
+    #: identical; see ``repro.interp.codegen``.
+    engine: str = "compiled"
+
+    def __post_init__(self) -> None:
+        from ..interp.machine import ENGINES
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected "
+                             f"one of {ENGINES}")
 
     @property
     def parallelize(self) -> bool:

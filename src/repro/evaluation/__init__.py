@@ -1,5 +1,7 @@
 """Evaluation harness: regenerates the paper's figures and tables."""
 
+from .bench import (BENCH_SCHEMA, BenchReport, EngineComparison,
+                    bench_workload, compare_engines, run_engine_bench)
 from .runner import (BenchmarkResult, CONFIGURATIONS, run_all,
                      run_benchmark)
 from .figure4 import (Figure4Row, PAPER_GEOMEANS, PAPER_GEOMEANS_CLAMPED,
@@ -13,6 +15,8 @@ from .figure2 import (SCHEDULE_WORKLOAD, Schedule, build_schedules,
                       render_figure2)
 
 __all__ = [
+    "BENCH_SCHEMA", "BenchReport", "EngineComparison", "bench_workload",
+    "compare_engines", "run_engine_bench",
     "BenchmarkResult", "CONFIGURATIONS", "run_all", "run_benchmark",
     "Figure4Row", "PAPER_GEOMEANS", "PAPER_GEOMEANS_CLAMPED", "SERIES",
     "build_figure4", "figure4_geomeans", "geomean", "render_figure4",

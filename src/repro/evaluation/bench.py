@@ -1,0 +1,204 @@
+"""Interpreter benchmark: tree-walker vs. closure-compiled engine.
+
+Runs the full 24-workload sweep under both execution engines,
+asserting along the way that they are observationally identical --
+same stdout, exit code, final global bytes, dynamic instruction
+count, and *exactly* equal simulated-clock totals -- and records the
+wall-clock numbers as the repo's perf trajectory in
+``BENCH_interp.json``.
+
+Exposed as ``python -m repro bench`` (no workload arguments) and to
+the test-suite through the ``bench``-marked tests in
+``tests/bench/``.  Divergence between the engines is always an
+error; raw speed never gates CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.compiler import CgcmCompiler, ExecutionResult
+from ..core.config import CgcmConfig, OptLevel
+from ..workloads import ALL_WORKLOADS, Workload
+
+#: Schema tag for BENCH_interp.json (bump on incompatible change).
+BENCH_SCHEMA = "repro-bench-interp/1"
+
+
+@dataclass
+class EngineComparison:
+    """Both engines' runs of one workload, with the timing numbers."""
+
+    name: str
+    level: str
+    tree_wall_s: float
+    compiled_wall_s: float
+    instructions: int
+    sim_seconds: float
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        if self.compiled_wall_s <= 0:
+            return float("inf")
+        return self.tree_wall_s / self.compiled_wall_s
+
+    def insts_per_s(self, engine: str) -> float:
+        wall = self.tree_wall_s if engine == "tree" else self.compiled_wall_s
+        if wall <= 0:
+            return float("inf")
+        return self.instructions / wall
+
+
+@dataclass
+class BenchReport:
+    """The whole sweep: per-workload comparisons plus the geomean."""
+
+    level: str
+    repeat: int
+    comparisons: List[EngineComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.comparisons)
+
+    @property
+    def geomean_speedup(self) -> float:
+        speedups = [c.speedup for c in self.comparisons if c.ok]
+        if not speedups:
+            return 0.0
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "level": self.level,
+            "repeat": self.repeat,
+            "python": platform.python_version(),
+            "geomean_speedup": round(self.geomean_speedup, 4),
+            "workloads": [
+                {
+                    "name": c.name,
+                    "tree_wall_s": round(c.tree_wall_s, 6),
+                    "compiled_wall_s": round(c.compiled_wall_s, 6),
+                    "speedup": round(c.speedup, 4),
+                    "instructions": c.instructions,
+                    "tree_insts_per_s": round(c.insts_per_s("tree")),
+                    "compiled_insts_per_s": round(
+                        c.insts_per_s("compiled")),
+                    "sim_seconds": c.sim_seconds,
+                    "mismatches": list(c.mismatches),
+                }
+                for c in self.comparisons
+            ],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def render(self) -> str:
+        lines = [f"{'workload':16s} {'tree':>9s} {'compiled':>9s} "
+                 f"{'speedup':>8s} {'Minsts/s':>9s}"]
+        for c in self.comparisons:
+            status = "" if c.ok else "  DIVERGED"
+            lines.append(
+                f"{c.name:16s} {c.tree_wall_s:8.3f}s {c.compiled_wall_s:8.3f}s "
+                f"{c.speedup:7.2f}x {c.insts_per_s('compiled') / 1e6:9.2f}"
+                f"{status}")
+        lines.append(f"{'geomean':16s} {'':9s} {'':9s} "
+                     f"{self.geomean_speedup:7.2f}x")
+        return "\n".join(lines)
+
+
+def compare_engines(result_tree: ExecutionResult,
+                    result_compiled: ExecutionResult) -> Tuple[str, ...]:
+    """Every observable difference between the two engines' runs."""
+    mismatches: List[str] = []
+    if result_tree.exit_code != result_compiled.exit_code:
+        mismatches.append(
+            f"exit code: tree {result_tree.exit_code}, "
+            f"compiled {result_compiled.exit_code}")
+    if result_tree.stdout != result_compiled.stdout:
+        mismatches.append("stdout differs")
+    if result_tree.globals_image != result_compiled.globals_image:
+        names = sorted(
+            name for name in set(result_tree.globals_image)
+            | set(result_compiled.globals_image)
+            if result_tree.globals_image.get(name)
+            != result_compiled.globals_image.get(name))
+        mismatches.append(f"final global bytes differ: {names}")
+    tree_clock = (result_tree.cpu_seconds, result_tree.gpu_seconds,
+                  result_tree.comm_seconds)
+    compiled_clock = (result_compiled.cpu_seconds,
+                      result_compiled.gpu_seconds,
+                      result_compiled.comm_seconds)
+    if tree_clock != compiled_clock:
+        mismatches.append(f"simulated clock: tree {tree_clock}, "
+                          f"compiled {compiled_clock}")
+    if result_tree.counters != result_compiled.counters:
+        mismatches.append("clock counters differ")
+    if result_tree.instructions != result_compiled.instructions:
+        mismatches.append(
+            f"instruction count: tree {result_tree.instructions}, "
+            f"compiled {result_compiled.instructions}")
+    return tuple(mismatches)
+
+
+def bench_workload(workload: Workload,
+                   level: OptLevel = OptLevel.OPTIMIZED,
+                   repeat: int = 1) -> EngineComparison:
+    """Compile once, run under both engines, time the executions.
+
+    Wall-clock per engine is the minimum over ``repeat`` runs (the
+    standard noise-robust estimator); the equivalence checks run on
+    every pair.
+    """
+    compiler = CgcmCompiler(CgcmConfig(opt_level=level))
+    report = compiler.compile_source(workload.source, workload.name)
+    walls = {"tree": float("inf"), "compiled": float("inf")}
+    results: Dict[str, ExecutionResult] = {}
+    mismatches: Tuple[str, ...] = ()
+    for _ in range(max(1, repeat)):
+        for engine in ("tree", "compiled"):
+            start = time.perf_counter()
+            result = compiler.execute(report, engine=engine)
+            wall = time.perf_counter() - start
+            walls[engine] = min(walls[engine], wall)
+            results[engine] = result
+        found = compare_engines(results["tree"], results["compiled"])
+        if found and not mismatches:
+            mismatches = found
+    tree_result = results["tree"]
+    return EngineComparison(
+        name=workload.name, level=level.value,
+        tree_wall_s=walls["tree"], compiled_wall_s=walls["compiled"],
+        instructions=tree_result.instructions,
+        sim_seconds=tree_result.total_seconds,
+        mismatches=mismatches)
+
+
+def run_engine_bench(workloads: Optional[List[Workload]] = None,
+                     level: OptLevel = OptLevel.OPTIMIZED,
+                     repeat: int = 1,
+                     progress=None) -> BenchReport:
+    """The full sweep; ``progress`` is an optional per-row callback."""
+    if workloads is None:
+        workloads = list(ALL_WORKLOADS)
+    bench = BenchReport(level=level.value, repeat=repeat)
+    for workload in workloads:
+        comparison = bench_workload(workload, level, repeat)
+        bench.comparisons.append(comparison)
+        if progress is not None:
+            progress(comparison)
+    return bench

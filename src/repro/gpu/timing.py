@@ -151,3 +151,13 @@ class SimClock:
 
     def snapshot(self) -> Tuple[float, float, float]:
         return (self.cpu_seconds, self.gpu_seconds, self.comm_seconds)
+
+    def totals(self) -> Dict[str, float]:
+        """Per-lane elapsed seconds, keyed by lane name.
+
+        The engine-equivalence suite compares these dictionaries for
+        *exact* float equality between the tree-walking and compiled
+        engines: block-fused cost charging must be invisible down to
+        the last bit of every simulated timestamp.
+        """
+        return dict(self.lanes)

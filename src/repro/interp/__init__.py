@@ -1,12 +1,19 @@
-"""IR interpreter, external functions, and execution traces."""
+"""IR interpreter, external functions, and execution traces.
 
+Two engines execute IR on the same :class:`Machine` model: the
+tree-walker (reference semantics) and the closure compiler in
+:mod:`repro.interp.codegen` (fast path, ``engine="compiled"``).
+"""
+
+from .codegen import CompiledFunction, compile_function
 from .externals import (ExitProgram, GPU_SAFE, call_cost, default_externals,
                         external_signatures)
-from .machine import Frame, Machine, MAX_CALL_DEPTH
+from .machine import ENGINES, Frame, Machine, MAX_CALL_DEPTH
 from .trace import count_direction_switches, render_schedule, summarize_events
 
 __all__ = [
-    "ExitProgram", "GPU_SAFE", "call_cost", "default_externals",
-    "external_signatures", "Frame", "Machine", "MAX_CALL_DEPTH",
-    "count_direction_switches", "render_schedule", "summarize_events",
+    "CompiledFunction", "compile_function", "ExitProgram", "GPU_SAFE",
+    "call_cost", "default_externals", "external_signatures", "ENGINES",
+    "Frame", "Machine", "MAX_CALL_DEPTH", "count_direction_switches",
+    "render_schedule", "summarize_events",
 ]

@@ -10,10 +10,23 @@ time for the modelled parallel execution.
 Address spaces are strictly separate: kernels cannot touch host
 memory, host code cannot touch device memory, and kernels may not
 store pointers (a documented CGCM restriction).
+
+Two execution engines share this machine model:
+
+* ``engine="tree"`` -- the tree-walking interpreter in
+  :meth:`Machine._execute`: the reference semantics.
+* ``engine="compiled"`` -- the closure compiler in
+  :mod:`repro.interp.codegen`: each function is translated once into
+  flat per-block lists of zero-argument closures and cached on the
+  machine.  It must be observationally *and* clock-for-clock
+  indistinguishable from the tree-walker (see
+  ``tests/interp/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import math
+import struct
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import CgcmUnsupportedError, InterpError
@@ -43,6 +56,11 @@ _DIV_EXTRA = 8
 
 MAX_CALL_DEPTH = 256
 
+#: Engines :class:`Machine` can execute IR with.
+ENGINES = ("tree", "compiled")
+
+_F32_STRUCT = struct.Struct("<f")
+
 
 class Frame:
     """One activation record."""
@@ -61,8 +79,13 @@ class Machine:
 
     def __init__(self, module: Module,
                  cost_model: Optional[CostModel] = None,
-                 record_events: bool = False):
+                 record_events: bool = False,
+                 engine: str = "tree"):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of "
+                             f"{ENGINES}")
         self.module = module
+        self.engine = engine
         self.clock = SimClock(cost_model, record_events)
         self.cpu_memory = make_cpu_memory()
         self.layout = GlobalLayout(module)
@@ -82,6 +105,11 @@ class Machine:
         self._frame_stack: List[Frame] = []
         self._pending_cpu_ops = 0
         self._gpu_ops = 0
+        #: Dynamic count of interpreted IR instructions (both engines;
+        #: the compiled engine bumps it once per basic-block entry).
+        self.executed_instructions = 0
+        #: Compiled-code cache: (function, mode, hooked) -> CompiledFunction.
+        self._compiled: Dict[tuple, Callable] = {}
         self.kernel_launch_count = 0
         #: Hooks fired before each kernel launch:
         #: ``hook(machine, kernel, grid, args)``.
@@ -99,18 +127,32 @@ class Machine:
     # -- plumbing ----------------------------------------------------------
 
     @property
+    def mode(self) -> str:
+        """Which code is executing: "cpu", "gpu", or a baseline mode."""
+        return self._mode
+
+    @mode.setter
+    def mode(self, value: str) -> None:
+        # The active address space is cached on every mode switch so
+        # the per-access ``memory`` read is one attribute load instead
+        # of a string compare (mode switches are rare; accesses are
+        # the hottest path in the interpreter).
+        self._mode = value
+        self._active_memory = self.device.memory if value == "gpu" \
+            else self.cpu_memory
+
+    @property
     def memory(self) -> FlatMemory:
         """The address space current code executes against.
 
         Mode "cpu" and "ie" (the inspector-executor baseline's oracle
         placement) use host memory; mode "gpu" uses device memory.
         """
-        return self.device.memory if self.mode == "gpu" \
-            else self.cpu_memory
+        return self._active_memory
 
     @property
     def in_kernel(self) -> bool:
-        return self.mode != "cpu"
+        return self._mode != "cpu"
 
     def charge_ops(self, ops: int) -> None:
         if self.mode == "cpu":
@@ -160,17 +202,23 @@ class Machine:
                               f"got {len(args)}")
         if self._depth >= MAX_CALL_DEPTH:
             raise InterpError(f"call depth exceeded at @{fn.name}")
+        mode = self._mode
+        code = None
+        if self.engine == "compiled" and (mode == "cpu" or mode == "gpu"):
+            code = self.compiled_for(fn)
         self._depth += 1
-        sp_base = self._gpu_sp if self.mode == "gpu" else self._cpu_sp
+        sp_base = self._gpu_sp if mode == "gpu" else self._cpu_sp
         self._frame_counter += 1
         frame = Frame(fn, self._frame_counter, sp_base)
-        for formal, actual in zip(fn.args, args):
-            frame.regs[formal] = actual
         self._frame_stack.append(frame)
         try:
+            if code is not None:
+                return code(args)
+            for formal, actual in zip(fn.args, args):
+                frame.regs[formal] = actual
             return self._execute(frame)
         finally:
-            if self.mode == "gpu":
+            if self._mode == "gpu":
                 self._gpu_sp = sp_base
             else:
                 self._cpu_sp = sp_base
@@ -178,6 +226,23 @@ class Machine:
             for hook in self.frame_exit_hooks:
                 hook(self, frame.frame_id)
             self._depth -= 1
+
+    def compiled_for(self, fn: Function):
+        """The cached compiled variant of ``fn`` for the current mode.
+
+        Variants are keyed by (function, mode, hooks-armed): globals
+        resolve to different addresses per address space, and armed
+        ``mem_hooks`` select hook-calling load/store closures so the
+        sanitizer observes exactly what the tree-walker would show it.
+        """
+        key = (fn, self._mode, bool(self.mem_hooks))
+        code = self._compiled.get(key)
+        if code is None:
+            from .codegen import compile_function
+            code = compile_function(self, fn, self._mode,
+                                    bool(self.mem_hooks))
+            self._compiled[key] = code
+        return code
 
     def _is_device_stack(self, address: int) -> bool:
         segment = self.device.memory.segment("device-stack")
@@ -222,8 +287,9 @@ class Machine:
             return self.layout.address_of(value.name)
         if isinstance(value, UndefValue):
             return 0
-        raise InterpError(f"no value bound for {value!r} in "
-                          f"@{frame.function.name}")
+        raise InterpError(f"read of undefined register {value.ref} in "
+                          f"@{frame.function.name} (no value was ever "
+                          "written to it on this path)")
 
     # -- the interpreter loop --------------------------------------------------
 
@@ -233,6 +299,7 @@ class Machine:
         evaluate = self.eval
         while True:
             for inst in block.instructions:
+                self.executed_instructions += 1
                 self.charge_ops(_OP_COSTS.get(inst.opcode, 1))
                 if isinstance(inst, Load):
                     address = evaluate(inst.pointer, frame)
@@ -439,11 +506,21 @@ class Machine:
     # -- kernel launches -----------------------------------------------------
 
     def _launch(self, inst: LaunchKernel, frame: Frame) -> None:
-        kernel = inst.kernel
         grid = int(self.eval(inst.grid, frame))
+        args = [self.eval(a, frame) for a in inst.args]
+        self.launch_evaluated(inst.kernel, grid, args)
+
+    def launch_evaluated(self, kernel: Function, grid: int,
+                         args: List[Union[int, float]]) -> None:
+        """Run one kernel grid with already-evaluated operands.
+
+        Shared by both engines: the tree-walker evaluates the launch
+        operands through :meth:`eval`, compiled code through register
+        slots, and everything from the launch hooks onwards is
+        identical.
+        """
         if grid < 0:
             raise InterpError(f"negative grid size {grid}")
-        args = [self.eval(a, frame) for a in inst.args]
         self.flush_cpu()
         for hook in self.launch_hooks:
             hook(self, kernel, grid, args)
@@ -482,10 +559,11 @@ def _trunc_div_int(lhs: int, rhs: int) -> int:
 
 
 def _trunc_div_float(lhs: float, rhs: float) -> float:
-    import math
     return math.trunc(lhs / rhs)
 
 
 def _round_f32(value: float) -> float:
-    import struct
-    return struct.unpack("<f", struct.pack("<f", value))[0]
+    # The format is pre-compiled once at module load; per-call
+    # struct.pack("<f", ...) re-parses the format string on every
+    # float32 rounding, which sits on the cast hot path.
+    return _F32_STRUCT.unpack(_F32_STRUCT.pack(value))[0]

@@ -5,6 +5,14 @@ Each :class:`FlatMemory` is one address space made of named segments
 GPU).  Every access is bounds-checked against its segment, so a CPU
 dereference of a GPU pointer -- the bug class CGCM prevents -- raises
 :class:`MemoryFault` instead of silently reading garbage.
+
+Scalar accesses are the hottest operation in the whole simulator
+(every IR ``load``/``store`` lands here), so the codec objects are
+built once at import time: per-width :class:`struct.Struct` instances
+replace per-access format-string parsing, ``unpack_from``/``pack_into``
+avoid intermediate ``bytes`` copies, and a one-entry segment cache
+skips the linear segment scan for the overwhelmingly common case of
+consecutive accesses to the same segment.
 """
 
 from __future__ import annotations
@@ -19,25 +27,33 @@ _INT_FORMATS = {1: "<b", 8: "<b", 16: "<h", 32: "<i", 64: "<q"}
 _FLOAT_FORMATS = {32: "<f", 64: "<d"}
 _POINTER_FORMAT = "<Q"
 
+#: Pre-compiled codecs, one per scalar width; ``struct.Struct`` parses
+#: its format string once here instead of on every access.
+_INT_STRUCTS = {bits: struct.Struct(fmt)
+                for bits, fmt in _INT_FORMATS.items()}
+_FLOAT_STRUCTS = {bits: struct.Struct(fmt)
+                  for bits, fmt in _FLOAT_FORMATS.items()}
+_POINTER_STRUCT = struct.Struct(_POINTER_FORMAT)
+
 
 class Segment:
     """A contiguous, growable span of one address space."""
+
+    __slots__ = ("name", "base", "capacity", "limit", "data")
 
     def __init__(self, name: str, base: int, capacity: int):
         self.name = name
         self.base = base
         self.capacity = capacity
+        #: One past the last byte the segment may ever hold (plain
+        #: attribute, not a property: it sits on the access hot path).
+        self.limit = base + capacity
         self.data = bytearray()
 
     @property
     def end(self) -> int:
         """One past the last *live* byte."""
         return self.base + len(self.data)
-
-    @property
-    def limit(self) -> int:
-        """One past the last byte the segment may ever hold."""
-        return self.base + self.capacity
 
     def contains(self, address: int) -> bool:
         return self.base <= address < self.limit
@@ -62,6 +78,9 @@ class FlatMemory:
         self.name = name
         self.segments: List[Segment] = []
         self._by_name: Dict[str, Segment] = {}
+        #: One-entry cache of the last segment hit; scalar accesses
+        #: overwhelmingly stay within one segment for long runs.
+        self._cached_segment: Optional[Segment] = None
 
     def add_segment(self, name: str, base: int, capacity: int) -> Segment:
         segment = Segment(name, base, capacity)
@@ -71,14 +90,21 @@ class FlatMemory:
                     f"segment {name} overlaps {other.name}", base)
         self.segments.append(segment)
         self._by_name[name] = segment
+        if self._cached_segment is None:
+            self._cached_segment = segment
         return segment
 
     def segment(self, name: str) -> Segment:
         return self._by_name[name]
 
     def segment_for(self, address: int) -> Segment:
+        segment = self._cached_segment
+        if segment is not None and \
+                segment.base <= address < segment.limit:
+            return segment
         for segment in self.segments:
-            if segment.contains(address):
+            if segment.base <= address < segment.limit:
+                self._cached_segment = segment
                 return segment
         raise MemoryFault(
             f"{self.name}: address {address:#x} is outside every segment "
@@ -123,23 +149,66 @@ class FlatMemory:
     # -- typed scalars ---------------------------------------------------
 
     def load_scalar(self, address: int, type_: Type) -> Union[int, float]:
-        fmt = scalar_format(type_)
-        raw = self.read(address, struct.calcsize(fmt))
-        value = struct.unpack(fmt, raw)[0]
+        codec = scalar_struct(type_)
+        segment = self._cached_segment
+        if segment is None or not \
+                (segment.base <= address < segment.limit):
+            segment = self.segment_for(address)
+        offset = address - segment.base
+        end = offset + codec.size
+        if end > segment.capacity:
+            raise MemoryFault(
+                f"{self.name}: access of {codec.size} bytes at "
+                f"{address:#x} overruns segment {segment.name}", address)
+        if end > len(segment.data):
+            segment.grow_to(end)
+        value = codec.unpack_from(segment.data, offset)[0]
         if isinstance(type_, IntType) and type_.bits == 1:
             value &= 1
         return value
 
     def store_scalar(self, address: int, type_: Type,
                      value: Union[int, float]) -> None:
-        fmt = scalar_format(type_)
+        codec = scalar_struct(type_)
         if isinstance(type_, IntType):
             value = type_.wrap(int(value))
         elif isinstance(type_, PointerType):
             value = int(value) & 0xFFFFFFFFFFFFFFFF
         else:
             value = float(value)
-        self.write(address, struct.pack(fmt, value))
+        segment = self._cached_segment
+        if segment is None or not \
+                (segment.base <= address < segment.limit):
+            segment = self.segment_for(address)
+        offset = address - segment.base
+        end = offset + codec.size
+        if end > segment.capacity:
+            raise MemoryFault(
+                f"{self.name}: access of {codec.size} bytes at "
+                f"{address:#x} overruns segment {segment.name}", address)
+        if end > len(segment.data):
+            segment.grow_to(end)
+        codec.pack_into(segment.data, offset, value)
+
+    def scalar_span(self, address: int, size: int) -> tuple:
+        """(segment, offset) for a bounds-checked ``size``-byte access.
+
+        Shared with the closure compiler, which bakes the codec and
+        size at compile time and needs only the located span.
+        """
+        segment = self._cached_segment
+        if segment is None or not \
+                (segment.base <= address < segment.limit):
+            segment = self.segment_for(address)
+        offset = address - segment.base
+        end = offset + size
+        if end > segment.capacity:
+            raise MemoryFault(
+                f"{self.name}: access of {size} bytes at {address:#x} "
+                f"overruns segment {segment.name}", address)
+        if end > len(segment.data):
+            segment.grow_to(end)
+        return segment, offset
 
 
 def scalar_format(type_: Type) -> str:
@@ -150,4 +219,15 @@ def scalar_format(type_: Type) -> str:
         return _FLOAT_FORMATS[type_.bits]
     if isinstance(type_, PointerType):
         return _POINTER_FORMAT
+    raise MemoryFault(f"cannot access memory as {type_}")
+
+
+def scalar_struct(type_: Type) -> struct.Struct:
+    """The pre-compiled :class:`struct.Struct` codec for a scalar type."""
+    if isinstance(type_, IntType):
+        return _INT_STRUCTS[type_.bits]
+    if isinstance(type_, FloatType):
+        return _FLOAT_STRUCTS[type_.bits]
+    if isinstance(type_, PointerType):
+        return _POINTER_STRUCT
     raise MemoryFault(f"cannot access memory as {type_}")

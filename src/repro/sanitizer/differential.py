@@ -72,8 +72,8 @@ class DifferentialReport:
 
 def run_differential(source: str, name: str = "program",
                      level: OptLevel = OptLevel.OPTIMIZED,
-                     cost_model: Optional[CostModel] = None
-                     ) -> DifferentialReport:
+                     cost_model: Optional[CostModel] = None,
+                     engine: str = "compiled") -> DifferentialReport:
     """Compile ``source`` once per side and compare the two runs."""
     if level == OptLevel.SEQUENTIAL:
         raise ValueError(
@@ -82,13 +82,15 @@ def run_differential(source: str, name: str = "program",
     cost_model = cost_model if cost_model is not None else CostModel()
 
     reference_compiler = CgcmCompiler(
-        CgcmConfig(opt_level=OptLevel.SEQUENTIAL, cost_model=cost_model))
+        CgcmConfig(opt_level=OptLevel.SEQUENTIAL, cost_model=cost_model,
+                   engine=engine))
     reference_compiled = reference_compiler.compile_source(source, name)
     reference = _execute_reference(reference_compiled.module,
                                    reference_compiler.config)
 
     subject_compiler = CgcmCompiler(
-        CgcmConfig(opt_level=level, cost_model=cost_model))
+        CgcmConfig(opt_level=level, cost_model=cost_model,
+                   engine=engine))
     compiled = subject_compiler.compile_source(source, name)
     subject, sanitizer_report, error = _execute_sanitized(
         compiled.module, subject_compiler.config)
@@ -106,13 +108,14 @@ def run_differential(source: str, name: str = "program",
 
 
 def run_differential_workload(workload, level: OptLevel = OptLevel.OPTIMIZED,
-                              cost_model: Optional[CostModel] = None
+                              cost_model: Optional[CostModel] = None,
+                              engine: str = "compiled"
                               ) -> DifferentialReport:
     """Differential run of a named benchmark (or a Workload object)."""
     if not isinstance(workload, Workload):
         workload = get_workload(workload)
     return run_differential(workload.source, workload.name, level,
-                            cost_model)
+                            cost_model, engine)
 
 
 def _execute_reference(module: Module,
@@ -126,7 +129,8 @@ def _execute_reference(module: Module,
     both sides of the differential.  Programs without such calls run
     entirely on the CPU, exactly as before.
     """
-    machine = Machine(module, config.cost_model, config.record_events)
+    machine = Machine(module, config.cost_model, config.record_events,
+                      engine=config.engine)
     runtime = CgcmRuntime(machine)
     runtime.declare_all_globals()
     exit_code = machine.run()
@@ -149,7 +153,8 @@ def _execute_sanitized(module: Module, config: CgcmConfig):
     before the error are still returned, so a seeded bug that faults
     mid-run does not hide the violations that led up to it.
     """
-    machine = Machine(module, config.cost_model, config.record_events)
+    machine = Machine(module, config.cost_model, config.record_events,
+                      engine=config.engine)
     runtime = CgcmRuntime(machine) if config.parallelize else None
     sanitizer = CommSanitizer(machine, runtime)
     error: Optional[str] = None

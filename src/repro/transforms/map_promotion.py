@@ -191,7 +191,15 @@ class MapPromotion:
                             ) -> List[_Candidate]:
         by_pointer: Dict[Value, _Candidate] = {}
         order: List[_Candidate] = []
-        for block in blocks:
+        # Iterate in the parent function's block order, not the set's:
+        # set order varies per process/run, and the hoisted map calls
+        # are emitted in candidate order, so the output IR would too.
+        any_block = next(iter(blocks), None)
+        if any_block is not None and any_block.parent is not None:
+            ordered = [b for b in any_block.parent.blocks if b in blocks]
+        else:
+            ordered = sorted(blocks, key=lambda b: b.name)
+        for block in ordered:
             for inst in block.instructions:
                 if not isinstance(inst, Call):
                     continue

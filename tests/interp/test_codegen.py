@@ -1,0 +1,208 @@
+"""Closure-compiler unit tests: slots, variants, compile-time checks."""
+
+import pytest
+
+from repro.errors import CgcmUnsupportedError, InterpError
+from repro.frontend import compile_minic
+from repro.interp import Machine
+from repro.interp.codegen import CompiledFunction, compile_function
+from repro.ir import (Constant, FunctionType, I64, IRBuilder, Load, Module,
+                      verify_module)
+
+
+def machine_pair(source: str):
+    """(tree machine, compiled machine) for the same source."""
+    return (Machine(compile_minic(source), engine="tree"),
+            Machine(compile_minic(source), engine="compiled"))
+
+
+class TestSlotAllocation:
+    def test_constants_share_one_slot(self):
+        module = Module("m")
+        fn = module.add_function("f", FunctionType(I64, []))
+        b = IRBuilder(fn.new_block("entry"))
+        p = b.alloca(I64)
+        # The literal 7 appears three times but is one Constant value.
+        b.store(7, p)
+        v = b.load(p)
+        v = b.add(v, 7)
+        v = b.add(v, 7)
+        b.ret(v)
+        machine = Machine(module, engine="compiled")
+        code = compile_function(machine, fn, "cpu", False)
+        assert isinstance(code, CompiledFunction)
+        # args(0) + 4 value-producing insts + {7, 1(alloca count)}.
+        assert code.n_slots == 6
+        assert machine.call(fn, []) == 21
+
+    def test_globals_baked_per_mode(self, simple_kernel_module):
+        machine = Machine(simple_kernel_module, engine="compiled")
+        main = simple_kernel_module.get_function("main")
+        cpu = compile_function(machine, main, "cpu", False)
+        gpu_fn = simple_kernel_module.get_function("scale")
+        gpu = compile_function(machine, gpu_fn, "gpu", False)
+        assert cpu.mode == "cpu" and gpu.mode == "gpu"
+
+    def test_variants_cached_per_mode_and_hooks(self):
+        source = "int main(void) { return 3; }"
+        machine = Machine(compile_minic(source), engine="compiled")
+        assert machine.run() == 3
+        fn = machine.module.get_function("main")
+        first = machine.compiled_for(fn)
+        assert machine.compiled_for(fn) is first
+        machine.mem_hooks.append(lambda *a: None)
+        hooked = machine.compiled_for(fn)
+        assert hooked is not first and hooked.hooked
+
+
+class TestResultEquivalence:
+    SOURCE = r"""
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) {
+            print_i64(fib(15));
+            return 0;
+        }
+    """
+
+    def test_recursion_and_reentrant_register_file(self):
+        tree, compiled = machine_pair(self.SOURCE)
+        assert tree.run() == compiled.run() == 0
+        assert tree.stdout == compiled.stdout == ["610"]
+        assert tree.clock.totals() == compiled.clock.totals()
+        assert tree.executed_instructions == compiled.executed_instructions
+
+    def test_division_costs_charged_identically(self):
+        source = r"""
+            int main(void) {
+                long s = 0;
+                for (long i = 1; i < 50; i++) s += (1000 / i) % 7;
+                print_i64(s);
+                return 0;
+            }
+        """
+        tree, compiled = machine_pair(source)
+        tree.run(), compiled.run()
+        assert tree.stdout == compiled.stdout
+        assert tree.clock.totals() == compiled.clock.totals()
+
+    def test_float_semantics_match(self):
+        source = r"""
+            int main(void) {
+                double z = 0.0;
+                print_f64(1.0 / z);
+                print_f64(-1.0 / z);
+                float f = 1.5;
+                print_f64((double) (f * 3.0));
+                print_i64((long) (7.9 / 2.0));
+                return 0;
+            }
+        """
+        tree, compiled = machine_pair(source)
+        tree.run(), compiled.run()
+        assert tree.stdout == compiled.stdout
+
+
+class TestHookedVariants:
+    def test_mem_hooks_fire_identically(self):
+        source = r"""
+            long A[4];
+            int main(void) {
+                for (int i = 0; i < 4; i++) A[i] = i * i;
+                long s = 0;
+                for (int i = 0; i < 4; i++) s += A[i];
+                return (int) s;
+            }
+        """
+        events = {}
+        for engine in ("tree", "compiled"):
+            machine = Machine(compile_minic(source), engine=engine)
+            log = []
+            machine.mem_hooks.append(
+                lambda m, kind, addr, size, log=log:
+                log.append((kind, addr, size)))
+            assert machine.run() == 14
+            events[engine] = log
+        assert events["tree"] == events["compiled"]
+        assert any(kind == "store" for kind, _, _ in events["tree"])
+
+
+class TestGpuRestrictions:
+    def test_kernel_pointer_store_rejected_compiled(self):
+        module = compile_minic(r"""
+            long G[4];
+            long *P[4];
+            __global__ void bad(long tid, long **p, long *g) {
+                p[tid] = g;
+            }
+            int main(void) {
+                long **dp = (long **) map((char *) P);
+                long *dg = (long *) map((char *) G);
+                __launch(bad, 1, dp, dg);
+                return 0;
+            }
+        """)
+        machine = Machine(module, engine="compiled")
+        from repro.runtime import CgcmRuntime
+        CgcmRuntime(machine).declare_all_globals()
+        with pytest.raises(CgcmUnsupportedError, match="pointer into"):
+            machine.run()
+
+
+class TestUndefinedRegisterDetection:
+    def _malformed_module(self):
+        """Verifier-clean function whose use is not dominated by its def."""
+        module = Module("m")
+        fn = module.add_function("main", FunctionType(I64, []))
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        join = fn.new_block("join")
+        b = IRBuilder(entry)
+        flag = b.alloca(I64)
+        b.store(0, flag)
+        cond = b.cmp("eq", b.load(flag), 1)
+        b.cbr(cond, left, join)
+        b.position_at_end(left)
+        defined = b.add(b.const(I64, 2), 3)   # only defined on this path
+        b.br(join)
+        b.position_at_end(join)
+        b.ret(defined)                        # undefined when entry -> join
+        return module, fn
+
+    def test_verifier_accepts_but_tree_raises_at_runtime(self):
+        module, _ = self._malformed_module()
+        verify_module(module)  # structure is fine; dominance is not checked
+        machine = Machine(module, engine="tree")
+        with pytest.raises(InterpError, match="undefined register"):
+            machine.run()
+
+    def test_codegen_rejects_at_compile_time(self):
+        module, fn = self._malformed_module()
+        machine = Machine(module, engine="compiled")
+        with pytest.raises(InterpError, match="does not dominate"):
+            compile_function(machine, fn, "cpu", False)
+
+    def test_unreachable_blocks_are_not_flagged(self):
+        module = Module("m")
+        fn = module.add_function("main", FunctionType(I64, []))
+        entry = fn.new_block("entry")
+        dead = fn.new_block("dead")
+        b = IRBuilder(entry)
+        b.ret(0)
+        b.position_at_end(dead)
+        # Dead block reads a register defined in another dead spot;
+        # it can never execute, so compilation must succeed.
+        ghost = b.add(b.const(I64, 1), 1)
+        b.ret(ghost)
+        machine = Machine(module, engine="compiled")
+        compile_function(machine, fn, "cpu", False)
+        assert machine.run() == 0
+
+    def test_declaration_cannot_be_compiled(self):
+        module = Module("m")
+        decl = module.declare_function("ext", FunctionType(I64, []))
+        machine = Machine(module, engine="compiled")
+        with pytest.raises(InterpError, match="declaration"):
+            compile_function(machine, decl, "cpu", False)

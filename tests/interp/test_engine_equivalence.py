@@ -1,0 +1,100 @@
+"""Engine equivalence: tree-walker and closure compiler must agree.
+
+The compiled engine exists only for speed; any observable difference
+-- stdout, exit code, final global bytes, dynamic instruction count,
+or a single bit of any simulated-clock lane -- is a bug.  The fast
+subset runs in tier-1; the full 24-workload sweep is ``slow``.
+"""
+
+import pytest
+
+from repro.core import CgcmCompiler, CgcmConfig, OptLevel
+from repro.evaluation.bench import compare_engines
+from repro.workloads import ALL_WORKLOADS, get_workload, workload_names
+
+#: Small-but-diverse tier-1 subset (int, float, multi-kernel, glue).
+FAST_WORKLOADS = ("atax", "nw", "kmeans", "blackscholes")
+
+
+def both_engines(name: str, level: OptLevel):
+    workload = get_workload(name)
+    compiler = CgcmCompiler(CgcmConfig(opt_level=level))
+    report = compiler.compile_source(workload.source, workload.name)
+    return (compiler.execute(report, engine="tree"),
+            compiler.execute(report, engine="compiled"))
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+@pytest.mark.parametrize("level",
+                         [OptLevel.SEQUENTIAL, OptLevel.OPTIMIZED],
+                         ids=lambda l: l.value)
+def test_engines_identical_fast(name, level):
+    tree, compiled = both_engines(name, level)
+    assert compare_engines(tree, compiled) == ()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", workload_names())
+def test_engines_identical_all_workloads(name):
+    tree, compiled = both_engines(name, OptLevel.OPTIMIZED)
+    assert compare_engines(tree, compiled) == ()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", workload_names())
+def test_engines_identical_unoptimized(name):
+    tree, compiled = both_engines(name, OptLevel.UNOPTIMIZED)
+    assert compare_engines(tree, compiled) == ()
+
+
+@pytest.mark.parametrize("name", ("atax", "kmeans"))
+def test_sanitizer_armed_subset(name):
+    """Hook-compiled variants keep the sanitizer's view identical.
+
+    Both engines execute the *same* compiled module: recompiling per
+    engine may legally reorder instructions, which shifts the int
+    partition at clock flushes and the exact-float comparison with it.
+    """
+    from repro.interp import Machine
+    from repro.runtime import CgcmRuntime
+    from repro.sanitizer import CommSanitizer
+
+    workload = get_workload(name)
+    compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED))
+    report = compiler.compile_source(workload.source, workload.name)
+    runs = {}
+    for engine in ("tree", "compiled"):
+        machine = Machine(report.module, compiler.config.cost_model,
+                          engine=engine)
+        runtime = CgcmRuntime(machine)
+        sanitizer = CommSanitizer(machine, runtime)
+        exit_code = machine.run()
+        sanitizer_report = sanitizer.finish()
+        runs[engine] = (exit_code, list(machine.stdout),
+                        machine.clock.totals(),
+                        machine.executed_instructions,
+                        sanitizer_report)
+    tree, compiled = runs["tree"], runs["compiled"]
+    # Everything down to exact clock floats and sanitizer statistics.
+    assert tree[:4] == compiled[:4]
+    assert tree[4].clean and compiled[4].clean
+    assert tree[4].stats == compiled[4].stats
+    # The sanitizer saw real traffic, i.e. the hooks did fire.
+    assert any(tree[4].stats.values())
+
+    # The full differential oracle stays clean under both engines.
+    from repro.sanitizer import run_differential_workload
+    for engine in ("tree", "compiled"):
+        oracle = run_differential_workload(name, OptLevel.OPTIMIZED,
+                                           engine=engine)
+        assert oracle.ok, f"{engine}: {oracle.summary()}"
+
+
+def test_config_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="unknown engine"):
+        CgcmConfig(engine="jit")
+
+
+def test_default_engine_is_compiled():
+    assert CgcmConfig().engine == "compiled"
+    assert len(ALL_WORKLOADS) == 24

@@ -232,3 +232,55 @@ class TestDeterminism:
         m2.run()
         assert m1.clock.snapshot() == m2.clock.snapshot()
         assert m1.clock.cpu_seconds > 0
+
+
+class TestActiveMemoryCache:
+    """``Machine.memory`` is cached on mode switches (hot-path opt)."""
+
+    def test_mode_setter_switches_address_space(self):
+        machine = Machine(compile_minic("int main(void) { return 0; }"))
+        assert machine.memory is machine.cpu_memory
+        machine.mode = "gpu"
+        assert machine.memory is machine.device.memory
+        machine.mode = "cpu"
+        assert machine.memory is machine.cpu_memory
+
+    def test_device_and_host_stay_separate(self):
+        """Regression: the cache must never blur the address spaces."""
+        machine = Machine(compile_minic("int main(void) { return 0; }"))
+        from repro.ir import I64
+        host_addr = machine.cpu_memory.segment("heap").base
+        machine.memory.store_scalar(host_addr, I64, 111)
+        machine.mode = "gpu"
+        device_addr = machine.device.memory.segment("device-heap").base \
+            if any(s.name == "device-heap"
+                   for s in machine.device.memory.segments) \
+            else machine.device.memory.segments[0].base
+        machine.memory.store_scalar(device_addr, I64, 222)
+        # A host address dereferenced through the (cached) GPU space
+        # must still fault, exactly as before the optimization.
+        with pytest.raises(MemoryFault):
+            machine.memory.load_scalar(host_addr, I64)
+        machine.mode = "cpu"
+        assert machine.memory.load_scalar(host_addr, I64) == 111
+        with pytest.raises(MemoryFault):
+            machine.memory.load_scalar(device_addr, I64)
+
+    def test_undefined_register_read_raises(self):
+        """Tree-walker runtime guard (see also test_codegen.py)."""
+        from repro.ir import FunctionType, I64, IRBuilder, Module
+        module = Module("m")
+        fn = module.add_function("main", FunctionType(I64, []))
+        entry = fn.new_block("entry")
+        skip = fn.new_block("skip")
+        join = fn.new_block("join")
+        b = IRBuilder(entry)
+        b.cbr(b.cmp("eq", b.const(I64, 0), 1), skip, join)
+        b.position_at_end(skip)
+        ghost = b.add(b.const(I64, 1), 1)
+        b.br(join)
+        b.position_at_end(join)
+        b.ret(ghost)
+        machine = Machine(module, engine="tree")
+        with pytest.raises(InterpError, match="undefined register"):
+            machine.run()

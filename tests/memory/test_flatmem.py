@@ -93,3 +93,32 @@ class TestTypedAccess:
     def test_little_endian_layout(self, memory):
         memory.store_scalar(HEAP_BASE, I64, 1)
         assert memory.read(HEAP_BASE, 8) == b"\x01" + b"\x00" * 7
+
+
+class TestScalarFastPath:
+    """The hoisted struct.Struct codecs and the segment cache."""
+
+    def test_scalar_struct_is_precompiled_and_shared(self):
+        from repro.memory.flatmem import scalar_struct
+        import struct as struct_mod
+        codec = scalar_struct(I64)
+        assert isinstance(codec, struct_mod.Struct)
+        assert codec is scalar_struct(I64)
+        assert codec.size == 8
+        assert scalar_struct(pointer_to(F64)).format in ("<Q", b"<Q")
+
+    def test_segment_cache_does_not_leak_across_segments(self, memory):
+        # Warm the cache on the heap, then access a different segment
+        # and a wild address: correctness must not depend on the cache.
+        memory.store_scalar(HEAP_BASE, I64, 7)
+        memory.store_scalar(STACK_BASE, I64, 9)
+        assert memory.load_scalar(HEAP_BASE, I64) == 7
+        assert memory.load_scalar(STACK_BASE, I64) == 9
+        with pytest.raises(MemoryFault):
+            memory.load_scalar(DEVICE_BASE, I64)  # not in this space
+
+    def test_cached_segment_bounds_still_enforced(self, memory):
+        heap = memory.segment("heap")
+        memory.store_scalar(HEAP_BASE, I8, 1)  # cache the heap segment
+        with pytest.raises(MemoryFault):
+            memory.load_scalar(heap.limit - 4, I64)  # 8 bytes, 4 left
