@@ -6,6 +6,7 @@ Usage::
     python -m repro emit-ir program.c [--level unoptimized]
     python -m repro bench [<workload> ...] [--out BENCH_interp.json]
     python -m repro sanitize <workload-or-source> [...] [--level opt]
+    python -m repro lint [<workload-or-source> ...] [--json] [--corpus]
     python -m repro list
 
 ``run`` compiles a MiniC source file at the chosen optimization level
@@ -14,8 +15,10 @@ transformed IR; ``bench`` with workload names runs them through all
 four configurations, and with no names runs the full 24-workload
 tree-vs-compiled engine sweep and writes ``BENCH_interp.json``;
 ``sanitize`` runs the CPU-vs-GPU differential oracle with the
-communication sanitizer armed; ``list`` shows the 24 available
-workloads.
+communication sanitizer armed; ``lint`` runs the static communication
+verifier and DOALL race auditor over post-pipeline IR (``--corpus``
+self-checks the seeded-defect corpus); ``list`` shows the 24
+available workloads.
 """
 
 from __future__ import annotations
@@ -100,6 +103,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print sanitizer statistics for clean runs too")
     _add_engine_argument(sanitize_cmd)
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="static communication verifier and DOALL race auditor")
+    lint_cmd.add_argument(
+        "targets", nargs="*",
+        help="workload names, MiniC source paths, or 'all' (default: "
+             "all; with --corpus and no targets, only the corpus runs)")
+    lint_cmd.add_argument(
+        "--level", choices=("unoptimized", "optimized"),
+        default="optimized",
+        help="pipeline level to lint the post-pipeline IR of")
+    lint_cmd.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable findings as JSON")
+    lint_cmd.add_argument(
+        "--corpus", action="store_true",
+        help="also self-check the seeded-defect corpus (every seeded "
+             "bug must be flagged, every clean control must pass)")
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
@@ -217,6 +239,64 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .staticcheck import check_corpus, lint_source, lint_workload
+
+    level = _LEVELS[args.level]
+    targets: List[str] = []
+    for target in args.targets:
+        if target == "all":
+            targets.extend(workload_names())
+        else:
+            targets.append(target)
+    if not targets and not args.corpus:
+        targets = list(workload_names())
+
+    reports = []
+    for target in targets:
+        if os.path.exists(target):
+            with open(target) as handle:
+                source = handle.read()
+            reports.append(lint_source(source, target, level))
+        else:
+            reports.append(lint_workload(get_workload(target), level))
+
+    corpus_results = check_corpus() if args.corpus else []
+    corpus_misses = [r for r in corpus_results if not r.caught]
+    failures = [r for r in reports if not r.clean]
+
+    if args.as_json:
+        payload = {"reports": [r.to_json() for r in reports]}
+        if args.corpus:
+            payload["corpus"] = [
+                {"name": r.defect.name, "caught": r.caught,
+                 "expected_pass": r.defect.expected_pass,
+                 "expected_kinds": list(r.defect.kinds),
+                 "report": r.report.to_json()}
+                for r in corpus_results]
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render(max_notes=3))
+        for result in corpus_results:
+            verdict = "caught" if result.caught else "MISSED"
+            if result.defect.is_control:
+                verdict = "clean" if result.caught else "FALSE POSITIVE"
+            print(f"corpus {result.defect.name:24s} {verdict}")
+            if not result.caught:
+                for finding in result.report.findings:
+                    print("  " + finding.render())
+        print(f"lint: {len(reports) - len(failures)}/{len(reports)} "
+              "modules clean"
+              + (f", corpus {len(corpus_results) - len(corpus_misses)}"
+                 f"/{len(corpus_results)} as expected"
+                 if args.corpus else ""),
+              file=sys.stderr)
+    return 1 if failures or corpus_misses else 0
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for workload in ALL_WORKLOADS:
         print(f"{workload.name:16s} {workload.suite:10s} "
@@ -228,7 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
                 "bench": _cmd_bench, "sanitize": _cmd_sanitize,
-                "list": _cmd_list}
+                "lint": _cmd_lint, "list": _cmd_list}
     return handlers[args.command](args)
 
 

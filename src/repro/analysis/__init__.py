@@ -2,7 +2,8 @@
 use-based type inference, aliasing, mod/ref, and affine dependence."""
 
 from .cfg import predecessor_map, reachable_blocks, reverse_postorder
-from .dominators import DominatorTree
+from .dataflow import DataflowProblem, DataflowResult, solve
+from .dominators import DominatorTree, PostDominatorTree
 from .loops import (CountedLoop, Loop, find_loops, loop_preheader,
                     recognize_counted_loop)
 from .liveness import Liveness
@@ -10,18 +11,22 @@ from .callgraph import CallGraph
 from .typeinfer import (MAX_SUPPORTED_DEPTH, PointerDepths,
                         infer_pointer_depths)
 from .alias import (UNKNOWN, is_identified, may_alias, may_alias_roots,
-                    points_into, underlying_objects)
+                    ordered_roots, points_into, root_sort_key,
+                    underlying_objects)
 from .modref import ModRefAnalysis
 from .affine import (AccessForm, Affine, AffineContext, IvRange, access_form,
                      affine_of, conflicts_across_iterations)
 
 __all__ = [
     "predecessor_map", "reachable_blocks", "reverse_postorder",
-    "DominatorTree", "CountedLoop", "Loop", "find_loops", "loop_preheader",
+    "DataflowProblem", "DataflowResult", "solve",
+    "DominatorTree", "PostDominatorTree", "CountedLoop", "Loop",
+    "find_loops", "loop_preheader",
     "recognize_counted_loop", "Liveness", "CallGraph",
     "MAX_SUPPORTED_DEPTH", "PointerDepths", "infer_pointer_depths",
     "UNKNOWN", "is_identified", "may_alias", "may_alias_roots",
-    "points_into", "underlying_objects", "ModRefAnalysis", "AccessForm",
+    "ordered_roots", "points_into", "root_sort_key", "underlying_objects",
+    "ModRefAnalysis", "AccessForm",
     "Affine", "AffineContext", "IvRange", "access_form", "affine_of",
     "conflicts_across_iterations",
 ]

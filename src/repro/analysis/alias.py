@@ -11,7 +11,7 @@ involvement of an unknown root is conservatively treated as aliasing.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set, Union
+from typing import FrozenSet, Iterable, List, Set, Tuple, Union
 
 from ..ir.instructions import (Alloca, BinaryOp, Call, Cast, GetElementPtr,
                                Instruction, Load, Select, Store)
@@ -154,6 +154,42 @@ def _is_direct_slot(alloca: Alloca) -> bool:
             if not direct:
                 return False
     return True
+
+
+def root_sort_key(root: Root) -> Tuple:
+    """Deterministic ordering key for alias roots.
+
+    ``underlying_objects`` returns frozensets whose iteration order
+    varies between interpreter runs (hash randomization); passes that
+    report roots or pick candidates from them must iterate in this
+    order instead.  Sorts by kind, then by name/position: globals by
+    name, arguments by (function, index), instructions (allocas, heap
+    calls) by (function, block position, instruction position),
+    constants by value, UNKNOWN last.
+    """
+    if isinstance(root, GlobalVariable):
+        return (0, root.name, 0, 0)
+    if isinstance(root, Argument):
+        fn = root.function
+        return (1, fn.name if fn is not None else "", root.index, 0)
+    if isinstance(root, Instruction):
+        block = root.parent
+        fn = block.parent if block is not None else None
+        if fn is not None and block is not None:
+            try:
+                return (2, fn.name, fn.blocks.index(block),
+                        block.index(root))
+            except ValueError:
+                pass
+        return (2, "", 0, 0)
+    if isinstance(root, Constant):
+        return (3, repr(root.value), 0, 0)
+    return (4, str(root), 0, 0)
+
+
+def ordered_roots(roots: Iterable[Root]) -> List[Root]:
+    """``roots`` in the deterministic :func:`root_sort_key` order."""
+    return sorted(roots, key=root_sort_key)
 
 
 def is_identified(root: Root) -> bool:

@@ -1,0 +1,171 @@
+"""Generic iterative dataflow framework over the IR CFG.
+
+The static checker (``repro.staticcheck``) and future optimization
+passes share one worklist solver: a :class:`DataflowProblem` supplies
+the direction, the boundary/initial states, a join, and a transfer
+function; :func:`solve` iterates to a fixpoint over the reachable
+blocks (seeded in reverse postorder so acyclic regions converge in one
+sweep) and returns the per-block states.
+
+States are treated as immutable values: transfer functions must return
+fresh states rather than mutate their input, and ``join`` must be
+monotone over a finite-height lattice for termination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from .cfg import predecessor_map, reachable_blocks, reverse_postorder
+
+#: Generous safety net: a correct finite-lattice problem converges in
+#: O(blocks * lattice height) steps; hitting the cap means the problem
+#: is not monotone (a bug worth surfacing loudly).
+_MAX_STEPS_PER_BLOCK = 10_000
+
+
+class DataflowProblem:
+    """One dataflow problem: direction, lattice, and transfer."""
+
+    #: ``"forward"`` (states flow entry -> exits) or ``"backward"``.
+    direction: str = "forward"
+
+    def boundary_state(self, fn: Function):
+        """State at the boundary: the entry (forward) or every exit
+        block (backward)."""
+        raise NotImplementedError
+
+    def initial_state(self, fn: Function):
+        """Optimistic starting state for interior blocks."""
+        raise NotImplementedError
+
+    def join(self, states: List[object]):
+        """Combine the states arriving over several CFG edges."""
+        raise NotImplementedError
+
+    def transfer_block(self, block: BasicBlock, state):
+        """Push ``state`` through a whole block (instruction order
+        follows the direction)."""
+        instructions = block.instructions
+        if self.direction != "forward":
+            instructions = list(reversed(instructions))
+        for inst in instructions:
+            state = self.transfer_instruction(inst, state)
+        return state
+
+    def transfer_instruction(self, inst: Instruction, state):
+        """Push ``state`` through one instruction (identity default)."""
+        return state
+
+    def states_equal(self, a, b) -> bool:
+        return a == b
+
+
+class DataflowResult:
+    """Fixpoint states of one function, direction-relative.
+
+    ``input_state(b)`` is the joined state *entering* block ``b`` in
+    dataflow order (at the top of the block for a forward problem, at
+    the bottom for a backward one); ``output_state(b)`` is the state
+    after the block's transfer.
+    """
+
+    def __init__(self, fn: Function, problem: DataflowProblem,
+                 block_in: Dict[BasicBlock, object],
+                 block_out: Dict[BasicBlock, object]):
+        self.function = fn
+        self.problem = problem
+        self._block_in = block_in
+        self._block_out = block_out
+
+    def input_state(self, block: BasicBlock):
+        return self._block_in[block]
+
+    def output_state(self, block: BasicBlock):
+        return self._block_out[block]
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        """The analyzed (reachable) blocks."""
+        return list(self._block_in)
+
+    def instruction_states(self, block: BasicBlock
+                           ) -> Iterator[Tuple[Instruction, object]]:
+        """Replay the block, yielding ``(inst, state_before_inst)`` in
+        dataflow order."""
+        state = self._block_in[block]
+        instructions = block.instructions
+        if self.problem.direction != "forward":
+            instructions = list(reversed(instructions))
+        for inst in instructions:
+            yield inst, state
+            state = self.problem.transfer_instruction(inst, state)
+
+
+def solve(fn: Function, problem: DataflowProblem) -> DataflowResult:
+    """Run ``problem`` over ``fn`` to a fixpoint."""
+    forward = problem.direction == "forward"
+    reachable = reachable_blocks(fn)
+    rpo = [b for b in reverse_postorder(fn) if b in reachable]
+    preds = predecessor_map(fn)
+
+    if forward:
+        order = rpo
+        boundary = {fn.entry_block}
+
+        def incoming(block: BasicBlock) -> List[BasicBlock]:
+            return [p for p in preds[block] if p in reachable]
+
+        def outgoing(block: BasicBlock) -> List[BasicBlock]:
+            return [s for s in block.successors if s in reachable]
+    else:
+        order = list(reversed(rpo))
+        boundary = {b for b in reachable if not b.successors}
+
+        def incoming(block: BasicBlock) -> List[BasicBlock]:
+            return [s for s in block.successors if s in reachable]
+
+        def outgoing(block: BasicBlock) -> List[BasicBlock]:
+            return [p for p in preds[block] if p in reachable]
+
+    block_in: Dict[BasicBlock, object] = {}
+    block_out: Dict[BasicBlock, object] = {}
+
+    pending = deque(order)
+    queued = set(order)
+    budget = _MAX_STEPS_PER_BLOCK * max(1, len(order))
+    steps = 0
+    while pending:
+        steps += 1
+        if steps > budget:
+            raise RuntimeError(
+                f"dataflow failed to converge on @{fn.name}: "
+                "non-monotone transfer or infinite lattice")
+        block = pending.popleft()
+        queued.discard(block)
+
+        arriving = [block_out[p] for p in incoming(block) if p in block_out]
+        if block in boundary:
+            arriving.append(problem.boundary_state(fn))
+        if arriving:
+            in_state = (arriving[0] if len(arriving) == 1
+                        else problem.join(arriving))
+        else:
+            in_state = problem.initial_state(fn)
+
+        old_out = block_out.get(block)
+        block_in[block] = in_state
+        out_state = problem.transfer_block(block, in_state)
+        if old_out is not None and problem.states_equal(old_out, out_state):
+            continue
+        block_out[block] = out_state
+        for succ in outgoing(block):
+            if succ not in queued:
+                queued.add(succ)
+                pending.append(succ)
+
+    return DataflowResult(fn, problem, block_in, block_out)

@@ -1,4 +1,4 @@
-"""Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm."""
+"""Dominator and postdominator trees (Cooper-Harvey-Kennedy)."""
 
 from __future__ import annotations
 
@@ -69,6 +69,115 @@ class DominatorTree:
         while current is not None:
             yield current
             parent = self._idom.get(current)
+            if parent is current:
+                return
+            current = parent
+
+
+class PostDominatorTree:
+    """Immediate postdominators over the reversed CFG.
+
+    Functions may have several ``ret``/``unreachable`` exits, so the
+    reverse CFG is rooted at a virtual exit node whose predecessors are
+    every block without successors.  Blocks that cannot reach any exit
+    (infinite loops) have no postdominator information; for them
+    :meth:`postdominates` conservatively answers False.
+    """
+
+    _VIRTUAL_EXIT = object()
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        virt = PostDominatorTree._VIRTUAL_EXIT
+        cfg_preds = predecessor_map(fn)
+        exits = [b for b in fn.blocks if not b.successors]
+
+        # Reverse postorder of the *reversed* CFG from the virtual exit
+        # (reverse-graph successors of a block are its CFG predecessors).
+        visited = {virt}
+        postorder: List[object] = []
+        stack = [(virt, iter(exits))]
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(cfg_preds[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+        rpo = list(reversed(postorder))
+        index = {node: i for i, node in enumerate(rpo)}
+        ipdom: Dict[object, object] = {virt: virt}
+
+        def intersect(a: object, b: object) -> object:
+            while a is not b:
+                while index[a] > index[b]:
+                    a = ipdom[a]
+                while index[b] > index[a]:
+                    b = ipdom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is virt:
+                    continue
+                # Reverse-graph predecessors: CFG successors, plus the
+                # virtual exit for exit blocks.
+                preds = [s for s in block.successors
+                         if s in ipdom and s in index]
+                if not block.successors:
+                    preds.append(virt)
+                if not preds:
+                    continue
+                new_ipdom = preds[0]
+                for pred in preds[1:]:
+                    new_ipdom = intersect(new_ipdom, pred)
+                if ipdom.get(block) is not new_ipdom:
+                    ipdom[block] = new_ipdom
+                    changed = True
+
+        self._ipdom = ipdom
+
+    def immediate_postdominator(self,
+                                block: BasicBlock) -> Optional[BasicBlock]:
+        """The ipdom of ``block`` (None for exit blocks, for blocks
+        that reach no exit, and for blocks outside the function)."""
+        parent = self._ipdom.get(block)
+        if parent is None or parent is PostDominatorTree._VIRTUAL_EXIT:
+            return None
+        return parent  # type: ignore[return-value]
+
+    def postdominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if every path from ``b`` to an exit passes through
+        ``a`` (reflexive; conservatively False when ``b`` reaches no
+        exit)."""
+        virt = PostDominatorTree._VIRTUAL_EXIT
+        if b not in self._ipdom:
+            return False
+        current: object = b
+        while True:
+            if current is a:
+                return True
+            if current is virt:
+                return False
+            parent = self._ipdom.get(current)
+            if parent is None or parent is current:
+                return False
+            current = parent
+
+    def walk_up(self, block: BasicBlock) -> Iterator[BasicBlock]:
+        """Yield block, ipdom(block), ... up to the last real block."""
+        virt = PostDominatorTree._VIRTUAL_EXIT
+        current: object = block
+        while current is not None and current is not virt:
+            yield current  # type: ignore[misc]
+            parent = self._ipdom.get(current)
             if parent is current:
                 return
             current = parent

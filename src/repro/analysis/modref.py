@@ -57,6 +57,17 @@ class ModRefAnalysis:
                     return True, True
         return mod, ref
 
+    def call_mod_ref(self, inst: Call, root: Root) -> Tuple[bool, bool]:
+        """(mod, ref) of one call site w.r.t. ``root`` -- public entry
+        point for clients (e.g. the static checker) that reason about
+        individual calls rather than regions."""
+        return self._call_mod_ref(inst, root)
+
+    def instruction_mod_ref(self, inst: Instruction,
+                            root: Root) -> Tuple[bool, bool]:
+        """(mod, ref) of a single instruction w.r.t. ``root``."""
+        return self._instruction_mod_ref(inst, root)
+
     def _instruction_mod_ref(self, inst: Instruction,
                              root: Root) -> Tuple[bool, bool]:
         if isinstance(inst, Load):

@@ -45,9 +45,21 @@ def verify_function(fn: Function, module: Module) -> None:
         names.add(block.name)
         if not block.instructions:
             raise IRError(f"@{fn.name}/{block.name}: empty block")
+        seen_terminator = False
         for i, inst in enumerate(block.instructions):
             is_last = i == len(block.instructions) - 1
-            if inst.is_terminator != is_last:
+            if seen_terminator:
+                raise IRError(
+                    f"@{fn.name}/{block.name}: instruction after "
+                    f"terminator: {inst.opcode} at {i}")
+            if inst.is_terminator:
+                seen_terminator = True
+                if not is_last:
+                    # Diagnosed on the *next* iteration with the
+                    # offending trailing instruction named; keep
+                    # scanning so that message wins.
+                    continue
+            elif is_last:
                 raise IRError(
                     f"@{fn.name}/{block.name}: terminator misplaced at "
                     f"instruction {i}")
@@ -67,6 +79,22 @@ def verify_function(fn: Function, module: Module) -> None:
                     raise IRError(
                         f"@{fn.name}/{block.name}: branch to foreign "
                         f"block {succ.name}")
+
+    # Every block must be reachable from the entry: transforms that
+    # carve up the CFG must erase what they disconnect, and the
+    # dataflow passes in repro.staticcheck assume a connected CFG.
+    reachable: Set[object] = set()
+    work = [fn.entry_block]
+    while work:
+        block = work.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        work.extend(block.successors)
+    for block in fn.blocks:
+        if block not in reachable:
+            raise IRError(f"@{fn.name}/{block.name}: block unreachable "
+                          "from entry")
 
     _check_operands(fn, module, defined)
     for inst in fn.instructions():

@@ -1,0 +1,30 @@
+"""Static communication verifier and DOALL race auditor.
+
+The dynamic sanitizer (``repro.sanitizer``) checks CGCM's invariants
+per run; this package proves them over all paths on post-pipeline IR:
+
+* :mod:`mapstate`   -- abstract interpretation over a per-allocation-
+  unit mapping lattice: every launched kernel's operands must be
+  mapped on all incoming paths, map/unmap/release must balance, no
+  double release, no use after release, no CPU access racing a live
+  device copy.
+* :mod:`redundant`  -- map/unmap round trips with no intervening CPU
+  mod/ref: statically visible missed map-promotion opportunities.
+* :mod:`doallcheck` -- independent re-derivation of affine access
+  forms from each outlined kernel's own IR and a cross-thread
+  conflict re-check (defense-in-depth against parallelizer bugs).
+
+Entry points: :func:`lint_module` / :func:`lint_source` /
+:func:`lint_workload` (module :mod:`linter`), and the seeded-defect
+corpus self-check in :mod:`corpus`.  CLI: ``python -m repro lint``.
+"""
+
+from .findings import Finding, LintReport, Severity
+from .linter import lint_module, lint_source, lint_workload
+from .corpus import CORPUS, CorpusDefect, check_corpus
+
+__all__ = [
+    "Finding", "LintReport", "Severity",
+    "lint_module", "lint_source", "lint_workload",
+    "CORPUS", "CorpusDefect", "check_corpus",
+]

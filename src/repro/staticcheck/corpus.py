@@ -1,0 +1,408 @@
+"""Seeded-defect corpus: known-bad MiniC modules the linter must flag.
+
+Each entry is a tiny program that manages communication *by hand*
+(MiniC exposes ``map``/``unmap``/``release``/``__launch`` directly) and
+commits exactly one protocol violation; the corpus self-check demands
+that the expected pass reports the expected kind on every entry --
+zero false negatives.  Clean control entries must produce zero errors,
+guarding against the passes degenerating into "flag everything".
+
+The sources are lowered with :func:`repro.frontend.compile_minic`
+alone (no pipeline): the defects live in the manual runtime calls, and
+running the communication manager over them would repair the very bugs
+the corpus exists to seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..frontend.lowering import compile_minic
+from .findings import LintReport
+from .linter import lint_module
+
+
+@dataclass(frozen=True)
+class CorpusDefect:
+    """One seeded defect (or clean control, when ``kinds`` is empty)."""
+
+    name: str
+    description: str
+    expected_pass: str    #: pass that must flag it ("" for controls)
+    kinds: Tuple[str, ...]  #: any of these kinds counts as caught
+    source: str
+
+    @property
+    def is_control(self) -> bool:
+        return not self.kinds
+
+
+@dataclass
+class CorpusResult:
+    defect: CorpusDefect
+    report: LintReport
+    caught: bool
+
+
+_SCALE_PARAM = ("__global__ void scale(long tid, double *a) "
+                "{ a[tid] = a[tid] * 2.0; }")
+_SCALE_GLOBAL = ("__global__ void scale(long tid) "
+                 "{ A[tid] = A[tid] * 2.0; }")
+
+
+CORPUS: Tuple[CorpusDefect, ...] = (
+    CorpusDefect(
+        "dropped-map-global",
+        "kernel consumes a global that was never mapped",
+        "mapstate", ("launch-unmapped",),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    __launch(scale, 8);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "raw-pointer-launch",
+        "raw host pointer passed to a dereferenced kernel formal",
+        "mapstate", ("launch-raw-pointer", "launch-unmapped"),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    __launch(scale, 8, A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "conditional-map",
+        "map happens under an if: unit unmapped on the else path",
+        "mapstate", ("launch-unmapped-path",),
+        f"""
+double A[8];
+long n;
+{_SCALE_GLOBAL}
+int main(void) {{
+    n = 6;
+    if (n > 4) {{ map((char *) A); }}
+    __launch(scale, 8);
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "missing-release",
+        "function returns with the unit still mapped",
+        "mapstate", ("refcount-leak",),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "double-release",
+        "second release of an already-released unit",
+        "mapstate", ("double-release",),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "release-underflow",
+        "release of a unit that was never mapped",
+        "mapstate", ("release-underflow",),
+        """
+double A[8];
+int main(void) {
+    release((char *) A);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "unmap-unmapped",
+        "unmap of a unit that was never mapped",
+        "mapstate", ("unmap-unmapped",),
+        """
+double A[8];
+int main(void) {
+    unmap((char *) A);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "hoist-past-cpu-write",
+        "CPU stores to the unit after map: device copy is stale",
+        "mapstate", ("stale-device-read",),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    double *d = (double *) map((char *) A);
+    A[0] = 99.0;
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "stale-host-read",
+        "CPU reads the unit before the device writes are unmapped back",
+        "mapstate", ("stale-host-read",),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    print_f64(A[0]);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "lost-update-unmap",
+        "unmap copies stale device bytes over a newer CPU store",
+        "mapstate", ("lost-update",),
+        """
+double A[8];
+double B[8];
+__global__ void touch(long tid, double *b) { b[tid] = 1.0; }
+int main(void) {
+    double *da = (double *) map((char *) A);
+    double *db = (double *) map((char *) B);
+    A[0] = 42.0;
+    __launch(touch, 8, db);
+    unmap((char *) A);
+    release((char *) A);
+    unmap((char *) B);
+    release((char *) B);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "use-after-release",
+        "kernel launched after the unit's mapping was released",
+        "mapstate", ("use-after-release",),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+    __launch(scale, 8);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "device-free-live",
+        "heap unit freed while still mapped to the device",
+        "mapstate", ("device-free-live",),
+        f"""
+{_SCALE_PARAM}
+int main(void) {{
+    double *p = (double *) malloc(8 * sizeof(double));
+    double *d = (double *) map((char *) p);
+    __launch(scale, 8, d);
+    free((char *) p);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "pointer-mix",
+        "CPU dereferences the device pointer returned by map",
+        "mapstate", ("pointer-mix",),
+        """
+double A[8];
+int main(void) {
+    double *d = (double *) map((char *) A);
+    d[0] = 3.14;
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "doall-dependent",
+        "kernel has a cross-thread flow dependence (a[tid+1] = a[tid])",
+        "doall", ("doall-race",),
+        """
+double A[16];
+__global__ void shift(long tid, double *a) { a[tid + 1] = a[tid]; }
+int main(void) {
+    double *d = (double *) map((char *) A);
+    __launch(shift, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "doall-reduction",
+        "every thread updates one shared scalar without synchronization",
+        "doall", ("doall-race",),
+        """
+double S[1];
+double A[8];
+__global__ void sum(long tid, double *a) { S[0] = S[0] + a[tid]; }
+int main(void) {
+    map((char *) S);
+    double *d = (double *) map((char *) A);
+    __launch(sum, 8, d);
+    unmap((char *) S);
+    release((char *) S);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "doall-stride-overlap",
+        "write stride differs from read stride: iterations collide",
+        "doall", ("doall-race",),
+        """
+double A[16];
+__global__ void stride(long tid, double *a) { a[tid * 2] = a[tid]; }
+int main(void) {
+    double *d = (double *) map((char *) A);
+    __launch(stride, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "redundant-round-trip",
+        "unmap immediately re-mapped and an in-loop map/unmap pair "
+        "with an idle CPU (both missed-optimization diagnostics)",
+        "redundant", ("redundant-transfer", "missed-promotion"),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 4; i++) {{
+        map((char *) A);
+        __launch(scale, 8);
+        unmap((char *) A);
+        release((char *) A);
+    }}
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+    release((char *) A);
+    return 0;
+}}
+"""),
+    # -- clean controls: zero errors required -------------------------
+    CorpusDefect(
+        "control-simple",
+        "well-formed manual map/launch/unmap/release sequence",
+        "", (),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) s = s + A[i];
+    print_f64(s);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "control-loop",
+        "per-iteration map/unmap justified by CPU stores in the loop",
+        "", (),
+        f"""
+double A[8];
+{_SCALE_PARAM}
+int main(void) {{
+    for (int i = 0; i < 4; i++) {{
+        A[i] = i + 1.0;
+        double *d = (double *) map((char *) A);
+        __launch(scale, 8, d);
+        unmap((char *) A);
+        release((char *) A);
+    }}
+    print_f64(A[0]);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "control-heap",
+        "heap unit freed only after its mapping was released",
+        "", (),
+        f"""
+{_SCALE_PARAM}
+int main(void) {{
+    double *p = (double *) malloc(8 * sizeof(double));
+    for (int i = 0; i < 8; i++) p[i] = i + 1;
+    double *d = (double *) map((char *) p);
+    __launch(scale, 8, d);
+    unmap((char *) p);
+    release((char *) p);
+    print_f64(p[0]);
+    free((char *) p);
+    return 0;
+}}
+"""),
+)
+
+
+def get_defect(name: str) -> CorpusDefect:
+    for defect in CORPUS:
+        if defect.name == name:
+            return defect
+    raise KeyError(f"unknown corpus entry {name!r}")
+
+
+def check_corpus(names: Optional[List[str]] = None) -> List[CorpusResult]:
+    """Lint every corpus entry and judge whether it was handled right.
+
+    A defect entry is *caught* when the expected pass reports one of
+    the expected kinds; a control entry passes when its report has no
+    errors.
+    """
+    selected = (CORPUS if names is None
+                else tuple(get_defect(n) for n in names))
+    results: List[CorpusResult] = []
+    for defect in selected:
+        module = compile_minic(defect.source, defect.name)
+        report = lint_module(module)
+        if defect.is_control:
+            caught = report.clean
+        else:
+            caught = any(f.pass_name == defect.expected_pass
+                         and f.kind in defect.kinds
+                         for f in report.findings)
+        results.append(CorpusResult(defect, report, caught))
+    return results

@@ -1,0 +1,146 @@
+"""Finding and report types shared by every static-checker pass."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.instructions import Instruction
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings are violations of CGCM's correctness invariants
+    (the static counterparts of the sanitizer's violation taxonomy);
+    WARNING findings are suspicious-but-not-provably-wrong shapes and
+    missed-optimization diagnostics; NOTE findings record what the
+    checker could not verify.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "note": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: which pass, what kind, where."""
+
+    pass_name: str      #: "mapstate" | "redundant" | "doall" | "verify"
+    kind: str           #: stable slug, e.g. "launch-unmapped"
+    severity: Severity
+    function: str       #: enclosing function name ("" for module-level)
+    block: str          #: block name ("" for function/module-level)
+    block_position: int  #: index of the block in the function (-1 n/a)
+    index: int          #: instruction index within the block (-1 n/a)
+    message: str
+
+    @property
+    def location(self) -> str:
+        if not self.function:
+            return "<module>"
+        if not self.block:
+            return f"@{self.function}"
+        return f"@{self.function}/{self.block}#{self.index}"
+
+    def render(self) -> str:
+        return (f"{self.severity.value}[{self.pass_name}] "
+                f"{self.location}: {self.kind}: {self.message}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "pass": self.pass_name,
+            "kind": self.kind,
+            "severity": self.severity.value,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple:
+        return (self.function, self.block_position, self.index,
+                self.severity.rank, self.pass_name, self.kind,
+                self.message)
+
+
+def finding_at(pass_name: str, kind: str, severity: Severity,
+               inst: Instruction, message: str) -> Finding:
+    """A finding anchored at one instruction."""
+    block = inst.parent
+    fn = block.parent if block is not None else None
+    if block is None or fn is None:
+        return Finding(pass_name, kind, severity, "", "", -1, -1, message)
+    return Finding(pass_name, kind, severity, fn.name, block.name,
+                   fn.blocks.index(block), block.index(inst), message)
+
+
+def finding_in_function(pass_name: str, kind: str, severity: Severity,
+                        function_name: str, message: str) -> Finding:
+    """A function-level finding with no single instruction anchor."""
+    return Finding(pass_name, kind, severity, function_name, "", -1, -1,
+                   message)
+
+
+class LintReport:
+    """All findings of one lint run over one module."""
+
+    def __init__(self, module_name: str, findings: List[Finding],
+                 passes_run: Optional[List[str]] = None):
+        self.module_name = module_name
+        self.findings = sorted(findings, key=Finding.sort_key)
+        self.passes_run = list(passes_run or [])
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """No errors (warnings and notes do not fail a lint run)."""
+        return not self.errors
+
+    def by_kind(self, kind: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def summary(self) -> str:
+        errors = len(self.errors)
+        warnings = len(self.warnings)
+        notes = len(self.findings) - errors - warnings
+        verdict = "clean" if self.clean else "FAIL"
+        return (f"{self.module_name}: {verdict} "
+                f"({errors} errors, {warnings} warnings, {notes} notes)")
+
+    def render(self, max_notes: Optional[int] = None) -> str:
+        lines = []
+        notes_shown = 0
+        suppressed = 0
+        for finding in self.findings:
+            if finding.severity is Severity.NOTE and max_notes is not None:
+                notes_shown += 1
+                if notes_shown > max_notes:
+                    suppressed += 1
+                    continue
+            lines.append("  " + finding.render())
+        if suppressed:
+            lines.append(f"  ... and {suppressed} more notes")
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "module": self.module_name,
+            "clean": self.clean,
+            "passes": self.passes_run,
+            "findings": [f.to_json() for f in self.findings],
+        }

@@ -1,0 +1,74 @@
+"""Lint driver: run the static-checker passes over a module.
+
+``lint_module`` is the core entry point (used by the test-suite and
+the CLI); ``lint_source``/``lint_workload`` compile MiniC through the
+CGCM pipeline first, so the checks run on exactly the IR the simulated
+machine would execute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.compiler import CgcmCompiler
+from ..core.config import CgcmConfig, OptLevel
+from ..errors import IRError
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from .context import CheckContext
+from .doallcheck import check_doall
+from .findings import Finding, LintReport, Severity
+from .mapstate import check_map_state
+from .redundant import check_redundant_transfers
+
+#: Pass execution order.  ``mapstate`` runs first: it fills the
+#: context's per-function summaries which later passes may consult.
+ALL_PASSES = ("mapstate", "redundant", "doall")
+
+
+def lint_module(module: Module,
+                passes: Optional[Iterable[str]] = None) -> LintReport:
+    """Run the structural verifier plus the selected passes."""
+    selected = list(passes) if passes is not None else list(ALL_PASSES)
+    unknown = [p for p in selected if p not in ALL_PASSES]
+    if unknown:
+        raise ValueError(f"unknown lint passes: {unknown}")
+    findings: List[Finding] = []
+    try:
+        verify_module(module)
+    except IRError as exc:
+        # Broken IR: the dataflow passes assume verified invariants,
+        # so report the structural break and stop.
+        findings.append(Finding("verify", "ir-verify", Severity.ERROR,
+                                "", "", -1, -1, str(exc)))
+        return LintReport(module.name, findings, ["verify"])
+    ctx = CheckContext(module)
+    ran = ["verify"]
+    if "mapstate" in selected:
+        findings.extend(check_map_state(module, ctx))
+        ran.append("mapstate")
+    if "redundant" in selected:
+        findings.extend(check_redundant_transfers(module, ctx))
+        ran.append("redundant")
+    if "doall" in selected:
+        findings.extend(check_doall(module, ctx))
+        ran.append("doall")
+    return LintReport(module.name, findings, ran)
+
+
+def lint_source(source: str, name: str = "program",
+                opt_level: OptLevel = OptLevel.OPTIMIZED,
+                passes: Optional[Iterable[str]] = None) -> LintReport:
+    """Compile MiniC through the pipeline at ``opt_level`` and lint
+    the resulting module."""
+    compiler = CgcmCompiler(CgcmConfig(opt_level=opt_level))
+    report = compiler.compile_source(source, name)
+    lint = lint_module(report.module, passes)
+    lint.module_name = name
+    return lint
+
+
+def lint_workload(workload, opt_level: OptLevel = OptLevel.OPTIMIZED,
+                  passes: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint one of the paper workloads post-pipeline."""
+    return lint_source(workload.source, workload.name, opt_level, passes)

@@ -1,0 +1,193 @@
+"""Redundant-transfer detector: statically visible missed
+map-promotion opportunities.
+
+Two shapes, both *optimization* diagnostics (WARNING, never ERROR):
+
+* **missed-promotion** -- a loop contains both a ``map`` and an
+  ``unmap`` of the same allocation unit while no CPU instruction in
+  the loop reads or writes the unit (``ModRefAnalysis``): every
+  iteration pays a device-to-host copy that map promotion (paper
+  Algorithm 4) would hoist out of the loop.  Post-pipeline IR keeps
+  promoted in-loop ``map``/``release`` pairs (they are refcount-only
+  once the preheader holds a reference) but deletes the in-loop
+  ``unmap``, so promoted loops do not re-trigger this diagnostic.
+
+* **redundant-transfer** -- a straight-line ``unmap`` whose unit is
+  re-``map``'d on every path onward (the unmap's block dominates the
+  map's block and the map's block postdominates it) with no kernel
+  launch, no other run-time call on the unit, and no CPU access to the
+  unit in between: the copy-back/copy-up round trip is pure overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.alias import (Root, is_identified, ordered_roots,
+                              underlying_objects)
+from ..analysis.dominators import DominatorTree, PostDominatorTree
+from ..analysis.loops import find_loops
+from ..ir.function import Function
+from ..ir.instructions import Call, Instruction, LaunchKernel
+from ..ir.module import Module
+from ..runtime.cgcm import (MAP_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
+                            UNMAP_FUNCTIONS)
+from .context import CheckContext
+from .findings import Finding, Severity, finding_at
+from .mapstate import _root_label
+
+PASS_NAME = "redundant"
+
+
+def _runtime_call_root(inst: Instruction) -> Optional[Tuple[str, List[Root]]]:
+    """(callee name, identified roots of the unit operand) for run-time
+    calls that name an allocation unit."""
+    if not isinstance(inst, Call):
+        return None
+    name = inst.callee.name
+    if name not in RUNTIME_FUNCTION_NAMES or not inst.args:
+        return None
+    roots = [r for r in ordered_roots(underlying_objects(inst.args[0]))
+             if is_identified(r)]
+    return name, roots
+
+
+def check_redundant_transfers(module: Module,
+                              ctx: CheckContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in module.defined_functions():
+        if fn.is_kernel:
+            continue
+        findings.extend(_check_loops(fn, ctx))
+        findings.extend(_check_round_trips(fn, ctx))
+    return findings
+
+
+# -- in-loop map/unmap with an idle CPU ------------------------------------
+
+
+def _check_loops(fn: Function, ctx: CheckContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for loop in find_loops(fn):
+        maps: Dict[Root, Call] = {}
+        unmaps: Dict[Root, Call] = {}
+        for inst in loop.instructions():
+            parsed = _runtime_call_root(inst)
+            if parsed is None:
+                continue
+            name, roots = parsed
+            if len(roots) != 1:
+                continue
+            root = roots[0]
+            if name in MAP_FUNCTIONS:
+                maps.setdefault(root, inst)
+            elif name in UNMAP_FUNCTIONS:
+                unmaps.setdefault(root, inst)
+        for root in ordered_roots(set(maps) & set(unmaps)):
+            mod, ref = ctx.modref.region_mod_ref(loop.blocks, root)
+            if mod or ref:
+                continue
+            findings.append(finding_at(
+                PASS_NAME, "missed-promotion", Severity.WARNING, maps[root],
+                f"{_root_label(root)} is mapped and unmapped every "
+                f"iteration of the loop at {loop.header.name} but no CPU "
+                "code in the loop touches it; the map/unmap pair can be "
+                "promoted out of the loop (paper Algorithm 4)"))
+    return findings
+
+
+# -- straight-line unmap -> map round trips --------------------------------
+
+
+def _check_round_trips(fn: Function, ctx: CheckContext) -> List[Finding]:
+    unmaps: List[Tuple[Call, Root]] = []
+    maps: List[Tuple[Call, Root]] = []
+    for inst in fn.instructions():
+        parsed = _runtime_call_root(inst)
+        if parsed is None:
+            continue
+        name, roots = parsed
+        if len(roots) != 1:
+            continue
+        if name in UNMAP_FUNCTIONS:
+            unmaps.append((inst, roots[0]))
+        elif name in MAP_FUNCTIONS:
+            maps.append((inst, roots[0]))
+    if not unmaps or not maps:
+        return []
+
+    domtree = DominatorTree(fn)
+    postdom = PostDominatorTree(fn)
+    findings: List[Finding] = []
+    for unmap_call, root in unmaps:
+        remap = _find_remap(fn, unmap_call, root, maps, domtree, postdom,
+                            ctx)
+        if remap is not None:
+            findings.append(finding_at(
+                PASS_NAME, "redundant-transfer", Severity.WARNING,
+                unmap_call,
+                f"{_root_label(root)} is unmapped here and re-mapped at "
+                f"{remap.parent.name}#{remap.parent.index(remap)} with no "
+                "intervening launch or CPU access: the device-to-host/"
+                "host-to-device round trip is redundant"))
+    return findings
+
+
+def _find_remap(fn: Function, unmap_call: Call, root: Root,
+                maps: List[Tuple[Call, Root]], domtree: DominatorTree,
+                postdom: PostDominatorTree,
+                ctx: CheckContext) -> Optional[Call]:
+    """The nearest map of ``root`` that the unmap always reaches with
+    nothing relevant in between, or None."""
+    b1 = unmap_call.parent
+    for map_call, map_root in maps:
+        if map_root is not root:
+            continue
+        bm = map_call.parent
+        if bm is b1:
+            i1 = b1.index(unmap_call)
+            im = bm.index(map_call)
+            if im <= i1:
+                continue
+            between = b1.instructions[i1 + 1:im]
+            if _region_is_quiet(between, root, ctx):
+                return map_call
+            continue
+        if not domtree.dominates(b1, bm) or not postdom.postdominates(bm, b1):
+            continue
+        # Region: the tail of b1, the head of bm, plus every block
+        # strictly between them in the dominance sandwich.  The
+        # sandwich over-approximates the paths, which only makes the
+        # detector quieter (anything noisy in it suppresses the
+        # warning).
+        region: List[Instruction] = []
+        region.extend(b1.instructions[b1.index(unmap_call) + 1:])
+        region.extend(bm.instructions[:bm.index(map_call)])
+        for block in fn.blocks:
+            if block is b1 or block is bm:
+                continue
+            if domtree.dominates(b1, block) \
+                    and postdom.postdominates(bm, block):
+                region.extend(block.instructions)
+        if _region_is_quiet(region, root, ctx):
+            return map_call
+    return None
+
+
+def _region_is_quiet(instructions: List[Instruction], root: Root,
+                     ctx: CheckContext) -> bool:
+    """No launch, no run-time call naming ``root``, and no CPU mod/ref
+    of ``root`` among ``instructions``."""
+    for inst in instructions:
+        if isinstance(inst, LaunchKernel):
+            return False
+        parsed = _runtime_call_root(inst)
+        if parsed is not None:
+            _name, roots = parsed
+            if root in roots:
+                return False
+            continue
+        mod, ref = ctx.modref.instruction_mod_ref(inst, root)
+        if mod or ref:
+            return False
+    return True

@@ -31,7 +31,7 @@ from ..ir.instructions import (Alloca, BinaryOp, Call, Cast, GetElementPtr,
 from ..ir.module import Module
 from ..ir.types import ArrayType, I64, RAW_PTR
 from ..ir.values import Constant, GlobalVariable, Value
-from ..analysis.alias import underlying_objects
+from ..analysis.alias import ordered_roots, underlying_objects
 from ..analysis.typeinfer import infer_pointer_depths
 from ..runtime.cgcm import declare_runtime
 
@@ -165,7 +165,7 @@ class CommunicationManager:
 
     def _register_escaping_allocas(self, fn: Function,
                                    pointer: Value) -> None:
-        for root in underlying_objects(pointer):
+        for root in ordered_roots(underlying_objects(pointer)):
             if isinstance(root, Alloca) and root.function is fn \
                     and root not in self._converted_allocas:
                 self._convert_alloca(fn, root)

@@ -38,7 +38,7 @@ from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
 from ..ir.module import Module
 from ..ir.types import FunctionType, I64, VOID
 from ..ir.values import Argument, Constant, GlobalVariable, Value
-from ..analysis.alias import UNKNOWN, underlying_objects
+from ..analysis.alias import UNKNOWN, ordered_roots, underlying_objects
 from ..analysis.loops import Loop, find_loops, loop_preheader
 from ..analysis.cfg import predecessor_map
 from ..runtime.cgcm import RUNTIME_FUNCTION_NAMES
@@ -289,7 +289,7 @@ class GlueKernels:
                         in underlying_objects(inst.args[0])
                         if isinstance(root, (GlobalVariable, Call))}
         modref = ModRefAnalysis()
-        for root in region_roots & mapped_roots:
+        for root in ordered_roots(region_roots & mapped_roots):
             mod, ref = modref.region_mod_ref(enclosing.blocks, root,
                                              exclude=region_set)
             if not mod and not ref:

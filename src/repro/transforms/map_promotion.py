@@ -27,7 +27,8 @@ from ..ir.instructions import (Alloca, BinaryOp, Call, Cast,
                                GetElementPtr, Instruction, Load, Store)
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable, Value
-from ..analysis.alias import UNKNOWN, is_identified, underlying_objects
+from ..analysis.alias import (UNKNOWN, is_identified, ordered_roots,
+                              underlying_objects)
 from ..analysis.callgraph import CallGraph
 from ..analysis.loops import Loop, find_loops, loop_preheader
 from ..analysis.cfg import predecessor_map
@@ -286,7 +287,7 @@ class MapPromotion:
 
     def _cpu_touches_unit(self, pointer: Value, loop: Loop,
                           modref: ModRefAnalysis) -> bool:
-        for root in underlying_objects(pointer):
+        for root in ordered_roots(underlying_objects(pointer)):
             mod, ref = modref.region_mod_ref(loop.blocks, root)
             if mod or ref:
                 return True
@@ -344,7 +345,7 @@ class MapPromotion:
             if not self._expressible_in_callers(candidate.pointer):
                 continue
             touched = False
-            for root in underlying_objects(candidate.pointer):
+            for root in ordered_roots(underlying_objects(candidate.pointer)):
                 if isinstance(root, Argument):
                     touched |= self._argument_unit_touched(
                         fn, root, call_sites, modref)
@@ -382,7 +383,7 @@ class MapPromotion:
             if any(not is_identified(root) for root in roots):
                 return True
             unit_roots |= set(roots)
-        for root in unit_roots:
+        for root in ordered_roots(unit_roots):
             mod, ref = modref.region_mod_ref(fn.blocks, root)
             if mod or ref:
                 return True

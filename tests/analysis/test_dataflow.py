@@ -1,0 +1,185 @@
+"""Worklist dataflow solver tests (forward, backward, convergence)."""
+
+import pytest
+
+from repro.analysis.dataflow import DataflowProblem, solve
+from repro.ir import (Branch, CondBranch, Constant, FunctionType, IRBuilder,
+                      Module, Return, I1, I32, I64, VOID)
+from repro.ir.instructions import Alloca, Call
+
+
+def _void_fn(name="f"):
+    module = Module("dataflow-test")
+    fn = module.add_function(name, FunctionType(VOID, []))
+    return module, fn
+
+
+class MustAllocas(DataflowProblem):
+    """Forward must-analysis: alloca names defined on *every* path."""
+
+    direction = "forward"
+
+    def boundary_state(self, fn):
+        return frozenset()
+
+    def initial_state(self, fn):
+        return frozenset()
+
+    def join(self, states):
+        result = states[0]
+        for state in states[1:]:
+            result = result & state
+        return result
+
+    def transfer_instruction(self, inst, state):
+        if isinstance(inst, Alloca):
+            return state | {inst.name}
+        return state
+
+
+class CalledBelow(DataflowProblem):
+    """Backward may-analysis: callees invoked on *some* path to exit."""
+
+    direction = "backward"
+
+    def boundary_state(self, fn):
+        return frozenset()
+
+    def initial_state(self, fn):
+        return frozenset()
+
+    def join(self, states):
+        result = states[0]
+        for state in states[1:]:
+            result = result | state
+        return result
+
+    def transfer_instruction(self, inst, state):
+        if isinstance(inst, Call):
+            return state | {inst.callee.name}
+        return state
+
+
+class TestForward:
+    def test_straight_line(self):
+        _, fn = _void_fn()
+        builder = IRBuilder(fn.new_block("entry"))
+        a = builder.alloca(I64, name="a")
+        builder.ret()
+        result = solve(fn, MustAllocas())
+        assert result.input_state(fn.entry_block) == frozenset()
+        assert result.output_state(fn.entry_block) == {"a"}
+        assert a.name == "a"
+
+    def test_diamond_joins_with_intersection(self):
+        _, fn = _void_fn()
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        right = fn.new_block("right")
+        merge = fn.new_block("merge")
+        b = IRBuilder(entry)
+        b.alloca(I64, name="common")
+        b.cbr(Constant(I1, 1), left, right)
+        bl = IRBuilder(left)
+        bl.alloca(I64, name="only_left")
+        bl.br(merge)
+        IRBuilder(right).br(merge)
+        IRBuilder(merge).ret()
+        result = solve(fn, MustAllocas())
+        # Only the pre-branch alloca survives the merge intersection.
+        assert result.input_state(merge) == {"common"}
+
+    def test_loop_converges_to_fixpoint(self):
+        _, fn = _void_fn()
+        entry = fn.new_block("entry")
+        header = fn.new_block("header")
+        body = fn.new_block("body")
+        exit_block = fn.new_block("exit")
+        be = IRBuilder(entry)
+        be.alloca(I64, name="pre")
+        be.br(header)
+        IRBuilder(header).cbr(Constant(I1, 1), body, exit_block)
+        bb = IRBuilder(body)
+        bb.alloca(I64, name="in_loop")
+        bb.br(header)
+        IRBuilder(exit_block).ret()
+        result = solve(fn, MustAllocas())
+        # The header joins entry (no in_loop) with the back edge
+        # (in_loop defined): only the preheader def is guaranteed.
+        assert result.input_state(header) == {"pre"}
+        assert result.input_state(exit_block) == {"pre"}
+        assert result.input_state(body) == {"pre"}
+
+    def test_unreachable_blocks_are_skipped(self):
+        _, fn = _void_fn()
+        entry = fn.new_block("entry")
+        dead = fn.new_block("dead")
+        IRBuilder(entry).ret()
+        IRBuilder(dead).ret()
+        result = solve(fn, MustAllocas())
+        assert entry in result.blocks
+        assert dead not in result.blocks
+
+    def test_instruction_states_replay(self):
+        _, fn = _void_fn()
+        builder = IRBuilder(fn.new_block("entry"))
+        first = builder.alloca(I64, name="first")
+        second = builder.alloca(I64, name="second")
+        builder.ret()
+        result = solve(fn, MustAllocas())
+        states = dict(
+            (inst, state)
+            for inst, state in result.instruction_states(fn.entry_block))
+        assert states[first] == frozenset()
+        assert states[second] == {"first"}
+
+
+class TestBackward:
+    def test_branch_callees_union_at_split(self):
+        module, fn = _void_fn()
+        helper_f = module.declare_function("f", FunctionType(VOID, []))
+        helper_g = module.declare_function("g", FunctionType(VOID, []))
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        right = fn.new_block("right")
+        IRBuilder(entry).cbr(Constant(I1, 1), left, right)
+        bl = IRBuilder(left)
+        bl.call(helper_f, [])
+        bl.ret()
+        br = IRBuilder(right)
+        br.call(helper_g, [])
+        br.ret()
+        result = solve(fn, CalledBelow())
+        # Backward: the state entering the entry block (in dataflow
+        # order, i.e. at its bottom) sees both arms.
+        assert result.input_state(entry) == {"f", "g"}
+        assert result.output_state(left) == {"f"}
+        assert result.output_state(right) == {"g"}
+
+
+class TestConvergenceGuard:
+    def test_non_monotone_transfer_is_diagnosed(self):
+        class Diverging(DataflowProblem):
+            direction = "forward"
+
+            def boundary_state(self, fn):
+                return 0
+
+            def initial_state(self, fn):
+                return 0
+
+            def join(self, states):
+                return max(states)
+
+            def transfer_instruction(self, inst, state):
+                return state + 1  # strictly increasing: never stable
+
+        _, fn = _void_fn()
+        entry = fn.new_block("entry")
+        loop = fn.new_block("loop")
+        IRBuilder(entry).br(loop)
+        lb = IRBuilder(loop)
+        lb.alloca(I64)
+        lb.br(loop)
+        with pytest.raises(RuntimeError, match="converge"):
+            solve(fn, Diverging())

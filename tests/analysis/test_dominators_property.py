@@ -1,0 +1,128 @@
+"""Property tests: dominator trees vs. a brute-force path oracle.
+
+A block ``d`` dominates ``b`` iff every path entry -> b passes through
+``d`` -- equivalently, iff ``b`` is unreachable from the entry once
+``d`` is deleted.  Dually, ``p`` postdominates ``b`` iff every path
+b -> exit passes through ``p``.  Both are checked directly against
+random small CFGs built from real IR blocks.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dominators import DominatorTree, PostDominatorTree
+from repro.ir import (Branch, CondBranch, Constant, FunctionType, IRBuilder,
+                      Module, Return, I1, VOID)
+
+_MAX_BLOCKS = 7
+
+
+@st.composite
+def cfg_shapes(draw):
+    """A random CFG shape: per-block terminator descriptions."""
+    n = draw(st.integers(min_value=1, max_value=_MAX_BLOCKS))
+    shape = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(("ret", "br", "cbr")))
+        if kind == "ret":
+            shape.append(("ret",))
+        elif kind == "br":
+            shape.append(("br", draw(st.integers(0, n - 1))))
+        else:
+            shape.append(("cbr", draw(st.integers(0, n - 1)),
+                          draw(st.integers(0, n - 1))))
+    return shape
+
+
+def build_function(shape):
+    module = Module("domtest")
+    fn = module.add_function("f", FunctionType(VOID, []))
+    blocks = [fn.new_block(f"b{i}") for i in range(len(shape))]
+    for block, terminator in zip(blocks, shape):
+        builder = IRBuilder(block)
+        if terminator[0] == "ret":
+            builder.ret()
+        elif terminator[0] == "br":
+            builder.br(blocks[terminator[1]])
+        else:
+            builder.cbr(Constant(I1, 1), blocks[terminator[1]],
+                        blocks[terminator[2]])
+    return fn, blocks
+
+
+def reachable_from(start, banned=None):
+    """Blocks reachable from ``start`` without entering ``banned``."""
+    if banned is not None and start is banned:
+        return set()
+    seen = {start}
+    work = [start]
+    while work:
+        block = work.pop()
+        for succ in block.successors:
+            if succ is banned or succ in seen:
+                continue
+            seen.add(succ)
+            work.append(succ)
+    return seen
+
+
+def oracle_dominates(entry, d, b):
+    if b is d:
+        return True
+    return b not in reachable_from(entry, banned=d)
+
+
+def oracle_postdominates(exits, p, b):
+    if b is p:
+        return True
+    survivors = reachable_from(b, banned=p)
+    return not any(e in survivors for e in exits)
+
+
+@settings(max_examples=80, deadline=None)
+@given(cfg_shapes())
+def test_dominators_match_oracle(shape):
+    fn, blocks = build_function(shape)
+    entry = fn.entry_block
+    reachable = reachable_from(entry)
+    tree = DominatorTree(fn)
+    for d in reachable:
+        for b in reachable:
+            assert tree.dominates(d, b) == oracle_dominates(entry, d, b), \
+                f"dom({d.name}, {b.name}) diverges for shape {shape}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(cfg_shapes())
+def test_postdominators_match_oracle(shape):
+    fn, blocks = build_function(shape)
+    entry = fn.entry_block
+    reachable = reachable_from(entry)
+    exits = {b for b in reachable if not b.successors}
+    # Postdominance is only defined for blocks that can reach an exit
+    # (infinite loops have no path to postdominate over).
+    candidates = [b for b in reachable
+                  if any(e in reachable_from(b) for e in exits)]
+    tree = PostDominatorTree(fn)
+    for p in candidates:
+        for b in candidates:
+            assert tree.postdominates(p, b) == \
+                oracle_postdominates(exits, p, b), \
+                f"postdom({p.name}, {b.name}) diverges for shape {shape}"
+
+
+def test_entry_dominates_everything():
+    fn, blocks = build_function([("cbr", 1, 2), ("br", 3), ("br", 3),
+                                 ("ret",)])
+    tree = DominatorTree(fn)
+    for block in blocks:
+        assert tree.dominates(fn.entry_block, block)
+    assert not tree.dominates(blocks[1], blocks[3])  # join kills dom
+
+
+def test_single_exit_postdominates_everything():
+    fn, blocks = build_function([("cbr", 1, 2), ("br", 3), ("br", 3),
+                                 ("ret",)])
+    tree = PostDominatorTree(fn)
+    for block in blocks:
+        assert tree.postdominates(blocks[3], block)
+    assert not tree.postdominates(blocks[1], blocks[0])

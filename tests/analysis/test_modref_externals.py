@@ -1,0 +1,132 @@
+"""ModRefAnalysis external-call classification and recursion handling."""
+
+from repro.analysis import ModRefAnalysis
+from repro.frontend import compile_minic
+from repro.ir.instructions import Call
+
+
+def _calls(fn, name):
+    return [inst for inst in fn.instructions()
+            if isinstance(inst, Call) and inst.callee.name == name]
+
+
+def _compile(source):
+    module = compile_minic(source)
+    main = next(f for f in module.defined_functions()
+                if f.name == "main")
+    return module, main
+
+
+class TestMemoryExternals:
+    SOURCE = """
+double A[8];
+double B[8];
+int main(void) {
+    memset((char *) A, 0, 8 * sizeof(double));
+    memcpy((char *) B, (char *) A, 8 * sizeof(double));
+    return 0;
+}
+"""
+
+    def test_memset_touches_only_its_argument(self):
+        module, main = _compile(self.SOURCE)
+        modref = ModRefAnalysis()
+        memset_call = _calls(main, "memset")[0]
+        a, b = module.get_global("A"), module.get_global("B")
+        assert modref.call_mod_ref(memset_call, a) == (True, True)
+        assert modref.call_mod_ref(memset_call, b) == (False, False)
+
+    def test_memcpy_touches_both_pointer_arguments(self):
+        module, main = _compile(self.SOURCE)
+        modref = ModRefAnalysis()
+        memcpy_call = _calls(main, "memcpy")[0]
+        for name in ("A", "B"):
+            root = module.get_global(name)
+            assert modref.call_mod_ref(memcpy_call, root) == (True, True)
+
+    def test_free_and_realloc_touch_their_block(self):
+        module, main = _compile("""
+double A[8];
+int main(void) {
+    double *p = (double *) malloc(4 * sizeof(double));
+    p = (double *) realloc((char *) p, 8 * sizeof(double));
+    free((char *) p);
+    return 0;
+}
+""")
+        modref = ModRefAnalysis()
+        malloc_call = _calls(main, "malloc")[0]
+        realloc_call = _calls(main, "realloc")[0]
+        free_call = _calls(main, "free")[0]
+        unrelated = module.get_global("A")
+        # The heap block is identified by its allocating call.
+        assert modref.call_mod_ref(realloc_call, malloc_call) == (True, True)
+        assert modref.call_mod_ref(free_call, malloc_call) == (True, True)
+        assert modref.call_mod_ref(realloc_call, unrelated) == (False, False)
+        assert modref.call_mod_ref(free_call, unrelated) == (False, False)
+
+    def test_allocators_are_pure_for_existing_memory(self):
+        module, main = _compile("""
+double A[8];
+int main(void) {
+    double *p = (double *) malloc(8 * sizeof(double));
+    free((char *) p);
+    return 0;
+}
+""")
+        modref = ModRefAnalysis()
+        malloc_call = _calls(main, "malloc")[0]
+        root = module.get_global("A")
+        assert modref.call_mod_ref(malloc_call, root) == (False, False)
+
+    def test_pure_math_externals_are_clean(self):
+        module, main = _compile("""
+double A[8];
+int main(void) {
+    A[0] = sqrt(2.0);
+    return 0;
+}
+""")
+        modref = ModRefAnalysis()
+        sqrt_call = _calls(main, "sqrt")[0]
+        root = module.get_global("A")
+        assert modref.call_mod_ref(sqrt_call, root) == (False, False)
+
+
+class TestRecursion:
+    def test_self_recursion_is_conservative(self):
+        """A recursive callee hits the in-progress guard and reports
+        (mod, ref) = (True, True) rather than looping forever."""
+        module, main = _compile("""
+double B[4];
+long rec(long n) {
+    if (n > 0) { return rec(n - 1); }
+    return 0;
+}
+int main(void) {
+    long x = rec(3);
+    return 0;
+}
+""")
+        modref = ModRefAnalysis()
+        rec_call = _calls(main, "rec")[0]
+        root = module.get_global("B")
+        assert modref.call_mod_ref(rec_call, root) == (True, True)
+
+    def test_non_recursive_helper_is_precise(self):
+        """Same shape without the back edge: the summary sees the
+        helper never touches B."""
+        module, main = _compile("""
+double B[4];
+long helper(long n) {
+    return n + 1;
+}
+int main(void) {
+    long x = helper(3);
+    return 0;
+}
+""")
+        modref = ModRefAnalysis()
+        call = _calls(main, "helper")[0]
+        root = module.get_global("B")
+        assert modref.call_mod_ref(call, root) == (False, False)

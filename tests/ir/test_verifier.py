@@ -132,3 +132,33 @@ class TestKernelInvariants:
         builder.ret(0)
         with pytest.raises(IRError, match="argument type"):
             verify_module(module)
+
+
+class TestCfgInvariants:
+    def test_instruction_after_terminator(self):
+        module, fn = fresh_module()
+        block = fn.new_block("entry")
+        builder = IRBuilder(block)
+        builder.ret(0)
+        trailing = Alloca(I64, Constant(I64, 1))
+        trailing.name = "dead"
+        block.instructions.append(trailing)
+        trailing.parent = block
+        with pytest.raises(IRError, match="after"):
+            verify_module(module)
+
+    def test_unreachable_block_rejected(self):
+        module, fn = fresh_module()
+        IRBuilder(fn.new_block("entry")).ret(0)
+        orphan = fn.new_block("orphan")
+        IRBuilder(orphan).ret(0)
+        with pytest.raises(IRError, match="unreachable"):
+            verify_module(module)
+
+    def test_reachable_multi_block_cfg_passes(self):
+        module, fn = fresh_module()
+        entry = fn.new_block("entry")
+        exit_block = fn.new_block("exit")
+        IRBuilder(entry).br(exit_block)
+        IRBuilder(exit_block).ret(0)
+        verify_module(module)

@@ -1,0 +1,55 @@
+"""Seeded-defect corpus: every seeded bug caught, every control clean.
+
+This is the zero-false-negative acceptance gate from the issue: each
+corpus module commits exactly one communication-protocol violation and
+the pass named in the entry must flag it with one of the expected
+kinds.  The control entries guard the other direction -- a checker
+that flags everything would "catch" the defects trivially.
+"""
+
+import pytest
+
+from repro.staticcheck import CORPUS, check_corpus
+from repro.staticcheck.corpus import get_defect
+
+_DEFECTS = [d.name for d in CORPUS if not d.is_control]
+_CONTROLS = [d.name for d in CORPUS if d.is_control]
+
+
+def test_corpus_is_large_enough():
+    assert len(_DEFECTS) >= 12
+    assert len(_CONTROLS) >= 2
+
+
+def test_every_pass_is_exercised():
+    passes = {d.expected_pass for d in CORPUS if not d.is_control}
+    assert passes == {"mapstate", "redundant", "doall"}
+
+
+@pytest.mark.parametrize("name", _DEFECTS)
+def test_defect_is_caught(name):
+    result = check_corpus([name])[0]
+    flagged = sorted({(f.pass_name, f.kind)
+                      for f in result.report.findings})
+    assert result.caught, (
+        f"{name}: expected {result.defect.expected_pass} to report one "
+        f"of {result.defect.kinds}, got {flagged}")
+
+
+@pytest.mark.parametrize("name", _CONTROLS)
+def test_control_is_clean(name):
+    result = check_corpus([name])[0]
+    assert result.caught, (
+        f"{name}: control flagged with "
+        f"{[f.render() for f in result.report.errors]}")
+
+
+def test_zero_false_negatives_overall():
+    results = check_corpus()
+    missed = [r.defect.name for r in results if not r.caught]
+    assert not missed, f"corpus entries mishandled: {missed}"
+
+
+def test_get_defect_unknown_name():
+    with pytest.raises(KeyError):
+        get_defect("no-such-defect")

@@ -1,0 +1,26 @@
+"""Cross-validation: static verdicts against the dynamic sanitizer.
+
+The static checker and the PR-1 communication sanitizer model the same
+violation taxonomy from opposite ends (abstract interpretation vs.
+concrete execution).  A workload the checker calls clean must also run
+clean under the differential oracle -- if the two ever disagree, one
+of the two subsystems has a soundness bug.
+"""
+
+import pytest
+
+from repro.staticcheck import lint_workload
+from repro.workloads import get_workload
+
+_WORKLOADS = ("atax", "gesummv")
+
+
+@pytest.mark.parametrize("name", _WORKLOADS)
+def test_static_clean_implies_sanitizer_clean(name, differential_oracle):
+    workload = get_workload(name)
+    report = lint_workload(workload)
+    assert report.clean, report.render()
+    dynamic = differential_oracle(workload)
+    assert dynamic.ok, (
+        f"{name}: statically clean but the sanitizer disagrees: "
+        f"{dynamic.summary()}")

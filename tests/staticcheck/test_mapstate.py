@@ -1,0 +1,187 @@
+"""Mapping-state verifier unit tests (pass-level, on hand-managed IR)."""
+
+from repro.frontend import compile_minic
+from repro.staticcheck import Severity, lint_module
+
+_KERNEL_GLOBAL = ("__global__ void scale(long tid) "
+                  "{ A[tid] = A[tid] * 2.0; }")
+_KERNEL_PARAM = ("__global__ void scale(long tid, double *a) "
+                 "{ a[tid] = a[tid] * 2.0; }")
+
+
+def lint(source, passes=("mapstate",)):
+    return lint_module(compile_minic(source), passes=passes)
+
+
+def kinds(report):
+    return {f.kind for f in report.findings}
+
+
+class TestLaunchChecks:
+    def test_well_formed_sequence_is_clean(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert report.clean
+        assert not report.findings
+
+    def test_unmapped_launch_names_the_unit(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+int main(void) {{
+    __launch(scale, 8);
+    return 0;
+}}
+""")
+        finding = report.by_kind("launch-unmapped")[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.function == "main"
+        assert "A" in finding.message
+
+    def test_path_sensitive_map_is_a_distinct_kind(self):
+        report = lint(f"""
+double A[8];
+long n;
+{_KERNEL_GLOBAL}
+int main(void) {{
+    n = 2;
+    if (n > 1) {{ map((char *) A); }}
+    __launch(scale, 8);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert "launch-unmapped-path" in kinds(report)
+        assert "launch-unmapped" not in kinds(report)
+
+
+class TestRefcountChecks:
+    def test_balanced_nested_references_are_clean(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    double *e = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert report.clean
+
+    def test_leak_reported_at_the_return(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    return 0;
+}}
+""")
+        leaks = report.by_kind("refcount-leak")
+        assert leaks and leaks[0].severity is Severity.ERROR
+
+
+class TestInterprocedural:
+    def test_helper_with_caller_held_mapping_is_lenient(self):
+        """A helper launching over a unit its caller mapped must not
+        be flagged: non-main functions start with unknown inbound
+        reference counts."""
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+void compute(void) {{
+    __launch(scale, 8);
+}}
+int main(void) {{
+    map((char *) A);
+    compute();
+    compute();
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert report.clean, [f.render() for f in report.errors]
+
+    def test_callee_effects_flow_to_the_caller(self):
+        """main never maps; the callee maps-and-releases, so a later
+        launch in main is over an unmapped unit."""
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+void roundtrip(void) {{
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+}}
+int main(void) {{
+    roundtrip();
+    __launch(scale, 8);
+    return 0;
+}}
+""")
+        assert any(f.kind in ("launch-unmapped", "use-after-release")
+                   and f.function == "main"
+                   for f in report.findings), \
+            [f.render() for f in report.findings]
+
+
+class TestCoherenceChecks:
+    def test_cpu_write_after_map_goes_stale(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_PARAM}
+int main(void) {{
+    double *d = (double *) map((char *) A);
+    A[3] = 7.0;
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert "stale-device-read" in kinds(report)
+
+    def test_cpu_write_before_map_is_fine(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_PARAM}
+int main(void) {{
+    A[3] = 7.0;
+    double *d = (double *) map((char *) A);
+    __launch(scale, 8, d);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert report.clean
+
+    def test_device_pointer_dereference_on_cpu(self):
+        report = lint("""
+double A[8];
+int main(void) {
+    double *d = (double *) map((char *) A);
+    d[0] = 1.0;
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}
+""")
+        assert "pointer-mix" in kinds(report)

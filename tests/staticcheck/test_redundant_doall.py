@@ -1,0 +1,163 @@
+"""Redundant-transfer detector and DOALL race auditor unit tests."""
+
+from repro.frontend import compile_minic
+from repro.staticcheck import Severity, lint_module
+
+_KERNEL_GLOBAL = ("__global__ void scale(long tid) "
+                  "{ A[tid] = A[tid] * 2.0; }")
+
+
+def lint(source, passes):
+    return lint_module(compile_minic(source), passes=passes)
+
+
+class TestRedundantTransfers:
+    def test_idle_loop_round_trip_is_a_missed_promotion(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 4; i++) {{
+        map((char *) A);
+        __launch(scale, 8);
+        unmap((char *) A);
+        release((char *) A);
+    }}
+    return 0;
+}}
+""", passes=("mapstate", "redundant"))
+        promos = report.by_kind("missed-promotion")
+        assert promos and promos[0].severity is Severity.WARNING
+        assert report.clean  # missed optimizations are warnings
+
+    def test_cpu_store_in_loop_justifies_the_transfers(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 4; i++) {{
+        A[i] = i + 1.0;
+        map((char *) A);
+        __launch(scale, 8);
+        unmap((char *) A);
+        release((char *) A);
+    }}
+    return 0;
+}}
+""", passes=("mapstate", "redundant"))
+        assert not report.by_kind("missed-promotion")
+
+    def test_immediate_remap_is_a_redundant_transfer(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+int main(void) {{
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""", passes=("mapstate", "redundant"))
+        assert report.by_kind("redundant-transfer")
+
+    def test_intervening_cpu_read_keeps_the_unmap(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL_GLOBAL}
+int main(void) {{
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    print_f64(A[0]);
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""", passes=("mapstate", "redundant"))
+        assert not report.by_kind("redundant-transfer")
+
+
+class TestDoallAuditor:
+    def _lint_kernel(self, kernel, grid=8, decl="double A[16];"):
+        return lint(f"""
+{decl}
+{kernel}
+int main(void) {{
+    map((char *) A);
+    __launch(k, {grid});
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+""", passes=("mapstate", "doall"))
+
+    def test_embarrassingly_parallel_kernel_is_clean(self):
+        report = self._lint_kernel(
+            "__global__ void k(long tid) { A[tid] = A[tid] + 1.0; }")
+        assert not report.by_kind("doall-race")
+        assert not report.by_kind("doall-unverified")
+
+    def test_cross_iteration_flow_dependence_is_a_race(self):
+        report = self._lint_kernel(
+            "__global__ void k(long tid) { A[tid + 1] = A[tid]; }")
+        races = report.by_kind("doall-race")
+        assert races and races[0].severity is Severity.ERROR
+        assert races[0].function == "k"
+
+    def test_shared_scalar_reduction_is_a_race(self):
+        report = lint("""
+double S[1];
+double A[8];
+__global__ void k(long tid) { S[0] = S[0] + A[tid]; }
+int main(void) {
+    map((char *) S);
+    map((char *) A);
+    __launch(k, 8);
+    unmap((char *) S);
+    release((char *) S);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}
+""", passes=("mapstate", "doall"))
+        assert report.by_kind("doall-race")
+
+    def test_unanalyzable_subscript_is_a_note_not_an_error(self):
+        """Indirect addressing cannot be proven racy or race-free:
+        the auditor must degrade to a NOTE (zero false positives)."""
+        report = lint("""
+double A[16];
+long IDX[8];
+__global__ void k(long tid) { A[IDX[tid]] = 1.0; }
+int main(void) {
+    map((char *) A);
+    map((char *) IDX);
+    __launch(k, 8);
+    unmap((char *) A);
+    release((char *) A);
+    unmap((char *) IDX);
+    release((char *) IDX);
+    return 0;
+}
+""", passes=("mapstate", "doall"))
+        assert not report.by_kind("doall-race")
+        notes = report.by_kind("doall-unverified")
+        assert notes and all(f.severity is Severity.NOTE for f in notes)
+
+    def test_unlaunched_kernel_is_skipped(self):
+        report = lint("""
+double A[16];
+__global__ void k(long tid) { A[tid + 1] = A[tid]; }
+int main(void) {
+    return 0;
+}
+""", passes=("mapstate", "doall"))
+        assert not report.findings

@@ -1,0 +1,34 @@
+"""Post-pipeline lint over the paper workloads: zero errors expected.
+
+The pipeline's own output must satisfy the static checker -- any
+error here is either a pipeline bug or a checker false positive, and
+both matter.  A fast three-workload subset runs in tier-1; the full
+24-workload sweep at both pipeline levels is marked slow.
+"""
+
+import pytest
+
+from repro.core import OptLevel
+from repro.staticcheck import lint_workload
+from repro.workloads import get_workload, workload_names
+
+_FAST_SUBSET = ("atax", "gemm", "hotspot")
+
+
+@pytest.mark.parametrize("name", _FAST_SUBSET)
+def test_workload_lints_clean(name):
+    report = lint_workload(get_workload(name))
+    assert report.clean, report.render()
+    assert report.passes_run == ["verify", "mapstate", "redundant", "doall"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("level",
+                         [OptLevel.UNOPTIMIZED, OptLevel.OPTIMIZED])
+def test_all_workloads_lint_clean(level):
+    failures = []
+    for name in workload_names():
+        report = lint_workload(get_workload(name), level)
+        if not report.clean:
+            failures.append(report.render())
+    assert not failures, "\n".join(failures)
