@@ -2,9 +2,11 @@
 
 Usage::
 
-    python -m repro run program.c [--level optimized] [--engine compiled]
-    python -m repro emit-ir program.c [--level unoptimized]
+    python -m repro run program.c [--level optimized] [--streams]
+    python -m repro emit-ir program.c [--level unoptimized] [--streams]
     python -m repro bench [<workload> ...] [--out BENCH_interp.json]
+    python -m repro bench --streams [--out BENCH_streams.json]
+    python -m repro trace <workload-or-source> [--streams] [--out t.json]
     python -m repro sanitize <workload-or-source> [...] [--level opt]
     python -m repro lint [<workload-or-source> ...] [--json] [--corpus]
     python -m repro list
@@ -12,13 +14,15 @@ Usage::
 ``run`` compiles a MiniC source file at the chosen optimization level
 and executes it on the simulated platform; ``emit-ir`` prints the
 transformed IR; ``bench`` with workload names runs them through all
-four configurations, and with no names runs the full 24-workload
-tree-vs-compiled engine sweep and writes ``BENCH_interp.json``;
-``sanitize`` runs the CPU-vs-GPU differential oracle with the
-communication sanitizer armed; ``lint`` runs the static communication
-verifier and DOALL race auditor over post-pipeline IR (``--corpus``
-self-checks the seeded-defect corpus); ``list`` shows the 24
-available workloads.
+four configurations, with no names runs the full 24-workload
+tree-vs-compiled engine sweep (``BENCH_interp.json``), and with
+``--streams`` runs the serial-vs-overlapped sweep
+(``BENCH_streams.json``); ``trace`` dumps one run's timeline as
+Chrome trace-event JSON for ``chrome://tracing``; ``sanitize`` runs
+the CPU-vs-GPU differential oracle with the communication sanitizer
+armed; ``lint`` runs the static communication verifier and DOALL race
+auditor over post-pipeline IR (``--corpus`` self-checks the
+seeded-defect corpus); ``list`` shows the 24 available workloads.
 """
 
 from __future__ import annotations
@@ -52,6 +56,14 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
              "tree (tree-walking reference interpreter)")
 
 
+def _add_streams_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--streams", action="store_true",
+        help="enable the streams subsystem: comm-overlap transform, "
+             "asynchronous transfers/launches, and overlap-aware "
+             "elapsed time")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -63,6 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("source", help="MiniC source file")
     _add_level_argument(run_cmd)
     _add_engine_argument(run_cmd)
+    _add_streams_argument(run_cmd)
     run_cmd.add_argument("--trace", action="store_true",
                          help="draw the execution schedule (Figure 2 "
                               "style)")
@@ -73,6 +86,20 @@ def _build_parser() -> argparse.ArgumentParser:
                                    help="print the transformed IR")
     emit_cmd.add_argument("source", help="MiniC source file")
     _add_level_argument(emit_cmd)
+    _add_streams_argument(emit_cmd)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="dump one run's timeline as Chrome trace-event JSON "
+             "(load in chrome://tracing or ui.perfetto.dev)")
+    trace_cmd.add_argument(
+        "target", help="workload name (see 'list') or MiniC source path")
+    _add_level_argument(trace_cmd)
+    _add_engine_argument(trace_cmd)
+    _add_streams_argument(trace_cmd)
+    trace_cmd.add_argument(
+        "--out", default="-",
+        help="output path (default: stdout)")
 
     bench_cmd = commands.add_parser(
         "bench",
@@ -81,12 +108,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("workloads", nargs="*",
                            help="workload names (see 'list'); omit for "
                                 "the engine sweep")
-    bench_cmd.add_argument("--out", default="BENCH_interp.json",
-                           help="engine sweep: where to write the JSON "
-                                "report (default BENCH_interp.json)")
+    bench_cmd.add_argument("--out", default=None,
+                           help="sweeps: where to write the JSON report "
+                                "(default BENCH_interp.json, or "
+                                "BENCH_streams.json with --streams)")
     bench_cmd.add_argument("--repeat", type=int, default=1,
                            help="engine sweep: timing runs per engine "
                                 "per workload (min is kept)")
+    bench_cmd.add_argument("--streams", action="store_true",
+                           help="serial-vs-overlapped sweep over all 24 "
+                                "workloads (writes BENCH_streams.json)")
 
     sanitize_cmd = commands.add_parser(
         "sanitize",
@@ -122,17 +153,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--corpus", action="store_true",
         help="also self-check the seeded-defect corpus (every seeded "
              "bug must be flagged, every clean control must pass)")
+    _add_streams_argument(lint_cmd)
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
 
 
 def _compile(path: str, level_name: str, record_events: bool = False,
-             engine: str = "compiled"):
+             engine: str = "compiled", streams: bool = False):
     with open(path) as handle:
         source = handle.read()
     config = CgcmConfig(opt_level=_LEVELS[level_name],
-                        record_events=record_events, engine=engine)
+                        record_events=record_events, engine=engine,
+                        streams=streams)
     compiler = CgcmCompiler(config)
     report = compiler.compile_source(source, path)
     return compiler, report
@@ -140,7 +173,7 @@ def _compile(path: str, level_name: str, record_events: bool = False,
 
 def _cmd_run(args: argparse.Namespace) -> int:
     compiler, report = _compile(args.source, args.level, args.trace,
-                                args.engine)
+                                args.engine, args.streams)
     result = compiler.execute(report)
     for line in result.stdout:
         print(line)
@@ -150,6 +183,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"(cpu {result.cpu_seconds * 1e6:.2f} / "
               f"gpu {result.gpu_seconds * 1e6:.2f} / "
               f"comm {result.comm_seconds * 1e6:.2f})", file=sys.stderr)
+        if args.streams:
+            print(f"critical path : "
+                  f"{result.critical_path_seconds * 1e6:10.2f} us "
+                  f"({result.total_seconds / result.critical_path_seconds:.2f}x"
+                  " vs serial sum)" if result.critical_path_seconds > 0
+                  else "critical path : 0", file=sys.stderr)
+            if report.overlap_stats:
+                print(f"overlap stats : {report.overlap_stats}",
+                      file=sys.stderr)
         if report.doall_kernels:
             print(f"DOALL kernels : "
                   f"{[k.name for k in report.doall_kernels]}",
@@ -169,12 +211,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_emit_ir(args: argparse.Namespace) -> int:
-    _, report = _compile(args.source, args.level)
+    _, report = _compile(args.source, args.level, streams=args.streams)
     print(module_to_str(report.module))
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .interp.trace import chrome_trace_json
+
+    if os.path.exists(args.target):
+        compiler, report = _compile(args.target, args.level,
+                                    record_events=True, engine=args.engine,
+                                    streams=args.streams)
+        name = args.target
+    else:
+        workload = get_workload(args.target)
+        config = CgcmConfig(opt_level=_LEVELS[args.level],
+                            record_events=True, engine=args.engine,
+                            streams=args.streams)
+        compiler = CgcmCompiler(config)
+        report = compiler.compile_source(workload.source, workload.name)
+        name = workload.name
+    result = compiler.execute(report)
+    document = chrome_trace_json(result.events, name)
+    if args.out == "-":
+        print(document)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.out} ({len(result.events)} events)",
+              file=sys.stderr)
+    return result.exit_code
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.streams:
+        return _cmd_overlap_bench(args)
     if not args.workloads:
         return _cmd_engine_bench(args)
     print(f"{'workload':16s} {'IE':>8s} {'unopt':>8s} {'opt':>8s} "
@@ -198,10 +270,30 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
         print(f"{comparison.name:16s} {comparison.speedup:6.2f}x  {status}",
               file=sys.stderr)
 
+    out = args.out if args.out else "BENCH_interp.json"
     bench = run_engine_bench(repeat=args.repeat, progress=progress)
     print(bench.render())
-    bench.write(args.out)
-    print(f"wrote {args.out}", file=sys.stderr)
+    bench.write(out)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0 if bench.ok else 1
+
+
+def _cmd_overlap_bench(args: argparse.Namespace) -> int:
+    """Serial-vs-overlapped sweep (all 24, or the named workloads)."""
+    from .evaluation.overlap import run_overlap_bench
+
+    def progress(comparison):
+        status = "ok" if comparison.ok else "DIVERGED"
+        print(f"{comparison.name:16s} {comparison.speedup:6.2f}x  {status}",
+              file=sys.stderr)
+
+    workloads = ([get_workload(n) for n in args.workloads]
+                 if args.workloads else None)
+    out = args.out if args.out else "BENCH_streams.json"
+    bench = run_overlap_bench(workloads, progress=progress)
+    print(bench.render())
+    bench.write(out)
+    print(f"wrote {out}", file=sys.stderr)
     return 0 if bench.ok else 1
 
 
@@ -259,9 +351,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if os.path.exists(target):
             with open(target) as handle:
                 source = handle.read()
-            reports.append(lint_source(source, target, level))
+            reports.append(lint_source(source, target, level,
+                                       streams=args.streams))
         else:
-            reports.append(lint_workload(get_workload(target), level))
+            reports.append(lint_workload(get_workload(target), level,
+                                         streams=args.streams))
 
     corpus_results = check_corpus() if args.corpus else []
     corpus_misses = [r for r in corpus_results if not r.caught]
@@ -307,8 +401,9 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
-                "bench": _cmd_bench, "sanitize": _cmd_sanitize,
-                "lint": _cmd_lint, "list": _cmd_list}
+                "bench": _cmd_bench, "trace": _cmd_trace,
+                "sanitize": _cmd_sanitize, "lint": _cmd_lint,
+                "list": _cmd_list}
     return handlers[args.command](args)
 
 

@@ -24,6 +24,10 @@ UNKNOWN = "<unknown>"
 _ALLOCATING_CALLS = frozenset({"malloc", "calloc", "realloc",
                                "declareAlloca"})
 
+#: Run-time calls returning translated device pointers (kept as name
+#: literals to avoid importing the runtime package from here).
+_MAP_CALLS = frozenset({"map", "mapArray", "mapAsync", "mapArrayAsync"})
+
 Root = Union[Value, str]
 
 
@@ -52,7 +56,7 @@ def underlying_objects(value: Value, _depth: int = 0) -> FrozenSet[Root]:
     if isinstance(value, Call):
         if value.callee.name in _ALLOCATING_CALLS:
             return frozenset({value})  # the call IS the object
-        if value.callee.name in ("map", "mapArray"):
+        if value.callee.name in _MAP_CALLS:
             # Device pointers never alias host objects.
             return frozenset({value})
         return frozenset({UNKNOWN})
@@ -113,7 +117,8 @@ def _is_direct_global_slot(gv: GlobalVariable, module) -> bool:
     """
     benign_cast_users = frozenset({"declareGlobal", "map", "unmap",
                                    "release", "mapArray", "unmapArray",
-                                   "releaseArray"})
+                                   "releaseArray", "mapAsync", "unmapAsync",
+                                   "mapArrayAsync", "unmapArrayAsync"})
     for fn in module.defined_functions():
         uses = None
         for inst in fn.instructions():

@@ -20,6 +20,7 @@ from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..runtime.cgcm import CgcmRuntime
 from ..transforms.alloca_promotion import AllocaPromotion
+from ..transforms.comm_overlap import CommOverlap
 from ..transforms.commmgmt import CommunicationManager
 from ..transforms.declare_globals import insert_global_declarations
 from ..transforms.doall import DoallParallelizer
@@ -38,6 +39,8 @@ class CompileReport:
     promoted_loops: int = 0
     promoted_functions: int = 0
     promoted_allocas: int = 0
+    #: Statistics of the comm-overlap transform (streams configs only).
+    overlap_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def kernel_count(self) -> int:
@@ -60,6 +63,9 @@ class ExecutionResult:
     sanitizer_report: Optional["object"] = None
     #: Dynamic count of interpreted IR instructions.
     instructions: int = 0
+    #: Overlap-aware elapsed time (== :attr:`total_seconds` for serial
+    #: runs; the critical path over all cursors for streams runs).
+    critical_path_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -113,6 +119,11 @@ class CgcmCompiler:
                 map_promo.run()
                 report.promoted_loops = map_promo.promoted_loops
                 report.promoted_functions = map_promo.promoted_functions
+            if config.streams:
+                # After map promotion: copies are already at their
+                # final per-region positions; overlap then hoists,
+                # sinks, and rewrites them asynchronous.
+                report.overlap_stats = CommOverlap(module).run()
         if config.verify:
             verify_module(module)
         return report
@@ -131,7 +142,8 @@ class CgcmCompiler:
         machine = Machine(report.module, self.config.cost_model,
                           self.config.record_events,
                           engine=engine if engine is not None
-                          else self.config.engine)
+                          else self.config.engine,
+                          streams=self.config.streams)
         runtime = CgcmRuntime(machine) if self.config.parallelize else None
         sanitizer = None
         if self.config.sanitize:
@@ -140,6 +152,10 @@ class CgcmCompiler:
             from ..sanitizer.sanitizer import CommSanitizer
             sanitizer = CommSanitizer(machine, runtime)
         exit_code = machine.run()
+        if self.config.streams:
+            # Program end implies cuCtxSynchronize: the critical path
+            # includes every span still in flight.
+            machine.clock.device_synchronize()
         globals_image: Dict[str, bytes] = {}
         if capture_globals:
             globals_image = capture_globals_image(machine, report.module)
@@ -154,6 +170,7 @@ class CgcmCompiler:
             globals_image=globals_image,
             sanitizer_report=sanitizer.finish() if sanitizer else None,
             instructions=machine.executed_instructions,
+            critical_path_seconds=machine.clock.critical_path_s,
         )
 
 

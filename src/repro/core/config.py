@@ -50,6 +50,13 @@ class CgcmConfig:
     #: interpreter).  Both are observationally and clock-for-clock
     #: identical; see ``repro.interp.codegen``.
     engine: str = "compiled"
+    #: Streams subsystem: run the comm-overlap transform (at
+    #: ``OPTIMIZED``), execute launches/transfers asynchronously, and
+    #: report overlap-aware elapsed time
+    #: (:attr:`ExecutionResult.critical_path_seconds`).  Off by
+    #: default: the serial discipline reproduces the paper's fully
+    #: synchronous schedules bit-for-bit.
+    streams: bool = False
 
     def __post_init__(self) -> None:
         from ..interp.machine import ENGINES

@@ -2,6 +2,8 @@
 
 from .bench import (BENCH_SCHEMA, BenchReport, EngineComparison,
                     bench_workload, compare_engines, run_engine_bench)
+from .overlap import (OVERLAP_SCHEMA, OverlapComparison, OverlapReport,
+                      compare_overlap, run_overlap_bench)
 from .runner import (BenchmarkResult, CONFIGURATIONS, run_all,
                      run_benchmark)
 from .figure4 import (Figure4Row, PAPER_GEOMEANS, PAPER_GEOMEANS_CLAMPED,
@@ -17,6 +19,8 @@ from .figure2 import (SCHEDULE_WORKLOAD, Schedule, build_schedules,
 __all__ = [
     "BENCH_SCHEMA", "BenchReport", "EngineComparison", "bench_workload",
     "compare_engines", "run_engine_bench",
+    "OVERLAP_SCHEMA", "OverlapComparison", "OverlapReport",
+    "compare_overlap", "run_overlap_bench",
     "BenchmarkResult", "CONFIGURATIONS", "run_all", "run_benchmark",
     "Figure4Row", "PAPER_GEOMEANS", "PAPER_GEOMEANS_CLAMPED", "SERIES",
     "build_figure4", "figure4_geomeans", "geomean", "render_figure4",

@@ -1,0 +1,185 @@
+"""Overlap benchmark: serial vs streamed modeled time, all 24 workloads.
+
+For each workload, runs the optimized pipeline twice -- once with the
+fully synchronous discipline (the paper's schedules) and once with the
+streams subsystem (comm-overlap transform + asynchronous execution) --
+and records the serial total against the overlap-aware critical path.
+Along the way it asserts the transformation's contract: byte-identical
+observables, and a critical path never longer than the serial total.
+
+Exposed as ``python -m repro bench --streams`` (writes
+``BENCH_streams.json``) and to the test-suite through the
+``bench``-marked tests.  Divergence is always an error; the speedups
+themselves are the experiment's result, not a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.compiler import CgcmCompiler
+from ..core.config import CgcmConfig, OptLevel
+from ..workloads import ALL_WORKLOADS, Workload
+
+#: Schema tag for BENCH_streams.json (bump on incompatible change).
+OVERLAP_SCHEMA = "repro-bench-streams/1"
+
+
+@dataclass
+class OverlapComparison:
+    """Serial vs streamed run of one workload."""
+
+    name: str
+    serial_s: float
+    critical_path_s: float
+    comm_fraction: float
+    limiting_factor: str
+    overlap_stats: Dict[str, int]
+    counters: Dict[str, int] = field(default_factory=dict)
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        if self.critical_path_s <= 0:
+            return float("inf")
+        return self.serial_s / self.critical_path_s
+
+    @property
+    def comm_bound(self) -> bool:
+        """Communication-limited in the paper's §6 classification."""
+        return self.limiting_factor == "Comm."
+
+
+@dataclass
+class OverlapReport:
+    """The whole sweep plus the headline geomeans."""
+
+    comparisons: List[OverlapComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.comparisons)
+
+    def _geomean(self, speedups: List[float]) -> float:
+        if not speedups:
+            return 0.0
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+    @property
+    def geomean_speedup(self) -> float:
+        return self._geomean([c.speedup for c in self.comparisons if c.ok])
+
+    @property
+    def comm_bound_geomean_speedup(self) -> float:
+        return self._geomean([c.speedup for c in self.comparisons
+                              if c.ok and c.comm_bound])
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": OVERLAP_SCHEMA,
+            "python": platform.python_version(),
+            "geomean_speedup": round(self.geomean_speedup, 4),
+            "comm_bound_geomean_speedup": round(
+                self.comm_bound_geomean_speedup, 4),
+            "workloads": [
+                {
+                    "name": c.name,
+                    "serial_s": c.serial_s,
+                    "critical_path_s": c.critical_path_s,
+                    "speedup": round(c.speedup, 4),
+                    "comm_fraction": round(c.comm_fraction, 4),
+                    "limiting_factor": c.limiting_factor,
+                    "comm_bound": c.comm_bound,
+                    "overlap_stats": dict(c.overlap_stats),
+                    "counters": {k: c.counters[k] for k in sorted(c.counters)
+                                 if k in ("kernel_launches", "htod_copies",
+                                          "dtoh_copies")},
+                    "mismatches": list(c.mismatches),
+                }
+                for c in self.comparisons
+            ],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def render(self) -> str:
+        lines = [f"{'workload':16s} {'serial':>10s} {'overlap':>10s} "
+                 f"{'speedup':>8s} {'limit':>6s}"]
+        for c in self.comparisons:
+            status = "" if c.ok else "  DIVERGED"
+            lines.append(
+                f"{c.name:16s} {c.serial_s * 1e6:8.2f}us "
+                f"{c.critical_path_s * 1e6:8.2f}us "
+                f"{c.speedup:7.2f}x {c.limiting_factor:>6s}{status}")
+        lines.append(f"{'geomean':16s} {'':10s} {'':10s} "
+                     f"{self.geomean_speedup:7.2f}x")
+        lines.append(f"{'geomean (comm.)':16s} {'':10s} {'':10s} "
+                     f"{self.comm_bound_geomean_speedup:7.2f}x")
+        return "\n".join(lines)
+
+
+def compare_overlap(workload: Workload,
+                    level: OptLevel = OptLevel.OPTIMIZED) -> OverlapComparison:
+    """Serial and streamed runs of one workload, with contract checks."""
+    serial = CgcmCompiler(CgcmConfig(opt_level=level))
+    serial_result = serial.execute(
+        serial.compile_source(workload.source, workload.name))
+
+    streamed = CgcmCompiler(CgcmConfig(opt_level=level, streams=True))
+    streamed_report = streamed.compile_source(workload.source, workload.name)
+    streamed_result = streamed.execute(streamed_report)
+
+    mismatches: List[str] = []
+    if serial_result.observable() != streamed_result.observable():
+        mismatches.append("observables differ between serial and streams")
+    if streamed_result.critical_path_seconds \
+            > serial_result.total_seconds * (1 + 1e-12):
+        mismatches.append(
+            f"critical path {streamed_result.critical_path_seconds} "
+            f"exceeds serial total {serial_result.total_seconds}")
+
+    total = serial_result.total_seconds
+    gpu, comm, cpu = (serial_result.gpu_seconds, serial_result.comm_seconds,
+                      serial_result.cpu_seconds)
+    if gpu >= comm and gpu >= cpu:
+        limiting = "GPU"
+    elif comm >= gpu and comm >= cpu:
+        limiting = "Comm."
+    else:
+        limiting = "Other"
+
+    return OverlapComparison(
+        name=workload.name,
+        serial_s=serial_result.total_seconds,
+        critical_path_s=streamed_result.critical_path_seconds,
+        comm_fraction=comm / total if total > 0 else 0.0,
+        limiting_factor=limiting,
+        overlap_stats=dict(streamed_report.overlap_stats),
+        counters=dict(streamed_result.counters),
+        mismatches=tuple(mismatches))
+
+
+def run_overlap_bench(workloads: Optional[List[Workload]] = None,
+                      level: OptLevel = OptLevel.OPTIMIZED,
+                      progress=None) -> OverlapReport:
+    """The full sweep; ``progress`` is an optional per-row callback."""
+    if workloads is None:
+        workloads = list(ALL_WORKLOADS)
+    bench = OverlapReport()
+    for workload in workloads:
+        comparison = compare_overlap(workload, level)
+        bench.comparisons.append(comparison)
+        if progress is not None:
+            progress(comparison)
+    return bench

@@ -2,9 +2,10 @@
 
 from .device import GpuDevice
 from .timing import (CostModel, SimClock, TraceEvent, LANE_COMM, LANE_CPU,
-                     LANE_GPU)
+                     LANE_GPU, STREAM_COMPUTE, STREAM_D2H, STREAM_H2D)
 
 __all__ = [
     "GpuDevice", "CostModel", "SimClock", "TraceEvent",
     "LANE_COMM", "LANE_CPU", "LANE_GPU",
+    "STREAM_COMPUTE", "STREAM_D2H", "STREAM_H2D",
 ]

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from typing import Iterable
+
 from ..errors import GpuError
 from ..memory.flatmem import FlatMemory
 from ..memory.heap import Heap
 from ..memory.layout import DEVICE_BASE, DEVICE_CAPACITY, GlobalLayout
-from .timing import LANE_COMM, SimClock
+from .timing import LANE_COMM, STREAM_D2H, STREAM_H2D, SimClock
 
 
 class GpuDevice:
@@ -47,6 +49,38 @@ class GpuDevice:
         #: ``observer(event, address, size)`` with event one of
         #: "alloc", "free", "htod", "dtoh".  The sanitizer attaches here.
         self.observers: List[Callable[[str, int, int], None]] = []
+        self._stream_serial = 0
+
+    # -- streams and events -------------------------------------------------
+
+    def stream_create(self, name: Optional[str] = None) -> str:
+        """``cuStreamCreate``: register a FIFO stream on the clock.
+
+        Returns the stream handle (its name).  The well-known streams
+        ``h2d``/``d2h``/``compute`` are created on demand by the async
+        transfer and launch paths; explicit creation is only needed
+        for additional user streams.
+        """
+        if name is None:
+            self._stream_serial += 1
+            name = f"stream{self._stream_serial}"
+        return self.clock.stream_create(name)
+
+    def event_record(self, stream: str) -> float:
+        """``cuEventRecord``: capture the stream's completion frontier."""
+        return self.clock.event_record(stream)
+
+    def stream_wait_event(self, stream: str, event_time: float) -> None:
+        """``cuStreamWaitEvent``: order ``stream`` after the event."""
+        self.clock.stream_wait_event(stream, event_time)
+
+    def stream_synchronize(self, stream: str) -> None:
+        """``cuStreamSynchronize``: block the host on one stream."""
+        self.clock.stream_synchronize(stream)
+
+    def device_synchronize(self) -> None:
+        """``cuCtxSynchronize``: block the host on all engines."""
+        self.clock.device_synchronize()
 
     def _notify(self, event: str, address: int, size: int) -> None:
         for observer in self.observers:
@@ -93,12 +127,30 @@ class GpuDevice:
 
     def mem_free(self, address: int) -> None:
         """``cuMemFree``: release device memory."""
-        self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
+        self.clock.advance(LANE_COMM, self.clock.model.device_free_latency_s,
                            "cuMemFree")
         self.clock.count("device_frees")
         if self.observers:
             self._notify("free", address, 0)
         self.heap.free(address)
+
+    def mem_free_async(self, address: int, stream: str = STREAM_D2H,
+                       after: Iterable[float] = ()) -> float:
+        """``cuMemFreeAsync``: release device memory in stream order.
+
+        The heap bookkeeping happens immediately (the simulator's
+        eager-data model); only the driver latency is scheduled on the
+        stream, after any pending spans it depends on -- typically the
+        write-back copy of the region being freed.
+        """
+        finish = self.clock.schedule(
+            LANE_COMM, self.clock.model.device_free_latency_s, stream,
+            "cuMemFree", after=after)
+        self.clock.count("device_frees")
+        if self.observers:
+            self._notify("free", address, 0)
+        self.heap.free(address)
+        return finish
 
     # -- transfers ------------------------------------------------------------
 
@@ -123,6 +175,47 @@ class GpuDevice:
         if self.observers:
             self._notify("dtoh", device_address, size)
         return data
+
+    def memcpy_htod_async(self, device_address: int, data: bytes,
+                          stream: str = STREAM_H2D,
+                          after: Iterable[float] = ()) -> float:
+        """``cuMemcpyHtoDAsync``: non-blocking host-to-device copy.
+
+        Data moves immediately (eager-data simulation: the bytes the
+        copy transfers are the bytes at issue time, exactly what a
+        correctly synchronized async program would observe); only the
+        modelled transfer time is scheduled on ``stream``.  Returns
+        the span's finish time for use as an event.
+        """
+        self.memory.write(device_address, data)
+        finish = self.clock.schedule(
+            LANE_COMM, self.clock.model.transfer_time(len(data)), stream,
+            f"HtoD {len(data)}B", after=after)
+        self.clock.count("htod_copies")
+        self.clock.count("htod_bytes", len(data))
+        if self.observers:
+            self._notify("htod", device_address, len(data))
+        return finish
+
+    def memcpy_dtoh_async(self, device_address: int, size: int,
+                          stream: str = STREAM_D2H,
+                          after: Iterable[float] = ()) -> "tuple":
+        """``cuMemcpyDtoHAsync``: non-blocking device-to-host copy.
+
+        Returns ``(data, finish_time)``.  The bytes are read eagerly;
+        callers ordering the copy after a producing kernel pass that
+        kernel's finish time via ``after`` so the modelled span cannot
+        start before its producer completes.
+        """
+        data = self.memory.read(device_address, size)
+        finish = self.clock.schedule(
+            LANE_COMM, self.clock.model.transfer_time(size), stream,
+            f"DtoH {size}B", after=after)
+        self.clock.count("dtoh_copies")
+        self.clock.count("dtoh_bytes", size)
+        if self.observers:
+            self._notify("dtoh", device_address, size)
+        return data, finish
 
     # -- introspection ---------------------------------------------------------
 

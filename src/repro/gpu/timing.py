@@ -12,17 +12,37 @@ preserving the cost structure the paper's evaluation depends on:
 * Communication: a fixed per-``memcpy`` latency plus bytes/bandwidth --
   the term that makes *cyclic* patterns catastrophically slower than
   *acyclic* ones.
+
+The clock has two timing disciplines:
+
+* **Serial** (default): every span starts when the previous one ends,
+  so elapsed time is the *sum* of the three lanes.  This reproduces
+  the paper's fully synchronous schedules (Figure 2) bit-for-bit.
+* **Streams** (:meth:`SimClock.enable_streams`): asynchronous spans are
+  placed by an overlap-aware scheduler that keeps a host cursor, one
+  busy-cursor per engine lane, and one FIFO cursor per named stream,
+  plus explicit cross-stream dependency edges (CUDA-event analogues).
+  Elapsed time is then the *critical path* over all cursors rather
+  than the lane sum.  Lane sums keep accumulating identically in both
+  disciplines, so per-lane accounting (:meth:`breakdown`,
+  :meth:`totals`) never changes meaning.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Timeline lanes for the event trace (paper Figure 2).
 LANE_CPU = "cpu"
 LANE_GPU = "gpu"
 LANE_COMM = "comm"
+
+#: Conventional stream names used by the runtime and machine.  Streams
+#: are created on demand -- these are just the well-known ones.
+STREAM_H2D = "h2d"
+STREAM_D2H = "d2h"
+STREAM_COMPUTE = "compute"
 
 
 @dataclass(frozen=True)
@@ -47,8 +67,13 @@ class CostModel:
     transfer_latency_s: float = 1.4e-6
     #: Sustained PCIe bandwidth for bulk copies.
     transfer_bandwidth_bps: float = 6e9
-    #: Fixed cost of one cuMemAlloc / cuMemFree.
+    #: Fixed cost of one cuMemAlloc.
     device_alloc_latency_s: float = 0.08e-6
+    #: Fixed cost of one cuMemFree (driver frees are cheaper than
+    #: allocations on real hardware, but the measured gap is within the
+    #: model's noise floor, so both default to the same constant; they
+    #: are charged -- and tunable -- independently).
+    device_free_latency_s: float = 0.08e-6
     #: Cycles charged per interpreted IR operation (CPU lane).
     cpu_cycles_per_op: float = 1.0
     #: Cycles charged per interpreted IR operation (GPU lane, per thread).
@@ -76,12 +101,23 @@ class CostModel:
 
 @dataclass
 class TraceEvent:
-    """One span on the simulated timeline (for schedule rendering)."""
+    """One span on the simulated timeline (for schedule rendering).
+
+    ``track`` names the scheduling row the span was placed on.  For
+    serial spans it equals the lane; for asynchronous spans it is the
+    stream name (``h2d``/``d2h``/``compute``/...), which is what the
+    Chrome-trace exporter uses to give each stream its own row.
+    """
 
     lane: str
     label: str
     start: float
     duration: float
+    track: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.track:
+            self.track = self.lane
 
     @property
     def end(self) -> float:
@@ -91,9 +127,11 @@ class TraceEvent:
 class SimClock:
     """Accumulates modelled time, bucketed by lane, on one timeline.
 
-    The execution model is fully serialized (the paper's schedules in
-    Figure 2 show exactly this for the naive and inspector-executor
-    patterns): each recorded span starts when the previous one ends.
+    By default the execution model is fully serialized (the paper's
+    schedules in Figure 2 show exactly this for the naive and
+    inspector-executor patterns): each recorded span starts when the
+    previous one ends.  After :meth:`enable_streams`, spans issued via
+    :meth:`schedule` may overlap; see the module docstring.
     """
 
     def __init__(self, model: Optional[CostModel] = None,
@@ -105,10 +143,18 @@ class SimClock:
         self.events: List[TraceEvent] = []
         #: Counters useful to tests and the evaluation tables.
         self.counters: Dict[str, int] = {}
+        #: Overlap scheduler state -- inert until :meth:`enable_streams`.
+        self.streams_enabled = False
+        self._host = 0.0
+        self._engines: Dict[str, float] = {LANE_CPU: 0.0, LANE_GPU: 0.0,
+                                           LANE_COMM: 0.0}
+        self._streams: Dict[str, float] = {}
+
+    # -- serial accounting (identical in both disciplines) -----------------
 
     @property
     def now(self) -> float:
-        """Current position on the unified timeline."""
+        """Current position on the unified serial timeline."""
         return sum(self.lanes.values())
 
     @property
@@ -127,17 +173,168 @@ class SimClock:
     def total_seconds(self) -> float:
         return self.now
 
+    @property
+    def serial_total_s(self) -> float:
+        """Lane-sum elapsed time: what a fully serialized schedule of
+        the same spans costs.  Identical to :attr:`total_seconds`."""
+        return self.now
+
+    @property
+    def critical_path_s(self) -> float:
+        """Overlap-aware elapsed time.
+
+        In serial mode this *is* the lane sum.  In streams mode it is
+        the furthest point any cursor (host, engine, or stream) has
+        reached.  Every span occupies exactly one engine, so the
+        critical path can never exceed the serial lane sum; the min()
+        clamp only guards against ULP-level float-associativity drift
+        between the chained cursor sums and the lane-grouped sums.
+        """
+        if not self.streams_enabled:
+            return self.now
+        cursor = self._host
+        for value in self._engines.values():
+            if value > cursor:
+                cursor = value
+        for value in self._streams.values():
+            if value > cursor:
+                cursor = value
+        return min(cursor, self.serial_total_s)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Modelled wall-clock: overlap-aware when streams are on."""
+        return self.critical_path_s
+
+    def utilisation(self) -> Dict[str, float]:
+        """Busy fraction of the elapsed wall-clock per lane.
+
+        Under the serial discipline the fractions sum to 1 (same as
+        :meth:`breakdown`); under streams a lane overlapped with others
+        can approach 1.0 on its own.
+        """
+        elapsed = self.elapsed_s
+        if elapsed <= 0:
+            return {lane: 0.0 for lane in self.lanes}
+        return {lane: t / elapsed for lane, t in self.lanes.items()}
+
+    # -- serial issue ------------------------------------------------------
+
     def advance(self, lane: str, seconds: float, label: str = "") -> None:
-        """Append a span of ``seconds`` to ``lane`` at the current time."""
+        """Append a blocking span of ``seconds`` to ``lane``.
+
+        Blocking spans stall the host: in streams mode the span starts
+        at max(host cursor, lane-engine cursor) and drags both to its
+        end.  In serial mode this method is bit-for-bit the historical
+        behaviour (span starts at :attr:`now`).
+        """
         if lane not in self.lanes:
             raise ValueError(
                 f"unknown timeline lane {lane!r}; expected one of "
                 f"{sorted(self.lanes)}")
         if seconds < 0:
             raise ValueError(f"negative duration {seconds}")
+        if not self.streams_enabled:
+            if self.record_events and seconds > 0:
+                self.events.append(TraceEvent(lane, label, self.now, seconds))
+            self.lanes[lane] += seconds
+            return
+        start = max(self._host, self._engines[lane])
         if self.record_events and seconds > 0:
-            self.events.append(TraceEvent(lane, label, self.now, seconds))
+            self.events.append(TraceEvent(lane, label, start, seconds))
         self.lanes[lane] += seconds
+        end = start + seconds
+        self._host = end
+        self._engines[lane] = end
+
+    # -- overlap scheduler -------------------------------------------------
+
+    def enable_streams(self) -> None:
+        """Switch to the overlap-aware discipline (irreversible)."""
+        self.streams_enabled = True
+
+    def stream_create(self, name: str) -> str:
+        """Register a named FIFO stream (idempotent) and return it."""
+        self._streams.setdefault(name, 0.0)
+        return name
+
+    def stream_cursor(self, name: str) -> float:
+        """Completion time of the last span issued to ``name``."""
+        return self._streams.get(name, 0.0)
+
+    @property
+    def host_time_s(self) -> float:
+        """The host cursor (streams mode); serial :attr:`now` otherwise."""
+        return self._host if self.streams_enabled else self.now
+
+    def schedule(self, lane: str, seconds: float, stream: str,
+                 label: str = "",
+                 after: Iterable[float] = ()) -> float:
+        """Issue an asynchronous span on ``stream`` occupying ``lane``.
+
+        The span starts no earlier than the host cursor at issue time
+        (the API call itself), the stream's FIFO cursor, the engine
+        lane's busy cursor, and every dependency finish-time in
+        ``after`` (event waits).  The host does *not* block; the
+        stream and engine cursors move to the span's end, which is
+        returned (usable as an event timestamp for later waits).
+
+        Before :meth:`enable_streams` this degrades to a blocking
+        :meth:`advance`, so asynchronous call-sites behave exactly like
+        their synchronous counterparts under the serial discipline.
+        """
+        if not self.streams_enabled:
+            self.advance(lane, seconds, label)
+            return self.now
+        if lane not in self.lanes:
+            raise ValueError(
+                f"unknown timeline lane {lane!r}; expected one of "
+                f"{sorted(self.lanes)}")
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds}")
+        start = max(self._host, self._engines[lane],
+                    self._streams.get(stream, 0.0))
+        for dep in after:
+            if dep > start:
+                start = dep
+        if self.record_events and seconds > 0:
+            self.events.append(
+                TraceEvent(lane, label, start, seconds, track=stream))
+        self.lanes[lane] += seconds
+        end = start + seconds
+        self._engines[lane] = end
+        self._streams[stream] = end
+        return end
+
+    def event_record(self, stream: str) -> float:
+        """CUDA ``cuEventRecord`` analogue: timestamp the stream's
+        current FIFO cursor.  The returned float *is* the event."""
+        return self._streams.get(stream, 0.0)
+
+    def stream_wait_event(self, stream: str, event_time: float) -> None:
+        """CUDA ``cuStreamWaitEvent`` analogue: the next span issued to
+        ``stream`` starts no earlier than ``event_time``."""
+        if event_time > self._streams.get(stream, 0.0):
+            self._streams[stream] = event_time
+
+    def stream_synchronize(self, stream: str) -> None:
+        """CUDA ``cuStreamSynchronize`` analogue: block the host until
+        every span issued to ``stream`` has completed."""
+        cursor = self._streams.get(stream, 0.0)
+        if cursor > self._host:
+            self._host = cursor
+
+    def device_synchronize(self) -> None:
+        """CUDA ``cuCtxSynchronize`` analogue: block the host until
+        every outstanding span on every engine has completed."""
+        for value in self._engines.values():
+            if value > self._host:
+                self._host = value
+        for value in self._streams.values():
+            if value > self._host:
+                self._host = value
+
+    # -- bookkeeping -------------------------------------------------------
 
     def count(self, name: str, delta: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + delta

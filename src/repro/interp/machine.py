@@ -31,7 +31,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import CgcmUnsupportedError, InterpError
 from ..gpu.device import GpuDevice
-from ..gpu.timing import CostModel, LANE_CPU, LANE_GPU, SimClock
+from ..gpu.timing import (CostModel, LANE_CPU, LANE_GPU, STREAM_COMPUTE,
+                          STREAM_D2H, STREAM_H2D, SimClock)
 from ..ir.function import Function
 from ..ir.instructions import (Alloca, BinaryOp, Branch, Call, Cast, Compare,
                                CondBranch, GetElementPtr, LaunchKernel, Load,
@@ -80,13 +81,20 @@ class Machine:
     def __init__(self, module: Module,
                  cost_model: Optional[CostModel] = None,
                  record_events: bool = False,
-                 engine: str = "tree"):
+                 engine: str = "tree",
+                 streams: bool = False):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of "
                              f"{ENGINES}")
         self.module = module
         self.engine = engine
+        #: Overlap-aware timing discipline: kernel launches become
+        #: asynchronous (scheduled on the "compute" stream) and the
+        #: runtime may issue transfers on the "h2d"/"d2h" streams.
+        self.streams = streams
         self.clock = SimClock(cost_model, record_events)
+        if streams:
+            self.clock.enable_streams()
         self.cpu_memory = make_cpu_memory()
         self.layout = GlobalLayout(module)
         self.layout.install(self.cpu_memory)
@@ -546,7 +554,23 @@ class Machine:
         duration = model.kernel_launch_latency_s
         if grid:
             duration += model.gpu_time(total_ops, max_ops)
-        self.clock.advance(LANE_GPU, duration, f"{kernel.name}[{grid}]")
+        if not self.streams:
+            self.clock.advance(LANE_GPU, duration, f"{kernel.name}[{grid}]")
+            return
+        # Streams discipline: the launch is asynchronous.  Thread
+        # execution above already happened eagerly (data effects are
+        # immediate in the simulator); only the modelled span is
+        # scheduled.  The kernel waits for every transfer issued so
+        # far -- default-stream semantics against the copy streams --
+        # which is exactly the ordering the runtime's event edges need:
+        # operand HtoD copies precede the launch in program order, and
+        # in-flight DtoH write-backs must drain before device memory
+        # they cover can be reused.
+        clock = self.clock
+        clock.schedule(
+            LANE_GPU, duration, STREAM_COMPUTE, f"{kernel.name}[{grid}]",
+            after=(clock.stream_cursor(STREAM_H2D),
+                   clock.stream_cursor(STREAM_D2H)))
 
 
 def _trunc_div_int(lhs: int, rhs: int) -> int:

@@ -3,11 +3,16 @@
 Reproduces the *shape* of the paper's Figure 2: three lanes (CPU,
 communication, GPU) with time flowing left to right, so cyclic
 ping-pong patterns and acyclic one-way patterns are visually distinct.
+
+:func:`chrome_trace_json` exports the same events in the Chrome
+trace-event format, one row per lane/stream, for interactive zooming
+in ``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from typing import Dict, Iterable, List, Sequence
 
 from ..gpu.timing import LANE_COMM, LANE_CPU, LANE_GPU, TraceEvent
 
@@ -45,6 +50,44 @@ def summarize_events(events: Iterable[TraceEvent]) -> List[str]:
     return [f"{e.lane:4s} {e.start * 1e6:10.2f}us "
             f"+{e.duration * 1e6:8.2f}us  {e.label}"
             for e in events]
+
+
+def chrome_trace_json(events: Sequence[TraceEvent],
+                      name: str = "repro") -> str:
+    """Events as a Chrome trace-event JSON document.
+
+    Each distinct :attr:`TraceEvent.track` (the owning stream for
+    asynchronous spans, the lane for synchronous ones) becomes one
+    timeline row: a ``thread_name`` metadata record plus complete
+    ``"X"`` duration events with microsecond timestamps.  Rows are
+    ordered CPU, comm, GPU first, then streams by first appearance.
+    """
+    track_tids: Dict[str, int] = {}
+    for lane in (LANE_CPU, LANE_COMM, LANE_GPU):
+        track_tids[lane] = len(track_tids)
+    for event in events:
+        if event.track not in track_tids:
+            track_tids[event.track] = len(track_tids)
+    records: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": name}}]
+    for track, tid in track_tids.items():
+        records.append({"name": "thread_name", "ph": "M", "pid": 0,
+                        "tid": tid, "args": {"name": track}})
+        records.append({"name": "thread_sort_index", "ph": "M", "pid": 0,
+                        "tid": tid, "args": {"sort_index": tid}})
+    for event in events:
+        records.append({
+            "name": event.label or event.lane,
+            "cat": event.lane,
+            "ph": "X",
+            "ts": event.start * 1e6,
+            "dur": event.duration * 1e6,
+            "pid": 0,
+            "tid": track_tids[event.track],
+        })
+    return json.dumps({"traceEvents": records,
+                       "displayTimeUnit": "ms"}, indent=1)
 
 
 def count_direction_switches(events: Sequence[TraceEvent]) -> int:

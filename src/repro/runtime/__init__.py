@@ -1,12 +1,16 @@
 """CGCM run-time library: allocation tracking and pointer translation."""
 
 from .allocmap import AvlTreeMap
-from .cgcm import (AllocationInfo, CgcmRuntime, MAP_FUNCTIONS,
-                   RELEASE_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
-                   RUNTIME_SIGNATURES, UNMAP_FUNCTIONS, declare_runtime)
+from .cgcm import (ASYNC_RUNTIME_FUNCTIONS, ASYNC_VARIANTS, AllocationInfo,
+                   CgcmRuntime, MAP_ARRAY_FUNCTIONS, MAP_FUNCTIONS,
+                   RELEASE_ARRAY_FUNCTIONS, RELEASE_FUNCTIONS,
+                   RUNTIME_FUNCTION_NAMES, RUNTIME_SIGNATURES, SYNC_FUNCTION,
+                   UNMAP_ARRAY_FUNCTIONS, UNMAP_FUNCTIONS, declare_runtime)
 
 __all__ = [
     "AvlTreeMap", "AllocationInfo", "CgcmRuntime", "MAP_FUNCTIONS",
     "RELEASE_FUNCTIONS", "RUNTIME_FUNCTION_NAMES", "RUNTIME_SIGNATURES",
     "UNMAP_FUNCTIONS", "declare_runtime",
+    "ASYNC_RUNTIME_FUNCTIONS", "ASYNC_VARIANTS", "MAP_ARRAY_FUNCTIONS",
+    "UNMAP_ARRAY_FUNCTIONS", "RELEASE_ARRAY_FUNCTIONS", "SYNC_FUNCTION",
 ]

@@ -30,7 +30,7 @@ import struct
 from typing import Callable, Dict, List, Optional
 
 from ..errors import CgcmRuntimeError, CgcmUnsupportedError
-from ..gpu.timing import LANE_CPU
+from ..gpu.timing import STREAM_COMPUTE, STREAM_D2H, STREAM_H2D
 from ..interp.machine import Machine
 from ..ir.module import Module
 from ..ir.types import FunctionType, I64, RAW_PTR, VOID
@@ -39,7 +39,8 @@ from .allocmap import AvlTreeMap
 #: Modelled CPU ops per run-time library call (tree lookup + bookkeeping).
 _RUNTIME_CALL_OPS = 30
 
-#: IR signatures of the run-time entry points (paper Table 2).
+#: IR signatures of the run-time entry points (paper Table 2, plus the
+#: asynchronous variants introduced by the comm-overlap transform).
 RUNTIME_SIGNATURES = {
     "map": FunctionType(RAW_PTR, [RAW_PTR]),
     "unmap": FunctionType(VOID, [RAW_PTR]),
@@ -49,13 +50,35 @@ RUNTIME_SIGNATURES = {
     "releaseArray": FunctionType(VOID, [RAW_PTR]),
     "declareAlloca": FunctionType(RAW_PTR, [I64]),
     "declareGlobal": FunctionType(VOID, [RAW_PTR, RAW_PTR, I64, I64]),
+    # Streams subsystem: prefetching map, deferred-write-back unmap,
+    # and the host-side synchronize that makes write-backs visible.
+    # Under the serial discipline they fall back to the synchronous
+    # entry points, so the same IR is valid at every config.
+    "mapAsync": FunctionType(RAW_PTR, [RAW_PTR]),
+    "unmapAsync": FunctionType(VOID, [RAW_PTR]),
+    "mapArrayAsync": FunctionType(RAW_PTR, [RAW_PTR]),
+    "unmapArrayAsync": FunctionType(VOID, [RAW_PTR]),
+    "cgcmSync": FunctionType(VOID, []),
 }
 
 #: Names of the map/unmap/release family (used by the compiler passes).
-MAP_FUNCTIONS = ("map", "mapArray")
-UNMAP_FUNCTIONS = ("unmap", "unmapArray")
+MAP_FUNCTIONS = ("map", "mapArray", "mapAsync", "mapArrayAsync")
+UNMAP_FUNCTIONS = ("unmap", "unmapArray", "unmapAsync", "unmapArrayAsync")
 RELEASE_FUNCTIONS = ("release", "releaseArray")
+#: Doubly-indirect (pointer-array) members of each family.
+MAP_ARRAY_FUNCTIONS = ("mapArray", "mapArrayAsync")
+UNMAP_ARRAY_FUNCTIONS = ("unmapArray", "unmapArrayAsync")
+RELEASE_ARRAY_FUNCTIONS = ("releaseArray",)
+#: map/unmap names whose spans go to the copy streams instead of
+#: blocking the host (rewritten in by ``transforms/comm_overlap``).
+ASYNC_RUNTIME_FUNCTIONS = ("mapAsync", "mapArrayAsync", "unmapAsync",
+                           "unmapArrayAsync")
+SYNC_FUNCTION = "cgcmSync"
 RUNTIME_FUNCTION_NAMES = tuple(RUNTIME_SIGNATURES)
+
+#: sync name -> async name, for the comm-overlap rewrite.
+ASYNC_VARIANTS = {"map": "mapAsync", "mapArray": "mapArrayAsync",
+                  "unmap": "unmapAsync", "unmapArray": "unmapArrayAsync"}
 
 
 def declare_runtime(module: Module) -> Dict[str, "object"]:
@@ -103,6 +126,15 @@ class CgcmRuntime:
         self.alloc_map = AvlTreeMap()
         self.global_epoch = 0
         self._stack_regs: Dict[int, List[int]] = {}
+        #: Streams discipline: async entry points overlap, and a
+        #: load/store guard synchronizes in-flight write-backs before
+        #: the CPU touches their host region.
+        self.streams = getattr(machine, "streams", False)
+        #: In-flight DtoH write-backs: unit base -> (unit end, modelled
+        #: finish time of the copy on the d2h stream).
+        self._pending_writebacks: Dict[int, tuple] = {}
+        #: Times the guard or an external forced a host synchronize.
+        self.guard_syncs = 0
         #: Observers of run-time library operations, called as
         #: ``hook(stage, op, ptr, info)`` with stage "pre" (before the
         #: operation mutates any state) or "post" (after it finished),
@@ -124,8 +156,17 @@ class CgcmRuntime:
             "releaseArray": lambda m, a: self.release_array(int(a[0])),
             "declareAlloca": lambda m, a: self.declare_alloca(int(a[0])),
             "declareGlobal": self._declare_global_external,
+            "mapAsync": lambda m, a: self.map_ptr_async(int(a[0])),
+            "unmapAsync": lambda m, a: self.unmap_ptr_async(int(a[0])),
+            "mapArrayAsync": lambda m, a: self.map_array_async(int(a[0])),
+            "unmapArrayAsync":
+                lambda m, a: self.unmap_array_async(int(a[0])),
+            "cgcmSync": lambda m, a: self.sync(),
         })
         machine.external_types.update(RUNTIME_SIGNATURES)
+        if self.streams:
+            machine.mem_hooks.append(self._guard_mem)
+            self._wrap_memory_externals()
 
     # -- registration ------------------------------------------------------
 
@@ -162,6 +203,71 @@ class CgcmRuntime:
         self.alloc_map.insert(base, info)
         self._stack_regs.setdefault(frame.frame_id, []).append(base)
         return base
+
+    # -- streams guard -------------------------------------------------------
+
+    #: Externals that read or write host memory without going through
+    #: the interpreter's load/store path (and hence the mem-hook
+    #: guard); under streams they synchronize pending write-backs
+    #: first, exactly like a guarded load would.
+    _MEMORY_EXTERNAL_NAMES = ("memcpy", "memset", "print_str", "free",
+                              "realloc")
+
+    def _wrap_memory_externals(self) -> None:
+        externals = self.machine.externals
+        for name in self._MEMORY_EXTERNAL_NAMES:
+            handler = externals.get(name)
+            if handler is None:
+                continue
+            externals[name] = self._make_syncing_handler(handler)
+
+    def _make_syncing_handler(self, handler: Callable) -> Callable:
+        def wrapped(machine: Machine, args: List):
+            if self._pending_writebacks:
+                self._sync_pending()
+            return handler(machine, args)
+        return wrapped
+
+    def _guard_mem(self, machine: Machine, kind: str, address: int,
+                   size: int) -> None:
+        """mem-hook: stall the host until an overlapping in-flight
+        write-back completes before the CPU touches its region.
+
+        Data is already in place (the simulator's eager-data model);
+        this models the synchronize a real async implementation needs,
+        charging the wait as idle time rather than modelled ops.
+        Device addresses can never overlap host regions, so kernel
+        accesses fall through the interval test untouched.
+        """
+        pending = self._pending_writebacks
+        if not pending:
+            return
+        end = address + size
+        for base, (unit_end, _finish) in pending.items():
+            if address < unit_end and base < end:
+                self._sync_pending()
+                return
+
+    def _sync_pending(self) -> None:
+        """Host-synchronize the d2h stream and retire every pending
+        write-back.  Charges no modelled ops: the cost is purely the
+        host cursor waiting for the copies to drain."""
+        self.machine.clock.stream_synchronize(STREAM_D2H)
+        self._pending_writebacks.clear()
+        self.guard_syncs += 1
+
+    def sync(self) -> None:
+        """``cgcmSync``: make every deferred write-back CPU-visible.
+
+        Inserted by the comm-overlap transform before CPU code that
+        reads a sunk unmap's region; a no-op under the serial
+        discipline (there is nothing in flight to wait for).
+        """
+        if not self.streams:
+            return
+        self.machine.flush_cpu()
+        if self._pending_writebacks:
+            self._sync_pending()
 
     # -- hooks ---------------------------------------------------------------
 
@@ -274,7 +380,13 @@ class CgcmRuntime:
         info.ref_count -= 1
         if info.ref_count == 0 and not info.is_global:
             assert info.device_ptr is not None
-            self.device.mem_free(info.device_ptr)
+            if self.streams:
+                # Stream-ordered free: the d2h stream is FIFO, so the
+                # buffer outlives any in-flight write-back of it
+                # without stalling the host.
+                self.device.mem_free_async(info.device_ptr, STREAM_D2H)
+            else:
+                self.device.mem_free(info.device_ptr)
             info.device_ptr = None
         if self.op_hooks:
             self._notify("post", "release", ptr, info)
@@ -335,6 +447,124 @@ class CgcmRuntime:
                     self.release_ptr(element)
             info.is_array = False
         self.release_ptr(ptr)
+
+    # -- asynchronous entry points (streams subsystem) ----------------------------
+
+    def map_ptr_async(self, ptr: int) -> int:
+        """Prefetching ``map``: identical unit bookkeeping, but the
+        HtoD copy is issued on the h2d stream without blocking the
+        host.  A later launch orders itself after the copy via the
+        stream cursor (see ``Machine.launch_evaluated``).  Falls back
+        to :meth:`map_ptr` under the serial discipline."""
+        if not self.streams:
+            return self.map_ptr(ptr)
+        info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "map", ptr, info)
+        if info.ref_count == 0:
+            if not info.is_global:
+                info.device_ptr = self.device.mem_alloc(info.size)
+            else:
+                info.device_ptr = self.device.module_get_global(info.name)
+            self.machine.flush_cpu()
+            data = self.machine.cpu_memory.read(info.base, info.size)
+            self.device.memcpy_htod_async(
+                info.device_ptr, data, STREAM_H2D,
+                after=self._writeback_deps(info))
+            info.epoch = self.global_epoch
+        info.ref_count += 1
+        assert info.device_ptr is not None
+        if self.op_hooks:
+            self._notify("post", "map", ptr, info)
+        return info.device_ptr + (ptr - info.base)
+
+    def _writeback_deps(self, info: AllocationInfo) -> tuple:
+        """Event edge for re-mapping a unit whose previous device copy
+        is still being written back: the fresh HtoD must not start
+        before the old DtoH finished (the host bytes it transfers are
+        final only then).  Retires the unit's pending entry."""
+        pending = self._pending_writebacks.pop(info.base, None)
+        if pending is None:
+            return ()
+        return (pending[1],)
+
+    def unmap_ptr_async(self, ptr: int) -> None:
+        """Deferred-write-back ``unmap``: the DtoH copy is issued on
+        the d2h stream, ordered after every launch so far (compute
+        stream event), and registered so any CPU access of the host
+        region synchronizes first.  Falls back to :meth:`unmap_ptr`
+        under the serial discipline."""
+        if not self.streams:
+            return self.unmap_ptr(ptr)
+        info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "unmap", ptr, info)
+        if info.epoch == self.global_epoch or info.is_read_only:
+            if self.op_hooks:
+                self._notify("post", "unmap", ptr, info)
+            return
+        if info.device_ptr is None:
+            raise CgcmRuntimeError(
+                f"unmapAsync of {ptr:#x}: allocation unit has no device "
+                "copy")
+        self.machine.flush_cpu()
+        clock = self.machine.clock
+        kernels_done = clock.event_record(STREAM_COMPUTE)
+        data, finish = self.device.memcpy_dtoh_async(
+            info.device_ptr, info.size, STREAM_D2H, after=(kernels_done,))
+        self.machine.cpu_memory.write(info.base, data)
+        info.epoch = self.global_epoch
+        self._pending_writebacks[info.base] = (info.end, finish)
+        if self.op_hooks:
+            self._notify("post", "unmap", ptr, info)
+
+    def map_array_async(self, ptr: int) -> int:
+        """Asynchronous :meth:`map_array`: elements prefetch through
+        :meth:`map_ptr_async`, then the translated pointer array is
+        itself copied on the h2d stream."""
+        if not self.streams:
+            return self.map_array(ptr)
+        info = self.lookup(ptr)
+        if self.op_hooks:
+            self._notify("pre", "map", ptr, info)
+        if info.ref_count == 0:
+            elements = self._read_pointer_array(info)
+            for element in elements:
+                if element:
+                    depth_guard = self.lookup(element)
+                    if depth_guard.is_array:
+                        raise CgcmUnsupportedError(
+                            "pointers with three or more degrees of "
+                            "indirection are not supported (CGCM "
+                            "restriction, paper section 2.3)")
+            translated = [self.map_ptr_async(e) if e else 0
+                          for e in elements]
+            if not info.is_global:
+                info.device_ptr = self.device.mem_alloc(info.size)
+            else:
+                info.device_ptr = self.device.module_get_global(info.name)
+            self.machine.flush_cpu()
+            payload = struct.pack(f"<{len(translated)}Q", *translated)
+            self.device.memcpy_htod_async(
+                info.device_ptr, payload, STREAM_H2D,
+                after=self._writeback_deps(info))
+            info.epoch = self.global_epoch
+            info.is_array = True
+        info.ref_count += 1
+        assert info.device_ptr is not None
+        if self.op_hooks:
+            self._notify("post", "map", ptr, info)
+        return info.device_ptr + (ptr - info.base)
+
+    def unmap_array_async(self, ptr: int) -> None:
+        """Asynchronous :meth:`unmap_array`: every element's
+        write-back is deferred through :meth:`unmap_ptr_async`."""
+        if not self.streams:
+            return self.unmap_array(ptr)
+        info = self.lookup(ptr)
+        for element in self._read_pointer_array(info):
+            if element:
+                self.unmap_ptr_async(element)
 
     # -- introspection -----------------------------------------------------------
 

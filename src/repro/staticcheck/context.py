@@ -193,7 +193,8 @@ class CheckContext:
         for fn in self.module.defined_functions():
             for inst in fn.instructions():
                 if isinstance(inst, Call) and inst.callee.name in (
-                        "mapArray", "unmapArray", "releaseArray"):
+                        "mapArray", "unmapArray", "releaseArray",
+                        "mapArrayAsync", "unmapArrayAsync"):
                     for root in ordered_roots(
                             underlying_objects(inst.args[0])):
                         if is_identified(root) \

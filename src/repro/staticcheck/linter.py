@@ -58,10 +58,13 @@ def lint_module(module: Module,
 
 def lint_source(source: str, name: str = "program",
                 opt_level: OptLevel = OptLevel.OPTIMIZED,
-                passes: Optional[Iterable[str]] = None) -> LintReport:
+                passes: Optional[Iterable[str]] = None,
+                streams: bool = False) -> LintReport:
     """Compile MiniC through the pipeline at ``opt_level`` and lint
-    the resulting module."""
-    compiler = CgcmCompiler(CgcmConfig(opt_level=opt_level))
+    the resulting module.  With ``streams``, the comm-overlap pass
+    runs too, so the checks see the hoisted/sunk asynchronous calls."""
+    compiler = CgcmCompiler(CgcmConfig(opt_level=opt_level,
+                                       streams=streams))
     report = compiler.compile_source(source, name)
     lint = lint_module(report.module, passes)
     lint.module_name = name
@@ -69,6 +72,8 @@ def lint_source(source: str, name: str = "program",
 
 
 def lint_workload(workload, opt_level: OptLevel = OptLevel.OPTIMIZED,
-                  passes: Optional[Iterable[str]] = None) -> LintReport:
+                  passes: Optional[Iterable[str]] = None,
+                  streams: bool = False) -> LintReport:
     """Lint one of the paper workloads post-pipeline."""
-    return lint_source(workload.source, workload.name, opt_level, passes)
+    return lint_source(workload.source, workload.name, opt_level, passes,
+                       streams)

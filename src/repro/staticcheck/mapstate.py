@@ -54,8 +54,10 @@ from ..ir.instructions import (Alloca, Call, Instruction, LaunchKernel, Load,
                                Return, Store)
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable
-from ..runtime.cgcm import (MAP_FUNCTIONS, RELEASE_FUNCTIONS,
-                            RUNTIME_FUNCTION_NAMES, UNMAP_FUNCTIONS)
+from ..runtime.cgcm import (MAP_ARRAY_FUNCTIONS, MAP_FUNCTIONS,
+                            RELEASE_ARRAY_FUNCTIONS, RELEASE_FUNCTIONS,
+                            RUNTIME_FUNCTION_NAMES, UNMAP_ARRAY_FUNCTIONS,
+                            UNMAP_FUNCTIONS)
 from .context import CheckContext, launch_arg_host_roots
 from .findings import Finding, Severity, finding_at, finding_in_function
 
@@ -264,7 +266,7 @@ class MapStateProblem(dataflow.DataflowProblem):
                 state = self._apply(state, root,
                                     self._map_effect(self._get(state, root)),
                                     strong)
-            if name == "mapArray":
+            if name in MAP_ARRAY_FUNCTIONS:
                 state = self._array_elements_sync(inst, state, on_map=True)
             return state
         if name in UNMAP_FUNCTIONS:
@@ -273,7 +275,7 @@ class MapStateProblem(dataflow.DataflowProblem):
                 state = self._apply(
                     state, root,
                     self._unmap_effect(self._get(state, root)), strong)
-            if name == "unmapArray":
+            if name in UNMAP_ARRAY_FUNCTIONS:
                 state = self._array_elements_sync(inst, state, on_map=False)
             return state
         if name in RELEASE_FUNCTIONS:
@@ -282,7 +284,7 @@ class MapStateProblem(dataflow.DataflowProblem):
                 state = self._apply(
                     state, root,
                     self._release_effect(self._get(state, root)), strong)
-            if name == "releaseArray":
+            if name in RELEASE_ARRAY_FUNCTIONS:
                 state = self._array_elements_sync(inst, state, on_map=False)
             return state
         if name in RUNTIME_FUNCTION_NAMES:

@@ -1,0 +1,94 @@
+"""Overlap equivalence: streams runs must be observably identical.
+
+The streams subsystem reorders communication and defers its modeled
+time, but data effects stay eager and the comm-overlap transform only
+moves calls it can prove independent -- so a streamed run must produce
+byte-identical observables to the serial run of the same program, with
+a critical path no longer than the serial total.
+
+Tier-1 covers a fast workload subset; the ``slow`` marker covers all
+24 plus a sanitizer-armed sweep.
+"""
+
+import pytest
+
+from repro.core.compiler import CgcmCompiler
+from repro.core.config import CgcmConfig, OptLevel
+from repro.evaluation.overlap import compare_overlap, run_overlap_bench
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+#: Small-but-representative subset for tier-1: covers globals-only,
+#: heap pointers, pointer arrays (mapArray), and glue-kernel programs.
+FAST_SUBSET = ("gemm", "atax", "jacobi-2d-imper", "kmeans", "nw",
+               "blackscholes")
+
+
+def run_pair(workload):
+    serial = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED))
+    serial_result = serial.execute(
+        serial.compile_source(workload.source, workload.name))
+    streamed = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                       streams=True))
+    streamed_result = streamed.execute(
+        streamed.compile_source(workload.source, workload.name))
+    return serial_result, streamed_result
+
+
+@pytest.mark.parametrize("name", FAST_SUBSET)
+def test_fast_subset_byte_identical(name):
+    serial, streamed = run_pair(get_workload(name))
+    assert streamed.observable() == serial.observable()
+    assert streamed.critical_path_seconds <= serial.total_seconds
+    # The lane accounting stays discipline-independent.
+    assert streamed.counters["kernel_launches"] \
+        == serial.counters["kernel_launches"]
+
+
+@pytest.mark.parametrize("name", FAST_SUBSET[:3])
+def test_fast_subset_sanitizer_clean(name):
+    workload = get_workload(name)
+    compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                       streams=True, sanitize=True))
+    report = compiler.compile_source(workload.source, workload.name)
+    result = compiler.execute(report)
+    assert result.sanitizer_report is not None
+    assert result.sanitizer_report.clean
+
+
+def test_compare_overlap_contract_fields():
+    comparison = compare_overlap(get_workload("gemm"))
+    assert comparison.ok, comparison.mismatches
+    assert comparison.speedup >= 1.0
+    assert comparison.limiting_factor in ("GPU", "Comm.", "Other")
+    assert 0.0 <= comparison.comm_fraction <= 1.0
+    assert comparison.overlap_stats["async_rewrites"] > 0
+
+
+@pytest.mark.slow
+def test_all_workloads_byte_identical():
+    for workload in ALL_WORKLOADS:
+        serial, streamed = run_pair(workload)
+        assert streamed.observable() == serial.observable(), workload.name
+        assert streamed.critical_path_seconds <= serial.total_seconds, \
+            workload.name
+
+
+@pytest.mark.slow
+def test_all_workloads_sanitizer_clean_with_streams():
+    for workload in ALL_WORKLOADS:
+        compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                           streams=True, sanitize=True))
+        report = compiler.compile_source(workload.source, workload.name)
+        result = compiler.execute(report)
+        assert result.sanitizer_report.clean, workload.name
+
+
+@pytest.mark.slow
+def test_overlap_bench_sweep_clean():
+    bench = run_overlap_bench()
+    assert bench.ok
+    assert bench.geomean_speedup >= 1.0
+    assert bench.comm_bound_geomean_speedup > 1.0
+    payload = bench.to_json()
+    assert payload["schema"] == "repro-bench-streams/1"
+    assert len(payload["workloads"]) == len(ALL_WORKLOADS)

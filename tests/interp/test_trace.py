@@ -60,3 +60,50 @@ class TestScheduleShape:
         acyclic = count_direction_switches(opt.events)
         assert cyclic > acyclic
         assert acyclic <= 4
+
+
+class TestChromeTrace:
+    def test_json_shape(self):
+        import json
+
+        from repro.interp.trace import chrome_trace_json
+
+        events = [
+            TraceEvent(LANE_CPU, "loop", 0.0, 1e-6),
+            TraceEvent(LANE_COMM, "HtoD 64B", 0.0, 2e-6, track="h2d"),
+            TraceEvent(LANE_GPU, "k[8]", 2e-6, 1e-6, track="compute"),
+        ]
+        document = json.loads(chrome_trace_json(events, name="unit"))
+        records = document["traceEvents"]
+        names = {r["args"]["name"] for r in records
+                 if r["name"] == "thread_name"}
+        # One row per lane plus one per stream that appeared.
+        assert {"cpu", "comm", "gpu", "h2d", "compute"} <= names
+        spans = [r for r in records if r["ph"] == "X"]
+        assert len(spans) == 3
+        copy = next(r for r in spans if r["name"] == "HtoD 64B")
+        assert copy["cat"] == LANE_COMM
+        assert copy["ts"] == 0.0
+        assert copy["dur"] == 2.0  # microseconds
+        # The copy sits on the h2d row, not the generic comm row.
+        h2d_tid = next(r["tid"] for r in records
+                       if r["name"] == "thread_name"
+                       and r["args"]["name"] == "h2d")
+        assert copy["tid"] == h2d_tid
+
+    def test_streams_run_emits_stream_tracks(self):
+        """An actual streamed run places async spans on stream rows."""
+        import json
+
+        from repro.core import CgcmCompiler, CgcmConfig
+        from repro.interp.trace import chrome_trace_json
+
+        config = CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                            record_events=True, streams=True)
+        compiler = CgcmCompiler(config)
+        report = compiler.compile_source(CYCLIC_PROGRAM, "traced")
+        result = compiler.execute(report)
+        document = json.loads(chrome_trace_json(result.events, "traced"))
+        names = {r["args"]["name"] for r in document["traceEvents"]
+                 if r["name"] == "thread_name"}
+        assert "h2d" in names or "d2h" in names
