@@ -3,12 +3,15 @@
 Usage::
 
     python -m repro run program.c [--level optimized] [--streams]
+    python -m repro run program.c [--faults SEED] [--heap-limit BYTES]
     python -m repro emit-ir program.c [--level unoptimized] [--streams]
     python -m repro bench [<workload> ...] [--out BENCH_interp.json]
     python -m repro bench --streams [--out BENCH_streams.json]
+    python -m repro faultbench [<workload> ...] [--out BENCH_faults.json]
     python -m repro trace <workload-or-source> [--streams] [--out t.json]
     python -m repro sanitize <workload-or-source> [...] [--level opt]
     python -m repro lint [<workload-or-source> ...] [--json] [--corpus]
+    python -m repro lint [--faults SEED]
     python -m repro list
 
 ``run`` compiles a MiniC source file at the chosen optimization level
@@ -17,12 +20,20 @@ transformed IR; ``bench`` with workload names runs them through all
 four configurations, with no names runs the full 24-workload
 tree-vs-compiled engine sweep (``BENCH_interp.json``), and with
 ``--streams`` runs the serial-vs-overlapped sweep
-(``BENCH_streams.json``); ``trace`` dumps one run's timeline as
+(``BENCH_streams.json``); ``faultbench`` runs the chaos sweep -- every
+workload under seeded fault schedules and device-heap caps, checking
+byte-identical observables and reporting recovery counters
+(``BENCH_faults.json``); ``trace`` dumps one run's timeline as
 Chrome trace-event JSON for ``chrome://tracing``; ``sanitize`` runs
 the CPU-vs-GPU differential oracle with the communication sanitizer
 armed; ``lint`` runs the static communication verifier and DOALL race
 auditor over post-pipeline IR (``--corpus`` self-checks the
 seeded-defect corpus); ``list`` shows the 24 available workloads.
+
+``run --faults SEED`` arms deterministic driver-fault injection (the
+resilient runtime rides the faults out and must print the same
+output); ``--heap-limit BYTES`` caps the device heap to force LRU
+eviction and, when nothing fits, CPU-fallback launches.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ import sys
 from typing import List, Optional
 
 from .core import CgcmCompiler, CgcmConfig, OptLevel
+from .errors import ConfigError
 from .evaluation import run_benchmark
 from .interp.trace import render_schedule
 from .ir import module_to_str
@@ -64,6 +76,13 @@ def _add_streams_argument(parser: argparse.ArgumentParser) -> None:
              "elapsed time")
 
 
+def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", type=int, default=None, metavar="SEED",
+        help="arm deterministic driver-fault injection with this seed "
+             "(the resilient runtime must ride the faults out)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -76,6 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_level_argument(run_cmd)
     _add_engine_argument(run_cmd)
     _add_streams_argument(run_cmd)
+    _add_faults_argument(run_cmd)
+    run_cmd.add_argument("--heap-limit", type=int, default=None,
+                         metavar="BYTES",
+                         help="cap the device heap to force eviction "
+                              "and CPU-fallback launches")
     run_cmd.add_argument("--trace", action="store_true",
                          help="draw the execution schedule (Figure 2 "
                               "style)")
@@ -119,6 +143,18 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="serial-vs-overlapped sweep over all 24 "
                                 "workloads (writes BENCH_streams.json)")
 
+    faultbench_cmd = commands.add_parser(
+        "faultbench",
+        help="chaos sweep: every workload under seeded fault schedules "
+             "and device-heap caps, observables byte-checked")
+    faultbench_cmd.add_argument(
+        "workloads", nargs="*",
+        help="workload names (see 'list'); omit for all 24")
+    faultbench_cmd.add_argument(
+        "--out", default="BENCH_faults.json",
+        help="where to write the JSON report (default "
+             "BENCH_faults.json)")
+
     sanitize_cmd = commands.add_parser(
         "sanitize",
         help="run the CPU-vs-GPU differential oracle under the "
@@ -154,18 +190,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also self-check the seeded-defect corpus (every seeded "
              "bug must be flagged, every clean control must pass)")
     _add_streams_argument(lint_cmd)
+    _add_faults_argument(lint_cmd)
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
 
 
+def _fault_plan(seed: Optional[int]):
+    """A ``FaultPlan`` at the standard chaos rates, or None."""
+    if seed is None:
+        return None
+    from .evaluation.faultbench import CHAOS_RATES
+    from .gpu.faults import FaultPlan
+    return FaultPlan(seed=seed, **CHAOS_RATES)
+
+
 def _compile(path: str, level_name: str, record_events: bool = False,
-             engine: str = "compiled", streams: bool = False):
+             engine: str = "compiled", streams: bool = False,
+             faults=None, heap_limit: Optional[int] = None):
     with open(path) as handle:
         source = handle.read()
     config = CgcmConfig(opt_level=_LEVELS[level_name],
                         record_events=record_events, engine=engine,
-                        streams=streams)
+                        streams=streams, faults=faults,
+                        device_heap_limit=heap_limit)
     compiler = CgcmCompiler(config)
     report = compiler.compile_source(source, path)
     return compiler, report
@@ -173,7 +221,9 @@ def _compile(path: str, level_name: str, record_events: bool = False,
 
 def _cmd_run(args: argparse.Namespace) -> int:
     compiler, report = _compile(args.source, args.level, args.trace,
-                                args.engine, args.streams)
+                                args.engine, args.streams,
+                                faults=_fault_plan(args.faults),
+                                heap_limit=args.heap_limit)
     result = compiler.execute(report)
     for line in result.stdout:
         print(line)
@@ -200,8 +250,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"glue kernels  : "
                   f"{[k.name for k in report.glue_kernels]}",
                   file=sys.stderr)
-        for counter in ("kernel_launches", "htod_copies", "dtoh_copies",
-                        "htod_bytes", "dtoh_bytes"):
+        counters = ["kernel_launches", "htod_copies", "dtoh_copies",
+                    "htod_bytes", "dtoh_bytes"]
+        if args.faults is not None or args.heap_limit is not None:
+            from .evaluation.faultbench import RECOVERY_COUNTERS
+            counters.extend(RECOVERY_COUNTERS)
+        for counter in counters:
             if counter in result.counters:
                 print(f"{counter:14s}: {result.counters[counter]}",
                       file=sys.stderr)
@@ -297,6 +351,24 @@ def _cmd_overlap_bench(args: argparse.Namespace) -> int:
     return 0 if bench.ok else 1
 
 
+def _cmd_faultbench(args: argparse.Namespace) -> int:
+    """Chaos sweep: seeded fault schedules over the workloads."""
+    from .evaluation.faultbench import run_fault_bench
+
+    def progress(comparison):
+        status = "ok" if comparison.ok else "DIVERGED"
+        print(f"{comparison.name:16s} {comparison.schedule:10s} "
+              f"{comparison.overhead:6.2f}x  {status}", file=sys.stderr)
+
+    workloads = ([get_workload(n) for n in args.workloads]
+                 if args.workloads else None)
+    bench = run_fault_bench(workloads, progress=progress)
+    print(bench.render())
+    bench.write(args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if bench.ok else 1
+
+
 def _cmd_sanitize(args: argparse.Namespace) -> int:
     from .sanitizer import run_differential, run_differential_workload
 
@@ -346,16 +418,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not targets and not args.corpus:
         targets = list(workload_names())
 
+    faults = _fault_plan(args.faults)
     reports = []
     for target in targets:
         if os.path.exists(target):
             with open(target) as handle:
                 source = handle.read()
             reports.append(lint_source(source, target, level,
-                                       streams=args.streams))
+                                       streams=args.streams,
+                                       faults=faults))
         else:
             reports.append(lint_workload(get_workload(target), level,
-                                         streams=args.streams))
+                                         streams=args.streams,
+                                         faults=faults))
 
     corpus_results = check_corpus() if args.corpus else []
     corpus_misses = [r for r in corpus_results if not r.caught]
@@ -401,10 +476,14 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
-                "bench": _cmd_bench, "trace": _cmd_trace,
-                "sanitize": _cmd_sanitize, "lint": _cmd_lint,
-                "list": _cmd_list}
-    return handlers[args.command](args)
+                "bench": _cmd_bench, "faultbench": _cmd_faultbench,
+                "trace": _cmd_trace, "sanitize": _cmd_sanitize,
+                "lint": _cmd_lint, "list": _cmd_list}
+    try:
+        return handlers[args.command](args)
+    except ConfigError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

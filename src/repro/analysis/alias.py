@@ -17,6 +17,8 @@ from ..ir.instructions import (Alloca, BinaryOp, Call, Cast, GetElementPtr,
                                Instruction, Load, Select, Store)
 from ..ir.values import Argument, Constant, GlobalVariable, Value
 
+from ..runtime.api import ADDRESS_OBSERVING_FUNCTIONS, MAP_FUNCTIONS
+
 #: Sentinel root for pointers we cannot trace.
 UNKNOWN = "<unknown>"
 
@@ -24,9 +26,8 @@ UNKNOWN = "<unknown>"
 _ALLOCATING_CALLS = frozenset({"malloc", "calloc", "realloc",
                                "declareAlloca"})
 
-#: Run-time calls returning translated device pointers (kept as name
-#: literals to avoid importing the runtime package from here).
-_MAP_CALLS = frozenset({"map", "mapArray", "mapAsync", "mapArrayAsync"})
+#: Run-time calls returning translated device pointers.
+_MAP_CALLS = frozenset(MAP_FUNCTIONS)
 
 Root = Union[Value, str]
 
@@ -115,10 +116,7 @@ def _is_direct_global_slot(gv: GlobalVariable, module) -> bool:
     Casts that only feed the run-time's registration/mapping entry
     points are exempt: they observe the slot's address, not its value.
     """
-    benign_cast_users = frozenset({"declareGlobal", "map", "unmap",
-                                   "release", "mapArray", "unmapArray",
-                                   "releaseArray", "mapAsync", "unmapAsync",
-                                   "mapArrayAsync", "unmapArrayAsync"})
+    benign_cast_users = frozenset(ADDRESS_OBSERVING_FUNCTIONS)
     for fn in module.defined_functions():
         uses = None
         for inst in fn.instructions():

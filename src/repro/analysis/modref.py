@@ -15,7 +15,7 @@ from ..ir.block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Call, Instruction, LaunchKernel, Load, Store
 from ..ir.values import Argument, Value
-from ..runtime.cgcm import RUNTIME_FUNCTION_NAMES
+from ..runtime.api import RUNTIME_FUNCTION_NAMES
 from .alias import Root, UNKNOWN, points_into, underlying_objects
 
 #: Externals that never touch user memory.

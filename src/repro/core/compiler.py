@@ -139,11 +139,20 @@ class CgcmCompiler:
         overrides ``config.engine`` for this run (used by the
         engine-equivalence benchmarks).
         """
+        fault_injector = None
+        if self.config.faults is not None and self.config.faults.armed:
+            # Imported lazily so config-only users never touch the
+            # injector; one injector per execution keeps the seeded
+            # schedule independent across runs of the same compiler.
+            from ..gpu.faults import FaultInjector
+            fault_injector = FaultInjector(self.config.faults)
         machine = Machine(report.module, self.config.cost_model,
                           self.config.record_events,
                           engine=engine if engine is not None
                           else self.config.engine,
-                          streams=self.config.streams)
+                          streams=self.config.streams,
+                          fault_injector=fault_injector,
+                          device_heap_limit=self.config.device_heap_limit)
         runtime = CgcmRuntime(machine) if self.config.parallelize else None
         sanitizer = None
         if self.config.sanitize:

@@ -6,6 +6,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..errors import ConfigError
+from ..gpu.faults import FaultPlan
 from ..gpu.timing import CostModel
 
 
@@ -57,12 +59,61 @@ class CgcmConfig:
     #: default: the serial discipline reproduces the paper's fully
     #: synchronous schedules bit-for-bit.
     streams: bool = False
+    #: Resilience subsystem: a seeded :class:`FaultPlan` arms the
+    #: deterministic driver-fault injector on the simulated device;
+    #: the runtime then retries transient faults, evicts under memory
+    #: pressure, and degrades launches to the CPU path.  None = off.
+    faults: Optional[FaultPlan] = None
+    #: Cap on live ``cuMemAlloc`` bytes (models a smaller device).
+    #: Allocations beyond the cap raise a non-transient OOM, driving
+    #: the runtime's LRU eviction.  None = the full simulated arena.
+    device_heap_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         from ..interp.machine import ENGINES
         if self.engine not in ENGINES:
-            raise ValueError(f"unknown engine {self.engine!r}; expected "
-                             f"one of {ENGINES}")
+            raise ConfigError(f"unknown engine {self.engine!r}; expected "
+                              f"one of {ENGINES}")
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise ConfigError(
+                    f"CgcmConfig.faults must be a FaultPlan, got "
+                    f"{type(self.faults).__name__}; build one with "
+                    "FaultPlan(seed=..., alloc_fail_rate=..., ...)")
+            if self.faults.seed is None:
+                raise ConfigError(
+                    "CgcmConfig.faults has no seed: an unseeded fault "
+                    "schedule is not reproducible.  Pass "
+                    "FaultPlan(seed=<int>, ...) so every run injects "
+                    "the same faults")
+            if self.streams:
+                raise ConfigError(
+                    "CgcmConfig.faults cannot be combined with streams: "
+                    "the asynchronous copy paths have no retry/eviction "
+                    "story yet.  Drop streams=True (the serial "
+                    "discipline) to run under fault injection")
+        if self.device_heap_limit is not None:
+            if not isinstance(self.device_heap_limit, int) \
+                    or self.device_heap_limit <= 0:
+                raise ConfigError(
+                    f"CgcmConfig.device_heap_limit must be a positive "
+                    f"byte count, got {self.device_heap_limit!r}")
+            if self.streams:
+                raise ConfigError(
+                    "CgcmConfig.device_heap_limit cannot be combined "
+                    "with streams: eviction write-backs are synchronous "
+                    "and would race the deferred async write-backs.  "
+                    "Drop streams=True to run under a device heap cap")
+        if self.resilient and not self.parallelize:
+            raise ConfigError(
+                "fault injection and device heap caps only apply to "
+                "CGCM-transformed runs; OptLevel.SEQUENTIAL never "
+                "touches the device.  Use UNOPTIMIZED or OPTIMIZED")
+
+    @property
+    def resilient(self) -> bool:
+        """Is the resilience subsystem active for executions?"""
+        return self.faults is not None or self.device_heap_limit is not None
 
     @property
     def parallelize(self) -> bool:

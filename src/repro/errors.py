@@ -69,5 +69,48 @@ class GpuError(ReproError):
     unknown module global, out-of-range copy, ...)."""
 
 
+class GpuOomError(GpuError):
+    """``cuMemAlloc`` failed: the device heap is exhausted (or the
+    fault injector decided it is).  ``transient`` distinguishes an
+    injected hiccup (retry may succeed unchanged) from genuine
+    capacity pressure (only freeing device memory can help)."""
+
+    def __init__(self, message: str, size: int = 0,
+                 transient: bool = False):
+        super().__init__(message)
+        self.size = size
+        self.transient = transient
+
+
+class GpuTransferError(GpuError):
+    """A ``cuMemcpy`` in either direction failed transiently (bus
+    fault injected by the resilience layer); the copy had no data
+    effect and may be retried."""
+
+    def __init__(self, message: str, address: int = 0, size: int = 0):
+        super().__init__(message)
+        self.address = address
+        self.size = size
+
+
+class GpuLaunchError(GpuError):
+    """A kernel launch was rejected by the driver (injected fault);
+    no thread of the grid ran."""
+
+    def __init__(self, message: str, kernel: str = "", grid: int = 0):
+        super().__init__(message)
+        self.kernel = kernel
+        self.grid = grid
+
+
+class ConfigError(ReproError, ValueError):
+    """A :class:`repro.core.config.CgcmConfig` combines flags that
+    cannot work together; the message says which and what to change.
+
+    Also a ``ValueError`` so pre-existing callers that caught the
+    engine validation keep working.
+    """
+
+
 class TransformError(ReproError):
     """A compiler pass could not be applied to the given IR."""

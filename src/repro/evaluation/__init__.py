@@ -2,6 +2,9 @@
 
 from .bench import (BENCH_SCHEMA, BenchReport, EngineComparison,
                     bench_workload, compare_engines, run_engine_bench)
+from .faultbench import (FAULTBENCH_SCHEMA, FaultComparison, FaultReport,
+                         compare_faulted, fault_schedules, run_fault_bench,
+                         workload_seed)
 from .overlap import (OVERLAP_SCHEMA, OverlapComparison, OverlapReport,
                       compare_overlap, run_overlap_bench)
 from .runner import (BenchmarkResult, CONFIGURATIONS, run_all,
@@ -21,6 +24,9 @@ __all__ = [
     "compare_engines", "run_engine_bench",
     "OVERLAP_SCHEMA", "OverlapComparison", "OverlapReport",
     "compare_overlap", "run_overlap_bench",
+    "FAULTBENCH_SCHEMA", "FaultComparison", "FaultReport",
+    "compare_faulted", "fault_schedules", "run_fault_bench",
+    "workload_seed",
     "BenchmarkResult", "CONFIGURATIONS", "run_all", "run_benchmark",
     "Figure4Row", "PAPER_GEOMEANS", "PAPER_GEOMEANS_CLAMPED", "SERIES",
     "build_figure4", "figure4_geomeans", "geomean", "render_figure4",

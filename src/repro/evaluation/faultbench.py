@@ -1,0 +1,218 @@
+"""Fault benchmark: the chaos sweep plus resilience overhead numbers.
+
+For each workload, runs the optimized pipeline once fault-free (the
+baseline) and then under a set of seeded fault schedules:
+
+* ``overhead``  -- resilience armed (device heap capped at the full
+  arena) but no fault ever fires: measures the pure cost of the
+  launch-gate bookkeeping.  This must stay within noise of the
+  unarmed run.
+* ``transient`` -- seeded alloc/transfer/launch faults at moderate
+  rates; every fault is ridden out by bounded retry.
+* ``pressure``  -- aggressive fault rates plus a 64 KiB device heap:
+  exercises LRU eviction, address-stable restore, and retry together.
+* ``tiny-heap`` -- a 4 KiB device heap and no injected faults: most
+  units cannot be resident, driving sentinel ranges and CPU-fallback
+  launches.
+
+Every schedule must reproduce the baseline observables byte for byte;
+divergence is always an error.  The recovery counters (evictions,
+restores, refreshes, fallbacks, retries) are the experiment's result.
+
+Exposed as ``python -m repro faultbench`` (writes
+``BENCH_faults.json``) and to the test-suite through the
+``bench``-marked tests.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.compiler import CgcmCompiler
+from ..core.config import CgcmConfig, OptLevel
+from ..gpu.faults import FaultPlan
+from ..memory.layout import DEVICE_CAPACITY
+from ..workloads import ALL_WORKLOADS, Workload
+
+#: Schema tag for BENCH_faults.json (bump on incompatible change).
+FAULTBENCH_SCHEMA = "repro-bench-faults/1"
+
+#: Recovery counters worth reporting per run.
+RECOVERY_COUNTERS = (
+    "injected_alloc_faults", "injected_transfer_faults",
+    "injected_launch_faults", "fault_retries", "device_evictions",
+    "device_restores", "device_refreshes", "cpu_fallback_launches",
+    "sentinel_units",
+)
+
+#: Moderate per-call fault rates for the ``transient`` schedule.
+CHAOS_RATES = dict(alloc_fail_rate=0.3, transfer_fail_rate=0.15,
+                   launch_fail_rate=0.15)
+
+
+def workload_seed(name: str) -> int:
+    """A stable per-workload seed (schedules differ across workloads
+    but never across runs)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def fault_schedules(seed: int) -> List[Tuple[str, Dict]]:
+    """The named schedules of the sweep, seeded deterministically."""
+    return [
+        ("overhead", dict(device_heap_limit=DEVICE_CAPACITY)),
+        ("transient", dict(faults=FaultPlan(seed=seed, **CHAOS_RATES))),
+        ("pressure", dict(
+            faults=FaultPlan(seed=seed + 1, alloc_fail_rate=0.5,
+                             transfer_fail_rate=0.3, launch_fail_rate=0.3,
+                             max_consecutive=4),
+            device_heap_limit=64 << 10)),
+        ("tiny-heap", dict(device_heap_limit=4 << 10)),
+    ]
+
+
+@dataclass
+class FaultComparison:
+    """One workload under one fault schedule vs its clean baseline."""
+
+    name: str
+    schedule: str
+    baseline_s: float
+    faulted_s: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def overhead(self) -> float:
+        """Modelled-time ratio of the faulted run over the baseline."""
+        if self.baseline_s <= 0:
+            return float("inf")
+        return self.faulted_s / self.baseline_s
+
+
+@dataclass
+class FaultReport:
+    """The whole sweep plus the headline identical-observables count."""
+
+    comparisons: List[FaultComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.comparisons)
+
+    @property
+    def identical(self) -> Tuple[int, int]:
+        good = sum(1 for c in self.comparisons if c.ok)
+        return good, len(self.comparisons)
+
+    @property
+    def workloads_identical(self) -> Tuple[int, int]:
+        names = {c.name for c in self.comparisons}
+        bad = {c.name for c in self.comparisons if not c.ok}
+        return len(names) - len(bad), len(names)
+
+    @property
+    def max_overhead(self) -> float:
+        """Worst no-fault overhead ratio (the ``overhead`` schedule)."""
+        rows = [c.overhead for c in self.comparisons
+                if c.schedule == "overhead"]
+        return max(rows) if rows else 0.0
+
+    def to_json(self) -> Dict:
+        good, total = self.identical
+        wgood, wtotal = self.workloads_identical
+        return {
+            "schema": FAULTBENCH_SCHEMA,
+            "python": platform.python_version(),
+            "identical_runs": f"{good}/{total}",
+            "identical_workloads": f"{wgood}/{wtotal}",
+            "max_no_fault_overhead": round(self.max_overhead, 6),
+            "runs": [
+                {
+                    "name": c.name,
+                    "schedule": c.schedule,
+                    "baseline_s": c.baseline_s,
+                    "faulted_s": c.faulted_s,
+                    "overhead": round(c.overhead, 6),
+                    "counters": {k: c.counters.get(k, 0)
+                                 for k in RECOVERY_COUNTERS},
+                    "mismatches": list(c.mismatches),
+                }
+                for c in self.comparisons
+            ],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def render(self) -> str:
+        lines = [f"{'workload':16s} {'schedule':10s} {'overhead':>9s} "
+                 f"{'evict':>6s} {'restore':>8s} {'fallback':>9s} "
+                 f"{'retries':>8s}"]
+        for c in self.comparisons:
+            status = "" if c.ok else "  DIVERGED"
+            lines.append(
+                f"{c.name:16s} {c.schedule:10s} {c.overhead:8.3f}x "
+                f"{c.counters.get('device_evictions', 0):6d} "
+                f"{c.counters.get('device_restores', 0):8d} "
+                f"{c.counters.get('cpu_fallback_launches', 0):9d} "
+                f"{c.counters.get('fault_retries', 0):8d}{status}")
+        good, total = self.identical
+        lines.append(f"identical observables: {good}/{total} runs, "
+                     f"max no-fault overhead "
+                     f"{self.max_overhead:.3f}x")
+        return "\n".join(lines)
+
+
+def compare_faulted(workload: Workload, schedule_name: str,
+                    overrides: Dict,
+                    level: OptLevel = OptLevel.OPTIMIZED) -> FaultComparison:
+    """Baseline and one faulted run of one workload, with the
+    byte-identical-observables contract check."""
+    clean = CgcmCompiler(CgcmConfig(opt_level=level))
+    clean_result = clean.execute(
+        clean.compile_source(workload.source, workload.name))
+
+    faulted = CgcmCompiler(CgcmConfig(opt_level=level, **overrides))
+    faulted_result = faulted.execute(
+        faulted.compile_source(workload.source, workload.name))
+
+    mismatches: List[str] = []
+    if clean_result.observable() != faulted_result.observable():
+        mismatches.append(
+            f"observables differ under the {schedule_name} schedule")
+
+    return FaultComparison(
+        name=workload.name,
+        schedule=schedule_name,
+        baseline_s=clean_result.total_seconds,
+        faulted_s=faulted_result.total_seconds,
+        counters=dict(faulted_result.counters),
+        mismatches=tuple(mismatches))
+
+
+def run_fault_bench(workloads: Optional[List[Workload]] = None,
+                    level: OptLevel = OptLevel.OPTIMIZED,
+                    progress=None) -> FaultReport:
+    """The chaos sweep; ``progress`` is an optional per-row callback."""
+    if workloads is None:
+        workloads = list(ALL_WORKLOADS)
+    bench = FaultReport()
+    for workload in workloads:
+        for schedule_name, overrides in fault_schedules(
+                workload_seed(workload.name)):
+            comparison = compare_faulted(workload, schedule_name,
+                                         overrides, level)
+            bench.comparisons.append(comparison)
+            if progress is not None:
+                progress(comparison)
+    return bench

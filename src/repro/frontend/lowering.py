@@ -22,7 +22,7 @@ from ..ir import (ArrayType, BasicBlock, Constant, FloatType, Function,
                   FunctionType, GlobalRef, GlobalVariable, IRBuilder,
                   IntType, Module, PointerType, StructType, Type, Value,
                   VOID, F32, F64, I1, I8, I64, pointer_to)
-from ..runtime.cgcm import RUNTIME_SIGNATURES
+from ..runtime.api import RUNTIME_SIGNATURES
 from . import ast
 from .parser import parse_minic
 

@@ -13,22 +13,50 @@ kernel grids against :attr:`GpuDevice.memory` (see
 
 from __future__ import annotations
 
+import enum
 from typing import Callable, Dict, List, Optional
 
 from typing import Iterable
 
-from ..errors import GpuError
+from ..errors import (GpuError, GpuLaunchError, GpuOomError,
+                      GpuTransferError, MemoryFault)
 from ..memory.flatmem import FlatMemory
 from ..memory.heap import Heap
 from ..memory.layout import DEVICE_BASE, DEVICE_CAPACITY, GlobalLayout
-from .timing import LANE_COMM, STREAM_D2H, STREAM_H2D, SimClock
+from .faults import FaultInjector
+from .timing import LANE_COMM, LANE_GPU, STREAM_D2H, STREAM_H2D, SimClock
+
+
+class DriverEvent(str, enum.Enum):
+    """Typed driver-level events delivered to :attr:`GpuDevice.observers`.
+
+    A ``str`` subclass so the members compare equal to the historical
+    string names; new observers should match on the enum members.
+    """
+
+    ALLOC = "alloc"
+    FREE = "free"
+    FREE_ASYNC = "free_async"
+    HTOD = "htod"
+    DTOH = "dtoh"
+    LAUNCH = "launch"
 
 
 class GpuDevice:
-    """One simulated CUDA-like device with its own address space."""
+    """One simulated CUDA-like device with its own address space.
 
-    def __init__(self, clock: SimClock):
+    ``fault_injector`` arms the resilience subsystem's deterministic
+    driver faults; ``heap_limit`` caps the bytes the cuMemAlloc arena
+    will hand out (modelling a smaller device), failing allocations
+    beyond it with a non-transient :class:`GpuOomError`.
+    """
+
+    def __init__(self, clock: SimClock,
+                 fault_injector: Optional[FaultInjector] = None,
+                 heap_limit: Optional[int] = None):
         self.clock = clock
+        self.fault_injector = fault_injector
+        self.heap_limit = heap_limit
         self.memory = FlatMemory("gpu")
         #: Reserve a slice of the device range for module globals; the
         #: rest is the cuMemAlloc arena.
@@ -46,9 +74,9 @@ class GpuDevice:
         self.module_globals: Dict[str, int] = {}
         self._module_sizes: Dict[str, int] = {}
         #: Observers of driver-level events, called as
-        #: ``observer(event, address, size)`` with event one of
-        #: "alloc", "free", "htod", "dtoh".  The sanitizer attaches here.
-        self.observers: List[Callable[[str, int, int], None]] = []
+        #: ``observer(event, address, size)`` with a
+        #: :class:`DriverEvent` member.  The sanitizer attaches here.
+        self.observers: List[Callable[[DriverEvent, int, int], None]] = []
         self._stream_serial = 0
 
     # -- streams and events -------------------------------------------------
@@ -82,7 +110,7 @@ class GpuDevice:
         """``cuCtxSynchronize``: block the host on all engines."""
         self.clock.device_synchronize()
 
-    def _notify(self, event: str, address: int, size: int) -> None:
+    def _notify(self, event: DriverEvent, address: int, size: int) -> None:
         for observer in self.observers:
             observer(event, address, size)
 
@@ -113,17 +141,64 @@ class GpuDevice:
 
     # -- memory management --------------------------------------------------
 
-    def mem_alloc(self, size: int) -> int:
-        """``cuMemAlloc``: allocate device memory."""
+    def mem_alloc(self, size: int,
+                  avoid: Optional[list] = None) -> int:
+        """``cuMemAlloc``: allocate device memory.
+
+        Raises :class:`GpuOomError` when the arena (or the configured
+        ``heap_limit``) cannot satisfy the request, or when the fault
+        injector schedules a transient failure.  A failed call still
+        charges the driver latency: the round trip happened.
+        ``avoid`` forwards address ranges the allocator must skip (see
+        :meth:`repro.memory.heap.Heap.malloc`).
+        """
         if size <= 0:
             raise GpuError(f"cuMemAlloc of {size} bytes")
         self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
                            "cuMemAlloc")
         self.clock.count("device_allocs")
-        address = self.heap.malloc(size)
+        if self.fault_injector is not None \
+                and self.fault_injector.alloc_fault():
+            self.clock.count("injected_alloc_faults")
+            raise GpuOomError(
+                f"cuMemAlloc of {size} bytes failed: injected transient "
+                "out-of-memory", size=size, transient=True)
+        if self.heap_limit is not None \
+                and self.heap.live_bytes + size > self.heap_limit:
+            raise GpuOomError(
+                f"cuMemAlloc of {size} bytes failed: device heap capped "
+                f"at {self.heap_limit} bytes ({self.heap.live_bytes} "
+                "live)", size=size)
+        try:
+            address = self.heap.malloc(size, avoid)
+        except MemoryFault as fault:
+            raise GpuOomError(f"cuMemAlloc of {size} bytes failed: {fault}",
+                              size=size) from None
         if self.observers:
-            self._notify("alloc", address, size)
+            self._notify(DriverEvent.ALLOC, address, size)
         return address
+
+    def mem_alloc_at(self, address: int, size: int) -> bool:
+        """Allocate device memory at a fixed address, if free.
+
+        The resilience layer's address-stable restore: an evicted
+        allocation unit re-materializes at the device address its
+        translated pointers were minted for.  Returns False when the
+        range is occupied (the caller falls back to the CPU path).
+        """
+        if size <= 0:
+            raise GpuError(f"cuMemAlloc of {size} bytes")
+        self.clock.advance(LANE_COMM, self.clock.model.device_alloc_latency_s,
+                           "cuMemAlloc")
+        self.clock.count("device_allocs")
+        if self.heap_limit is not None \
+                and self.heap.live_bytes + size > self.heap_limit:
+            return False
+        if not self.heap.allocate_at(address, size):
+            return False
+        if self.observers:
+            self._notify(DriverEvent.ALLOC, address, size)
+        return True
 
     def mem_free(self, address: int) -> None:
         """``cuMemFree``: release device memory."""
@@ -131,7 +206,7 @@ class GpuDevice:
                            "cuMemFree")
         self.clock.count("device_frees")
         if self.observers:
-            self._notify("free", address, 0)
+            self._notify(DriverEvent.FREE, address, 0)
         self.heap.free(address)
 
     def mem_free_async(self, address: int, stream: str = STREAM_D2H,
@@ -148,14 +223,35 @@ class GpuDevice:
             "cuMemFree", after=after)
         self.clock.count("device_frees")
         if self.observers:
-            self._notify("free", address, 0)
+            self._notify(DriverEvent.FREE_ASYNC, address, 0)
         self.heap.free(address)
         return finish
 
     # -- transfers ------------------------------------------------------------
 
+    def _maybe_transfer_fault(self, direction: str, address: int,
+                              size: int) -> None:
+        """Raise an injected :class:`GpuTransferError` for one copy.
+
+        Checked before any byte moves and before observers fire: a
+        failed copy has no data effect.  The aborted bus transaction
+        still costs the fixed transfer latency.
+        """
+        if self.fault_injector is None \
+                or not self.fault_injector.transfer_fault(direction):
+            return
+        self.clock.advance(LANE_COMM, self.clock.model.transfer_latency_s,
+                           f"{direction} fault")
+        self.clock.count("injected_transfer_faults")
+        raise GpuTransferError(
+            f"cuMemcpy{'HtoD' if direction == 'htod' else 'DtoH'} of "
+            f"{size} bytes at {address:#x} failed (injected bus fault); "
+            "no data was transferred", address=address, size=size)
+
     def memcpy_htod(self, device_address: int, data: bytes) -> None:
         """``cuMemcpyHtoD``: copy host bytes into device memory."""
+        if self.fault_injector is not None:
+            self._maybe_transfer_fault("htod", device_address, len(data))
         self.memory.write(device_address, data)
         self.clock.advance(LANE_COMM,
                            self.clock.model.transfer_time(len(data)),
@@ -163,17 +259,19 @@ class GpuDevice:
         self.clock.count("htod_copies")
         self.clock.count("htod_bytes", len(data))
         if self.observers:
-            self._notify("htod", device_address, len(data))
+            self._notify(DriverEvent.HTOD, device_address, len(data))
 
     def memcpy_dtoh(self, device_address: int, size: int) -> bytes:
         """``cuMemcpyDtoH``: copy device bytes back to the host."""
+        if self.fault_injector is not None:
+            self._maybe_transfer_fault("dtoh", device_address, size)
         data = self.memory.read(device_address, size)
         self.clock.advance(LANE_COMM, self.clock.model.transfer_time(size),
                            f"DtoH {size}B")
         self.clock.count("dtoh_copies")
         self.clock.count("dtoh_bytes", size)
         if self.observers:
-            self._notify("dtoh", device_address, size)
+            self._notify(DriverEvent.DTOH, device_address, size)
         return data
 
     def memcpy_htod_async(self, device_address: int, data: bytes,
@@ -194,7 +292,7 @@ class GpuDevice:
         self.clock.count("htod_copies")
         self.clock.count("htod_bytes", len(data))
         if self.observers:
-            self._notify("htod", device_address, len(data))
+            self._notify(DriverEvent.HTOD, device_address, len(data))
         return finish
 
     def memcpy_dtoh_async(self, device_address: int, size: int,
@@ -214,8 +312,32 @@ class GpuDevice:
         self.clock.count("dtoh_copies")
         self.clock.count("dtoh_bytes", size)
         if self.observers:
-            self._notify("dtoh", device_address, size)
+            self._notify(DriverEvent.DTOH, device_address, size)
         return data, finish
+
+    # -- kernel launch ---------------------------------------------------------
+
+    def launch_begin(self, kernel_name: str, grid: int) -> None:
+        """Driver-side admission of one kernel launch.
+
+        The interpreter still executes the grid itself; this models
+        the ``cuLaunchKernel`` driver call, which is where an injected
+        launch fault surfaces (:class:`GpuLaunchError` -- no thread of
+        the grid ran).  A rejected launch charges the launch latency:
+        the doorbell was rung before the driver said no.
+        """
+        if self.fault_injector is not None \
+                and self.fault_injector.launch_fault():
+            self.clock.advance(LANE_GPU,
+                               self.clock.model.kernel_launch_latency_s,
+                               f"{kernel_name} launch fault")
+            self.clock.count("injected_launch_faults")
+            raise GpuLaunchError(
+                f"launch of kernel {kernel_name!r} (grid {grid}) rejected "
+                "by the driver (injected fault); no thread ran",
+                kernel=kernel_name, grid=grid)
+        if self.observers:
+            self._notify(DriverEvent.LAUNCH, 0, grid)
 
     # -- introspection ---------------------------------------------------------
 

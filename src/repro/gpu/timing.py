@@ -74,6 +74,10 @@ class CostModel:
     #: model's noise floor, so both default to the same constant; they
     #: are charged -- and tunable -- independently).
     device_free_latency_s: float = 0.08e-6
+    #: Modelled wait before retrying a transiently failed driver call
+    #: (alloc/transfer/launch faults injected by the resilience layer).
+    #: Charged on the lane of the failed call per retry attempt.
+    fault_backoff_s: float = 2.0e-6
     #: Cycles charged per interpreted IR operation (CPU lane).
     cpu_cycles_per_op: float = 1.0
     #: Cycles charged per interpreted IR operation (GPU lane, per thread).

@@ -82,7 +82,9 @@ class Machine:
                  cost_model: Optional[CostModel] = None,
                  record_events: bool = False,
                  engine: str = "tree",
-                 streams: bool = False):
+                 streams: bool = False,
+                 fault_injector: Optional["object"] = None,
+                 device_heap_limit: Optional[int] = None):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of "
                              f"{ENGINES}")
@@ -99,7 +101,8 @@ class Machine:
         self.layout = GlobalLayout(module)
         self.layout.install(self.cpu_memory)
         self.heap = Heap(self.cpu_memory, "heap")
-        self.device = GpuDevice(self.clock)
+        self.device = GpuDevice(self.clock, fault_injector=fault_injector,
+                                heap_limit=device_heap_limit)
         self.device.load_module(self.layout)
         self.externals = default_externals()
         self.external_types = external_signatures()
@@ -119,6 +122,13 @@ class Machine:
         #: Compiled-code cache: (function, mode, hooked) -> CompiledFunction.
         self._compiled: Dict[tuple, Callable] = {}
         self.kernel_launch_count = 0
+        #: Admission gate run before each launch, set by the resilient
+        #: runtime.  Called as ``gate(kernel, grid, args)``; it ensures
+        #: operand residency (evicting/restoring under memory pressure)
+        #: and performs the driver launch call with retry.  Returns
+        #: None to proceed on the GPU, or the reverse-translated host
+        #: argument list to degrade this launch to the CPU path.
+        self.launch_gate: Optional[Callable] = None
         #: Hooks fired before each kernel launch:
         #: ``hook(machine, kernel, grid, args)``.
         self.launch_hooks: List[Callable] = []
@@ -530,9 +540,24 @@ class Machine:
         if grid < 0:
             raise InterpError(f"negative grid size {grid}")
         self.flush_cpu()
+        cpu_args: Optional[List] = None
+        if self.launch_gate is not None:
+            # The resilient runtime admits the launch: residency is
+            # ensured (or the launch degrades to the CPU path) and the
+            # driver call happens inside the gate, with retry.  Runs
+            # before the launch hooks so the gate sees the pre-bump
+            # epoch, matching what map/refresh recorded.
+            cpu_args = self.launch_gate(kernel, grid, args)
+        else:
+            self.device.launch_begin(kernel.name, grid)
         for hook in self.launch_hooks:
             hook(self, kernel, grid, args)
         self.kernel_launch_count += 1
+        if cpu_args is not None:
+            self.clock.count("cpu_fallback_launches")
+            for tid in range(grid):
+                self.call(kernel, [tid] + cpu_args)
+            return
         self.clock.count("kernel_launches")
         previous_mode = self.mode
         self.mode = "gpu"

@@ -35,13 +35,25 @@ class Heap:
         #: Total bytes ever allocated (for stats/tests).
         self.total_allocated = 0
 
-    def malloc(self, size: int) -> int:
-        """Allocate ``size`` bytes; returns 0 (NULL) for size 0."""
+    def malloc(self, size: int,
+               avoid: Optional[List[Tuple[int, int]]] = None) -> int:
+        """Allocate ``size`` bytes; returns 0 (NULL) for size 0.
+
+        ``avoid`` is an optional list of ``[start, end)`` address
+        ranges the allocation must not overlap, even where the free
+        list would permit it.  The resilience layer passes the minted
+        ranges of evicted allocation units: translated pointers into
+        those ranges still live in program registers, so handing the
+        same addresses to a *different* unit would make reverse
+        translation ambiguous.
+        """
         if size < 0:
             raise MemoryFault(f"malloc of negative size {size}")
         if size == 0:
             return 0
         rounded = _align_up(size)
+        if avoid:
+            return self._malloc_avoiding(rounded, size, avoid)
         for i, (base, span) in enumerate(self._free):
             if span >= rounded:
                 remaining = span - rounded
@@ -54,6 +66,57 @@ class Heap:
                 self.memory.fill(base, size, 0xCD)  # poison fresh memory
                 return base
         raise MemoryFault(f"heap exhausted allocating {size} bytes")
+
+    def _malloc_avoiding(self, rounded: int, size: int,
+                         avoid: List[Tuple[int, int]]) -> int:
+        """First fit skipping the ``avoid`` ranges.  Within each free
+        span the candidate base starts at the span base and is bumped
+        past every overlapping avoid range (strictly monotonic, so the
+        scan terminates)."""
+        for span_base, span_size in list(self._free):
+            candidate = span_base
+            limit = span_base + span_size
+            moved = True
+            while moved and candidate + rounded <= limit:
+                moved = False
+                for start, end in avoid:
+                    if start < candidate + rounded and candidate < end:
+                        candidate = _align_up(end)
+                        moved = True
+            if candidate + rounded <= limit:
+                if not self.allocate_at(candidate, size):
+                    raise MemoryFault(
+                        f"heap corrupted: {candidate:#x} was free")
+                return candidate
+        raise MemoryFault(f"heap exhausted allocating {size} bytes")
+
+    def allocate_at(self, base: int, size: int) -> bool:
+        """Claim ``size`` bytes at exactly ``base``, if that range is
+        free.  Returns False without side effects when any byte of the
+        range is live.  Used by the resilience layer's address-stable
+        restore: an evicted block must come back at the address its
+        translated pointers were minted for.
+        """
+        if size <= 0 or base % _ALIGNMENT:
+            return False
+        rounded = _align_up(size)
+        end = base + rounded
+        for i, (span_base, span_size) in enumerate(self._free):
+            if span_base > base:
+                break
+            if end <= span_base + span_size:
+                del self._free[i]
+                if base > span_base:
+                    self._free.insert(i, (span_base, base - span_base))
+                    i += 1
+                tail = span_base + span_size - end
+                if tail:
+                    self._free.insert(i, (end, tail))
+                self.allocations[base] = size
+                self.total_allocated += size
+                self.memory.fill(base, size, 0xCD)
+                return True
+        return False
 
     def calloc(self, count: int, size: int) -> int:
         total = count * size

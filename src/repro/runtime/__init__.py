@@ -1,16 +1,18 @@
 """CGCM run-time library: allocation tracking and pointer translation."""
 
 from .allocmap import AvlTreeMap
-from .cgcm import (ASYNC_RUNTIME_FUNCTIONS, ASYNC_VARIANTS, AllocationInfo,
-                   CgcmRuntime, MAP_ARRAY_FUNCTIONS, MAP_FUNCTIONS,
-                   RELEASE_ARRAY_FUNCTIONS, RELEASE_FUNCTIONS,
-                   RUNTIME_FUNCTION_NAMES, RUNTIME_SIGNATURES, SYNC_FUNCTION,
-                   UNMAP_ARRAY_FUNCTIONS, UNMAP_FUNCTIONS, declare_runtime)
+from .api import (ASYNC_RUNTIME_FUNCTIONS, ASYNC_VARIANTS, ENTRY_POINTS,
+                  MAP_ARRAY_FUNCTIONS, MAP_FUNCTIONS, RELEASE_ARRAY_FUNCTIONS,
+                  RELEASE_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
+                  RUNTIME_SIGNATURES, RuntimeEntryPoint, SYNC_FUNCTION,
+                  UNMAP_ARRAY_FUNCTIONS, UNMAP_FUNCTIONS, is_runtime_call)
+from .cgcm import AllocationInfo, CgcmRuntime, declare_runtime
 
 __all__ = [
-    "AvlTreeMap", "AllocationInfo", "CgcmRuntime", "MAP_FUNCTIONS",
-    "RELEASE_FUNCTIONS", "RUNTIME_FUNCTION_NAMES", "RUNTIME_SIGNATURES",
-    "UNMAP_FUNCTIONS", "declare_runtime",
+    "AvlTreeMap", "AllocationInfo", "CgcmRuntime", "ENTRY_POINTS",
+    "MAP_FUNCTIONS", "RELEASE_FUNCTIONS", "RUNTIME_FUNCTION_NAMES",
+    "RUNTIME_SIGNATURES", "RuntimeEntryPoint", "UNMAP_FUNCTIONS",
+    "declare_runtime", "is_runtime_call",
     "ASYNC_RUNTIME_FUNCTIONS", "ASYNC_VARIANTS", "MAP_ARRAY_FUNCTIONS",
     "UNMAP_ARRAY_FUNCTIONS", "RELEASE_ARRAY_FUNCTIONS", "SYNC_FUNCTION",
 ]

@@ -27,58 +27,37 @@ frame-exit expiry for stack registrations.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import CgcmRuntimeError, CgcmUnsupportedError
-from ..gpu.timing import STREAM_COMPUTE, STREAM_D2H, STREAM_H2D
+from ..errors import (CgcmRuntimeError, CgcmUnsupportedError, GpuLaunchError,
+                      GpuOomError, GpuTransferError)
+from ..gpu.faults import MAX_FAULT_RETRIES
+from ..gpu.timing import (LANE_COMM, LANE_GPU, STREAM_COMPUTE, STREAM_D2H,
+                          STREAM_H2D)
 from ..interp.machine import Machine
+from ..ir.instructions import Call
 from ..ir.module import Module
-from ..ir.types import FunctionType, I64, RAW_PTR, VOID
+from ..ir.values import GlobalVariable
+from ..memory.layout import DEVICE_BASE, DEVICE_CAPACITY
 from .allocmap import AvlTreeMap
+# The entry-point name tables live in the registry (runtime/api.py);
+# they are re-exported here so historical import sites keep working.
+from .api import (ASYNC_RUNTIME_FUNCTIONS, ASYNC_VARIANTS,  # noqa: F401
+                  ARRAY_FUNCTIONS, ENTRY_POINTS, MAP_ARRAY_FUNCTIONS,
+                  MAP_FUNCTIONS, RELEASE_ARRAY_FUNCTIONS, RELEASE_FUNCTIONS,
+                  RUNTIME_FUNCTION_NAMES, RUNTIME_SIGNATURES, SYNC_FUNCTION,
+                  UNMAP_ARRAY_FUNCTIONS, UNMAP_FUNCTIONS)
 
 #: Modelled CPU ops per run-time library call (tree lookup + bookkeeping).
 _RUNTIME_CALL_OPS = 30
 
-#: IR signatures of the run-time entry points (paper Table 2, plus the
-#: asynchronous variants introduced by the comm-overlap transform).
-RUNTIME_SIGNATURES = {
-    "map": FunctionType(RAW_PTR, [RAW_PTR]),
-    "unmap": FunctionType(VOID, [RAW_PTR]),
-    "release": FunctionType(VOID, [RAW_PTR]),
-    "mapArray": FunctionType(RAW_PTR, [RAW_PTR]),
-    "unmapArray": FunctionType(VOID, [RAW_PTR]),
-    "releaseArray": FunctionType(VOID, [RAW_PTR]),
-    "declareAlloca": FunctionType(RAW_PTR, [I64]),
-    "declareGlobal": FunctionType(VOID, [RAW_PTR, RAW_PTR, I64, I64]),
-    # Streams subsystem: prefetching map, deferred-write-back unmap,
-    # and the host-side synchronize that makes write-backs visible.
-    # Under the serial discipline they fall back to the synchronous
-    # entry points, so the same IR is valid at every config.
-    "mapAsync": FunctionType(RAW_PTR, [RAW_PTR]),
-    "unmapAsync": FunctionType(VOID, [RAW_PTR]),
-    "mapArrayAsync": FunctionType(RAW_PTR, [RAW_PTR]),
-    "unmapArrayAsync": FunctionType(VOID, [RAW_PTR]),
-    "cgcmSync": FunctionType(VOID, []),
-}
-
-#: Names of the map/unmap/release family (used by the compiler passes).
-MAP_FUNCTIONS = ("map", "mapArray", "mapAsync", "mapArrayAsync")
-UNMAP_FUNCTIONS = ("unmap", "unmapArray", "unmapAsync", "unmapArrayAsync")
-RELEASE_FUNCTIONS = ("release", "releaseArray")
-#: Doubly-indirect (pointer-array) members of each family.
-MAP_ARRAY_FUNCTIONS = ("mapArray", "mapArrayAsync")
-UNMAP_ARRAY_FUNCTIONS = ("unmapArray", "unmapArrayAsync")
-RELEASE_ARRAY_FUNCTIONS = ("releaseArray",)
-#: map/unmap names whose spans go to the copy streams instead of
-#: blocking the host (rewritten in by ``transforms/comm_overlap``).
-ASYNC_RUNTIME_FUNCTIONS = ("mapAsync", "mapArrayAsync", "unmapAsync",
-                           "unmapArrayAsync")
-SYNC_FUNCTION = "cgcmSync"
-RUNTIME_FUNCTION_NAMES = tuple(RUNTIME_SIGNATURES)
-
-#: sync name -> async name, for the comm-overlap rewrite.
-ASYNC_VARIANTS = {"map": "mapAsync", "mapArray": "mapArrayAsync",
-                  "unmap": "unmapAsync", "unmapArray": "unmapArrayAsync"}
+#: First virtual address of the sentinel range: translated pointers
+#: minted for allocation units that could not get device memory even
+#: after eviction.  The range lies beyond the simulated device, so a
+#: sentinel pointer can never be dereferenced by a kernel -- the
+#: launch gate degrades any launch whose operands include one to the
+#: CPU path before the grid runs.
+_SENTINEL_BASE = DEVICE_BASE + DEVICE_CAPACITY
 
 
 def declare_runtime(module: Module) -> Dict[str, "object"]:
@@ -88,10 +67,23 @@ def declare_runtime(module: Module) -> Dict[str, "object"]:
 
 
 class AllocationInfo:
-    """Base, size, and GPU state of one allocation unit."""
+    """Base, size, and GPU state of one allocation unit.
+
+    The two resilience fields qualify ``device_ptr``:
+
+    * ``resident`` -- False when the unit's device range is minted
+      (translated pointers exist) but no device memory currently backs
+      it: the unit was evicted under memory pressure, or never got
+      memory at all (sentinel range).  Invariant: a non-resident
+      unit's *host* bytes are authoritative.
+    * ``needs_refresh`` -- the host copy is newer than the resident
+      device copy (a CPU-fallback launch wrote it); the next GPU
+      launch using the unit re-copies host-to-device first.
+    """
 
     __slots__ = ("base", "size", "is_global", "name", "is_read_only",
-                 "ref_count", "epoch", "device_ptr", "is_array", "frame_id")
+                 "ref_count", "epoch", "device_ptr", "is_array", "frame_id",
+                 "resident", "needs_refresh")
 
     def __init__(self, base: int, size: int, is_global: bool = False,
                  name: str = "", is_read_only: bool = False,
@@ -106,6 +98,8 @@ class AllocationInfo:
         self.device_ptr: Optional[int] = None
         self.is_array = False
         self.frame_id = frame_id
+        self.resident = True
+        self.needs_refresh = False
 
     @property
     def end(self) -> int:
@@ -138,10 +132,12 @@ class CgcmRuntime:
         #: Observers of run-time library operations, called as
         #: ``hook(stage, op, ptr, info)`` with stage "pre" (before the
         #: operation mutates any state) or "post" (after it finished),
-        #: and op one of "map"/"unmap"/"release".  ``mapArray`` and
-        #: ``releaseArray`` notify for the pointer-array unit itself;
-        #: per-element work (and all of ``unmapArray``'s) notifies
-        #: through the scalar entry points they call.
+        #: and op one of "map"/"unmap"/"release" or -- from the
+        #: resilience subsystem -- "evict"/"restore"/"refresh"/"flush".
+        #: ``mapArray`` and ``releaseArray`` notify for the
+        #: pointer-array unit itself; per-element work (and all of
+        #: ``unmapArray``'s) notifies through the scalar entry points
+        #: they call.
         self.op_hooks: List[Callable[[str, str, int, AllocationInfo],
                                      None]] = []
         machine.launch_hooks.append(self._on_launch)
@@ -167,6 +163,31 @@ class CgcmRuntime:
         if self.streams:
             machine.mem_hooks.append(self._guard_mem)
             self._wrap_memory_externals()
+        #: Resilience subsystem (repro.resilience): armed whenever the
+        #: device can fail (fault injector or heap cap).  The runtime
+        #: then owns the machine's launch gate, an LRU of evictable
+        #: units, and a device-address index for reverse translation.
+        self.resilient = (machine.device.fault_injector is not None
+                          or machine.device.heap_limit is not None)
+        #: Resident, evictable (non-global) units in least-recently-
+        #: used order: dict insertion order, oldest first.
+        self._lru: Dict[int, AllocationInfo] = {}
+        #: Every unit with a minted device range (resident, evicted,
+        #: or sentinel), keyed by device base -- the reverse index the
+        #: launch gate uses to identify operand units from launch args.
+        self._device_index = AvlTreeMap()
+        #: Next virtual address handed to a unit that could not get
+        #: device memory at all (see ``_SENTINEL_BASE``).
+        self._sentinel_cursor = _SENTINEL_BASE
+        #: Units a CPU-fallback launch wrote; the launch hook marks
+        #: them host-authoritative after it bumps the epoch.
+        self._fallback_marks: List[AllocationInfo] = []
+        #: Host addresses of the globals each kernel (plus callees)
+        #: references, cached per kernel name: globals reach device
+        #: code without appearing in the launch argument list.
+        self._kernel_globals_cache: Dict[str, Tuple[int, ...]] = {}
+        if self.resilient:
+            machine.launch_gate = self._launch_gate
 
     # -- registration ------------------------------------------------------
 
@@ -274,6 +295,16 @@ class CgcmRuntime:
     def _on_launch(self, machine: Machine, kernel, grid: int,
                    args: List) -> None:
         self.global_epoch += 1
+        if self._fallback_marks:
+            # The gate degraded this launch to the CPU path: the CPU
+            # grid is about to write the *host* copies of the operand
+            # units.  Post-bump they are current-as-of-this-epoch on
+            # the host (so unmap skips the stale device copy) and
+            # stale on the device (so the next GPU launch refreshes).
+            for info in self._fallback_marks:
+                info.epoch = self.global_epoch
+                info.needs_refresh = True
+            self._fallback_marks = []
 
     def _on_heap(self, machine: Machine, kind: str, address: int,
                  size: int) -> None:
@@ -335,13 +366,22 @@ class CgcmRuntime:
             self._notify("pre", "map", ptr, info)
         if info.ref_count == 0:
             if not info.is_global:
-                info.device_ptr = self.device.mem_alloc(info.size)
+                if self.resilient:
+                    self._alloc_device(info)
+                else:
+                    info.device_ptr = self.device.mem_alloc(info.size)
             else:
                 info.device_ptr = self.device.module_get_global(info.name)
+                info.resident = True
             self.machine.flush_cpu()
-            data = self.machine.cpu_memory.read(info.base, info.size)
-            self.device.memcpy_htod(info.device_ptr, data)
+            if info.resident:
+                data = self.machine.cpu_memory.read(info.base, info.size)
+                self._htod(info.device_ptr, data)
             info.epoch = self.global_epoch
+            info.needs_refresh = False
+            self._track_device(info)
+        elif self.resilient and not info.is_global:
+            self._touch(info)
         info.ref_count += 1
         assert info.device_ptr is not None
         if self.op_hooks:
@@ -358,11 +398,19 @@ class CgcmRuntime:
             if self.op_hooks:
                 self._notify("post", "unmap", ptr, info)
             return
+        if not info.resident or info.needs_refresh:
+            # Resilience invariant: a non-resident (evicted/sentinel)
+            # or CPU-fallback-written unit's host bytes are already
+            # authoritative; there is nothing newer to copy back.
+            info.epoch = self.global_epoch
+            if self.op_hooks:
+                self._notify("post", "unmap", ptr, info)
+            return
         if info.device_ptr is None:
             raise CgcmRuntimeError(
                 f"unmap of {ptr:#x}: allocation unit has no device copy")
         self.machine.flush_cpu()
-        data = self.device.memcpy_dtoh(info.device_ptr, info.size)
+        data = self._dtoh(info.device_ptr, info.size)
         self.machine.cpu_memory.write(info.base, data)
         info.epoch = self.global_epoch
         if self.op_hooks:
@@ -385,9 +433,14 @@ class CgcmRuntime:
                 # buffer outlives any in-flight write-back of it
                 # without stalling the host.
                 self.device.mem_free_async(info.device_ptr, STREAM_D2H)
-            else:
+            elif info.resident:
                 self.device.mem_free(info.device_ptr)
+            if self.resilient:
+                self._device_index.remove(info.device_ptr)
+                self._lru.pop(info.base, None)
             info.device_ptr = None
+            info.resident = True
+            info.needs_refresh = False
         if self.op_hooks:
             self._notify("post", "release", ptr, info)
 
@@ -414,14 +467,23 @@ class CgcmRuntime:
                             "restriction, paper section 2.3)")
             translated = [self.map_ptr(e) if e else 0 for e in elements]
             if not info.is_global:
-                info.device_ptr = self.device.mem_alloc(info.size)
+                if self.resilient:
+                    self._alloc_device(info)
+                else:
+                    info.device_ptr = self.device.mem_alloc(info.size)
             else:
                 info.device_ptr = self.device.module_get_global(info.name)
+                info.resident = True
             self.machine.flush_cpu()
-            payload = struct.pack(f"<{len(translated)}Q", *translated)
-            self.device.memcpy_htod(info.device_ptr, payload)
+            if info.resident:
+                payload = struct.pack(f"<{len(translated)}Q", *translated)
+                self._htod(info.device_ptr, payload)
             info.epoch = self.global_epoch
+            info.needs_refresh = False
             info.is_array = True
+            self._track_device(info)
+        elif self.resilient and not info.is_global:
+            self._touch(info)
         info.ref_count += 1
         assert info.device_ptr is not None
         if self.op_hooks:
@@ -447,6 +509,392 @@ class CgcmRuntime:
                     self.release_ptr(element)
             info.is_array = False
         self.release_ptr(ptr)
+
+    # -- resilience subsystem (repro.resilience) ----------------------------------
+    #
+    # Active when the device can fail (fault injector or heap cap).
+    # Three mechanisms keep observables byte-identical under faults:
+    #
+    # * bounded retry + modelled backoff for transient alloc/transfer/
+    #   launch faults;
+    # * LRU eviction of quiescent units under memory pressure, with
+    #   address-stable restore (an evicted unit re-materializes at the
+    #   device address its translated pointers were minted for; freed
+    #   ranges of still-minted units are never handed to new units);
+    # * graceful degradation: a launch whose operands cannot all be
+    #   resident runs its grid on the CPU path against host memory.
+
+    def _track_device(self, info: AllocationInfo) -> None:
+        """Index a freshly mapped unit's device range (resilient only)."""
+        if not self.resilient:
+            return
+        self._device_index.insert(info.device_ptr, info)
+        if not info.is_global and info.resident:
+            self._lru.pop(info.base, None)
+            self._lru[info.base] = info
+
+    def _touch(self, info: AllocationInfo) -> None:
+        """Mark a unit most-recently-used (dict order: oldest first)."""
+        if info.base in self._lru:
+            self._lru[info.base] = self._lru.pop(info.base)
+
+    def _minted_ranges(self) -> List[Tuple[int, int]]:
+        """Device ranges of evicted units that must not be reused: a
+        new allocation landing there would make the evicted unit's
+        already-minted translated pointers ambiguous."""
+        return [(info.device_ptr, info.device_ptr + info.size)
+                for info in self._device_index.values()
+                if not info.resident and info.device_ptr is not None
+                and info.device_ptr < _SENTINEL_BASE]
+
+    def _backoff(self, lane: str) -> None:
+        """Charge the modelled wait before retrying a failed driver call."""
+        clock = self.machine.clock
+        clock.advance(lane, clock.model.fault_backoff_s, "fault backoff")
+        clock.count("fault_retries")
+
+    def _htod(self, device_ptr: int, data: bytes) -> None:
+        """``memcpy_htod`` with bounded retry for injected bus faults."""
+        device = self.device
+        if device.fault_injector is None:
+            device.memcpy_htod(device_ptr, data)
+            return
+        attempts = 0
+        while True:
+            try:
+                device.memcpy_htod(device_ptr, data)
+                return
+            except GpuTransferError:
+                attempts += 1
+                if attempts > MAX_FAULT_RETRIES:
+                    raise
+                self._backoff(LANE_COMM)
+
+    def _dtoh(self, device_ptr: int, size: int) -> bytes:
+        """``memcpy_dtoh`` with bounded retry for injected bus faults."""
+        device = self.device
+        if device.fault_injector is None:
+            return device.memcpy_dtoh(device_ptr, size)
+        attempts = 0
+        while True:
+            try:
+                return device.memcpy_dtoh(device_ptr, size)
+            except GpuTransferError:
+                attempts += 1
+                if attempts > MAX_FAULT_RETRIES:
+                    raise
+                self._backoff(LANE_COMM)
+
+    def _alloc_device(self, info: AllocationInfo) -> bool:
+        """Get device memory for a freshly mapped unit, resiliently.
+
+        Transient (injected) OOM is retried with backoff; capacity OOM
+        evicts least-recently-used units and retries.  When the unit
+        cannot be placed at all, it gets a *sentinel* range beyond the
+        device so pointer translation still yields unique, stable
+        addresses; the launch gate keeps any kernel from ever
+        dereferencing them.  Returns True when the unit is resident.
+        """
+        avoid = self._minted_ranges()
+        transient_retries = 0
+        while True:
+            try:
+                info.device_ptr = self.device.mem_alloc(info.size, avoid)
+                info.resident = True
+                return True
+            except GpuOomError as oom:
+                if oom.transient:
+                    transient_retries += 1
+                    if transient_retries <= MAX_FAULT_RETRIES:
+                        self._backoff(LANE_COMM)
+                        continue
+                if self._evict_one(frozenset()):
+                    avoid = self._minted_ranges()
+                    continue
+                break
+        info.device_ptr = self._sentinel_cursor
+        self._sentinel_cursor += max((info.size + 15) // 16 * 16, 16)
+        info.resident = False
+        self.machine.clock.count("sentinel_units")
+        return False
+
+    def _evict_one(self, pinned: "frozenset") -> bool:
+        """Evict the least-recently-used unpinned unit; False if none."""
+        for base, info in self._lru.items():
+            if base in pinned:
+                continue
+            self._evict(info)
+            return True
+        return False
+
+    def _evict(self, info: AllocationInfo) -> None:
+        """Reclaim one unit's device memory, preserving coherence.
+
+        A dirty device copy (stale epoch) is written back through the
+        existing DtoH path first, so the invariant "non-resident =>
+        host bytes authoritative" holds.  Pointer-array units never
+        write back: their device payload holds *translated* pointers
+        and kernels cannot store pointers, so it is never meaningfully
+        dirty -- the host array already holds the host originals.
+        """
+        if self.op_hooks:
+            self._notify("pre", "evict", info.base, info)
+        if (not info.is_read_only and not info.is_array
+                and not info.needs_refresh
+                and info.epoch != self.global_epoch):
+            data = self._dtoh(info.device_ptr, info.size)
+            self.machine.cpu_memory.write(info.base, data)
+            info.epoch = self.global_epoch
+        self.device.mem_free(info.device_ptr)
+        info.resident = False
+        self._lru.pop(info.base, None)
+        self.machine.clock.count("device_evictions")
+        if self.op_hooks:
+            self._notify("post", "evict", info.base, info)
+
+    def _array_payload(self, info: AllocationInfo) -> bytes:
+        """Re-translate a pointer-array unit's device payload from the
+        host array (element device ranges are address-stable, so the
+        result is identical to what the original ``mapArray`` wrote)."""
+        translated = []
+        for element in self._read_pointer_array(info):
+            if not element:
+                translated.append(0)
+                continue
+            entry = self.alloc_map.find_le(element)
+            if entry is None or element >= entry[1].end \
+                    or entry[1].device_ptr is None:
+                raise CgcmRuntimeError(
+                    f"array unit {info.base:#x}: element {element:#x} has "
+                    "no device translation during restore")
+            einfo = entry[1]
+            translated.append(einfo.device_ptr + (element - einfo.base))
+        return struct.pack(f"<{len(translated)}Q", *translated)
+
+    def _restore(self, info: AllocationInfo) -> None:
+        """Re-materialize an evicted unit at its stable device address."""
+        if self.op_hooks:
+            self._notify("pre", "restore", info.base, info)
+        self.machine.flush_cpu()
+        if info.is_array:
+            payload = self._array_payload(info)
+        else:
+            payload = self.machine.cpu_memory.read(info.base, info.size)
+        self._htod(info.device_ptr, payload)
+        info.resident = True
+        info.epoch = self.global_epoch
+        info.needs_refresh = False
+        self._lru[info.base] = info
+        self.machine.clock.count("device_restores")
+        if self.op_hooks:
+            self._notify("post", "restore", info.base, info)
+
+    def _refresh(self, info: AllocationInfo) -> None:
+        """Re-copy a host-authoritative resident unit to the device
+        (its host copy was written by a CPU-fallback launch)."""
+        if self.op_hooks:
+            self._notify("pre", "refresh", info.base, info)
+        self.machine.flush_cpu()
+        if info.is_array:
+            payload = self._array_payload(info)
+        else:
+            payload = self.machine.cpu_memory.read(info.base, info.size)
+        self._htod(info.device_ptr, payload)
+        info.epoch = self.global_epoch
+        info.needs_refresh = False
+        self.machine.clock.count("device_refreshes")
+        if self.op_hooks:
+            self._notify("post", "refresh", info.base, info)
+
+    def _unit_for_device_ptr(self, ptr: int) -> Optional[AllocationInfo]:
+        """The unit whose minted device range contains ``ptr``."""
+        entry = self._device_index.find_le(ptr)
+        if entry is None:
+            return None
+        info = entry[1]
+        if info.device_ptr is None or ptr >= info.device_ptr + info.size:
+            return None
+        return info
+
+    def _kernel_global_bases(self, kernel) -> Tuple[int, ...]:
+        """Host base addresses of every global ``kernel`` (or anything
+        it calls) references.  Globals reach device code without ever
+        appearing in the launch argument list, so the gate must
+        discover their units here."""
+        cached = self._kernel_globals_cache.get(kernel.name)
+        if cached is not None:
+            return cached
+        names = set()
+        seen = set()
+        stack = [kernel]
+        while stack:
+            fn = stack.pop()
+            if fn.name in seen or not getattr(fn, "blocks", None):
+                continue
+            seen.add(fn.name)
+            for inst in fn.instructions():
+                for operand in inst.operands:
+                    if isinstance(operand, GlobalVariable):
+                        names.add(operand.name)
+                if isinstance(inst, Call):
+                    stack.append(inst.callee)
+        layout = self.machine.layout
+        bases = []
+        for name in names:
+            try:
+                bases.append(layout.address_of(name))
+            except KeyError:
+                pass
+        cached = tuple(sorted(bases))
+        self._kernel_globals_cache[kernel.name] = cached
+        return cached
+
+    def _operand_units(self, kernel, args: List) -> List[AllocationInfo]:
+        """Allocation units a launch can reach: every arg that
+        reverse-translates to a minted device range, every mapped
+        global the kernel references, and -- for pointer-array units
+        -- every element unit the kernel can load a (translated)
+        pointer to."""
+        units: Dict[int, AllocationInfo] = {}
+
+        def add(info: AllocationInfo) -> None:
+            if info.base in units:
+                return
+            units[info.base] = info
+            if not info.is_array:
+                return
+            for element in self._read_pointer_array(info):
+                if not element:
+                    continue
+                entry = self.alloc_map.find_le(element)
+                if entry is None:
+                    continue
+                einfo = entry[1]
+                if element < einfo.end and einfo.device_ptr is not None:
+                    add(einfo)
+
+        for arg in args:
+            if not isinstance(arg, int):
+                continue
+            info = self._unit_for_device_ptr(arg)
+            if info is not None:
+                add(info)
+        for base in self._kernel_global_bases(kernel):
+            entry = self.alloc_map.find(base)
+            if entry is not None and entry.device_ptr is not None:
+                add(entry)
+        return list(units.values())
+
+    def _resident_overlap(
+            self, info: AllocationInfo) -> Optional[AllocationInfo]:
+        """A resident unit occupying part of ``info``'s stable range."""
+        start, end = info.device_ptr, info.device_ptr + info.size
+        for other in self._device_index.values():
+            if other is info or not other.resident \
+                    or other.device_ptr is None:
+                continue
+            if other.device_ptr < end \
+                    and start < other.device_ptr + other.size:
+                return other
+        return None
+
+    def _make_room_at(self, info: AllocationInfo,
+                      pinned: "frozenset") -> bool:
+        """Free ``info``'s stable device range for an address-stable
+        restore: evict resident squatters (never pinned co-operands),
+        then LRU-evict until the heap cap admits the block."""
+        while True:
+            blocker = self._resident_overlap(info)
+            if blocker is not None:
+                if blocker.base in pinned or blocker.is_global:
+                    return False
+                self._evict(blocker)
+                continue
+            if self.device.mem_alloc_at(info.device_ptr, info.size):
+                return True
+            if not self._evict_one(pinned):
+                return False
+
+    def _ensure_resident(self, operands: List[AllocationInfo]) -> bool:
+        """Make every operand unit device-resident, or report that the
+        launch must degrade to the CPU path."""
+        pinned = frozenset(info.base for info in operands)
+        for info in operands:
+            if info.resident:
+                continue
+            if info.device_ptr >= _SENTINEL_BASE:
+                return False
+            if not self._make_room_at(info, pinned):
+                return False
+            self._restore(info)
+        return True
+
+    def _launch_admit(self, kernel_name: str, grid: int) -> bool:
+        """Driver launch call with bounded retry for injected faults."""
+        attempts = 0
+        while True:
+            try:
+                self.device.launch_begin(kernel_name, grid)
+                return True
+            except GpuLaunchError:
+                attempts += 1
+                if attempts > MAX_FAULT_RETRIES:
+                    return False
+                self._backoff(LANE_GPU)
+
+    def _prepare_fallback(self, operands: List[AllocationInfo],
+                          args: List) -> List:
+        """Degrade one launch to the CPU path (byte-identical).
+
+        Brings the host bytes of every operand up to date (writing
+        back device-newer copies), registers the operands for
+        host-authoritative marking after the epoch bump, and returns
+        the launch arguments reverse-translated to host addresses.
+        """
+        self.machine.flush_cpu()
+        for info in operands:
+            if (info.resident and not info.needs_refresh
+                    and not info.is_read_only and not info.is_array
+                    and info.epoch != self.global_epoch):
+                if self.op_hooks:
+                    self._notify("pre", "flush", info.base, info)
+                data = self._dtoh(info.device_ptr, info.size)
+                self.machine.cpu_memory.write(info.base, data)
+                info.epoch = self.global_epoch
+                if self.op_hooks:
+                    self._notify("post", "flush", info.base, info)
+        self._fallback_marks = [info for info in operands
+                                if not info.is_read_only
+                                and not info.is_array]
+        host_args: List = []
+        for arg in args:
+            if isinstance(arg, int):
+                info = self._unit_for_device_ptr(arg)
+                if info is not None:
+                    host_args.append(info.base + (arg - info.device_ptr))
+                    continue
+            host_args.append(arg)
+        return host_args
+
+    def _launch_gate(self, kernel, grid: int, args: List) -> Optional[List]:
+        """Admission control for one launch (see Machine.launch_gate).
+
+        Returns None to run on the GPU (operands resident and
+        refreshed, driver call admitted) or the reverse-translated
+        host argument list to degrade the launch to the CPU path.
+        """
+        self._charge()
+        operands = self._operand_units(kernel, args)
+        if self._ensure_resident(operands):
+            for info in operands:
+                if info.needs_refresh:
+                    self._refresh(info)
+            if self._launch_admit(kernel.name, grid):
+                for info in operands:
+                    if not info.is_global:
+                        self._touch(info)
+                return None
+        return self._prepare_fallback(operands, args)
 
     # -- asynchronous entry points (streams subsystem) ----------------------------
 

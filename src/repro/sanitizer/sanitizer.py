@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..gpu.device import GpuDevice
+from ..gpu.device import DriverEvent, GpuDevice
 from ..interp.machine import Machine
 from ..memory.layout import is_device_address
 from ..runtime.cgcm import AllocationInfo, CgcmRuntime
@@ -57,8 +57,12 @@ class CommSanitizer:
         self.stats: Dict[str, int] = {
             "kernel_launches": 0, "maps": 0, "unmaps": 0, "releases": 0,
             "host_accesses": 0, "device_accesses": 0, "htod_copies": 0,
-            "dtoh_copies": 0,
+            "dtoh_copies": 0, "evictions": 0, "restores": 0,
+            "refreshes": 0, "fallback_flushes": 0,
         }
+        #: Device base mid-eviction: its cuMemFree is the runtime
+        #: reclaiming memory, not a lifetime bug.
+        self._evicting: Optional[int] = None
         self._finished = False
         machine.mem_hooks.append(self._on_mem)
         machine.launch_hooks.append(self._on_launch)
@@ -143,16 +147,17 @@ class CommSanitizer:
 
     # -- device driver observer ----------------------------------------------
 
-    def _on_device(self, event: str, address: int, size: int) -> None:
-        if event == "htod":
+    def _on_device(self, event: DriverEvent, address: int,
+                   size: int) -> None:
+        if event == DriverEvent.HTOD:
             self.stats["htod_copies"] += 1
-        elif event == "dtoh":
+        elif event == DriverEvent.DTOH:
             self.stats["dtoh_copies"] += 1
-        elif event == "free":
+        elif event in (DriverEvent.FREE, DriverEvent.FREE_ASYNC):
             unit = self.shadow.device_unit_at(address)
             if unit is None:
                 return
-            if unit.info.ref_count > 0:
+            if unit.info.ref_count > 0 and address != self._evicting:
                 self._record(
                     ViolationKind.DEVICE_FREE_LIVE, unit.label,
                     f"cuMemFree of device buffer backing a unit with "
@@ -174,8 +179,18 @@ class CommSanitizer:
                 assert self.runtime is not None
                 unit.will_copy = (
                     info.device_ptr is not None
+                    and info.resident and not info.needs_refresh
                     and not info.is_read_only
                     and info.epoch != self.runtime.global_epoch)
+            elif op == "evict":
+                assert self.runtime is not None
+                self._evicting = info.device_ptr
+                unit.will_copy = (
+                    not info.is_read_only and not info.is_array
+                    and not info.needs_refresh
+                    and info.epoch != self.runtime.global_epoch)
+            elif op in ("restore", "refresh", "flush"):
+                pass
             elif op == "release":
                 self.stats["releases"] += 1
                 unit.pre_ref = info.ref_count
@@ -207,6 +222,44 @@ class CommSanitizer:
                 unit.lost_reported = False
                 unit.sync_epoch = self.epoch
                 unit.will_copy = False
+        elif op == "evict":
+            self.stats["evictions"] += 1
+            self._evicting = None
+            if unit.will_copy:
+                # The eviction write-back: the device image won.
+                unit.host_dirty = False
+                unit.device_dirty = False
+                unit.lost_reported = False
+                unit.sync_epoch = self.epoch
+            unit.will_copy = False
+            if unit.device_base is not None:
+                # The FREE observer usually already unregistered it;
+                # this is the belt to its braces.
+                self.shadow.unregister_device(unit.device_base)
+        elif op == "restore":
+            # A full HtoD re-copy at the unit's stable device address:
+            # both images are identical again.
+            self.stats["restores"] += 1
+            unit.host_dirty = False
+            unit.device_dirty = False
+            unit.lost_reported = False
+            unit.map_epoch = self.epoch
+            self.shadow.register_device(unit)
+        elif op == "refresh":
+            # HtoD re-copy of a host-authoritative resident unit (a
+            # CPU-fallback launch wrote the host bytes).
+            self.stats["refreshes"] += 1
+            unit.host_dirty = False
+            unit.device_dirty = False
+            unit.lost_reported = False
+            unit.map_epoch = self.epoch
+        elif op == "flush":
+            # DtoH write-back ahead of a CPU-fallback launch.
+            self.stats["fallback_flushes"] += 1
+            unit.host_dirty = False
+            unit.device_dirty = False
+            unit.lost_reported = False
+            unit.sync_epoch = self.epoch
         elif op == "release":
             if info.ref_count != unit.ref - 1:
                 self._desync(unit, info, "release")

@@ -22,7 +22,7 @@ from ..ir.instructions import (Alloca, Call, Instruction, LaunchKernel, Load,
                                Store)
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable
-from ..runtime.cgcm import MAP_FUNCTIONS
+from ..runtime.api import ARRAY_FUNCTIONS, MAP_FUNCTIONS
 
 #: Declared externals that read/write memory through pointer args when
 #: called from device code (mirrors modref's memory externals).
@@ -192,9 +192,7 @@ class CheckContext:
         array_roots: List[Root] = []
         for fn in self.module.defined_functions():
             for inst in fn.instructions():
-                if isinstance(inst, Call) and inst.callee.name in (
-                        "mapArray", "unmapArray", "releaseArray",
-                        "mapArrayAsync", "unmapArrayAsync"):
+                if isinstance(inst, Call) and inst.callee.name in ARRAY_FUNCTIONS:
                     for root in ordered_roots(
                             underlying_objects(inst.args[0])):
                         if is_identified(root) \

@@ -59,12 +59,15 @@ def lint_module(module: Module,
 def lint_source(source: str, name: str = "program",
                 opt_level: OptLevel = OptLevel.OPTIMIZED,
                 passes: Optional[Iterable[str]] = None,
-                streams: bool = False) -> LintReport:
+                streams: bool = False, faults=None) -> LintReport:
     """Compile MiniC through the pipeline at ``opt_level`` and lint
     the resulting module.  With ``streams``, the comm-overlap pass
-    runs too, so the checks see the hoisted/sunk asynchronous calls."""
+    runs too, so the checks see the hoisted/sunk asynchronous calls.
+    ``faults`` (a :class:`~repro.gpu.faults.FaultPlan`) compiles under
+    a resilient configuration -- the resilience machinery is purely a
+    runtime concern, so the linted IR must be identical either way."""
     compiler = CgcmCompiler(CgcmConfig(opt_level=opt_level,
-                                       streams=streams))
+                                       streams=streams, faults=faults))
     report = compiler.compile_source(source, name)
     lint = lint_module(report.module, passes)
     lint.module_name = name
@@ -73,7 +76,7 @@ def lint_source(source: str, name: str = "program",
 
 def lint_workload(workload, opt_level: OptLevel = OptLevel.OPTIMIZED,
                   passes: Optional[Iterable[str]] = None,
-                  streams: bool = False) -> LintReport:
+                  streams: bool = False, faults=None) -> LintReport:
     """Lint one of the paper workloads post-pipeline."""
     return lint_source(workload.source, workload.name, opt_level, passes,
-                       streams)
+                       streams, faults)

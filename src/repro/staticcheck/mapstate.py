@@ -54,10 +54,10 @@ from ..ir.instructions import (Alloca, Call, Instruction, LaunchKernel, Load,
                                Return, Store)
 from ..ir.module import Module
 from ..ir.values import Argument, Constant, GlobalVariable
-from ..runtime.cgcm import (MAP_ARRAY_FUNCTIONS, MAP_FUNCTIONS,
-                            RELEASE_ARRAY_FUNCTIONS, RELEASE_FUNCTIONS,
-                            RUNTIME_FUNCTION_NAMES, UNMAP_ARRAY_FUNCTIONS,
-                            UNMAP_FUNCTIONS)
+from ..runtime.api import (MAP_ARRAY_FUNCTIONS, MAP_FUNCTIONS,
+                           RELEASE_ARRAY_FUNCTIONS, RELEASE_FUNCTIONS,
+                           RUNTIME_FUNCTION_NAMES, UNMAP_ARRAY_FUNCTIONS,
+                           UNMAP_FUNCTIONS)
 from .context import CheckContext, launch_arg_host_roots
 from .findings import Finding, Severity, finding_at, finding_in_function
 

@@ -30,8 +30,8 @@ from ..analysis.loops import find_loops
 from ..ir.function import Function
 from ..ir.instructions import Call, Instruction, LaunchKernel
 from ..ir.module import Module
-from ..runtime.cgcm import (MAP_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
-                            UNMAP_FUNCTIONS)
+from ..runtime.api import (MAP_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
+                           UNMAP_FUNCTIONS)
 from .context import CheckContext
 from .findings import Finding, Severity, finding_at
 from .mapstate import _root_label

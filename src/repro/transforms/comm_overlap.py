@@ -55,16 +55,14 @@ from ..ir.instructions import (Call, Cast, GetElementPtr, Instruction,
                                LaunchKernel, Store)
 from ..ir.module import Module
 from ..ir.values import Constant, Value
-from ..runtime.cgcm import (ASYNC_VARIANTS, MAP_ARRAY_FUNCTIONS,
-                            MAP_FUNCTIONS, RELEASE_ARRAY_FUNCTIONS,
-                            RELEASE_FUNCTIONS, RUNTIME_FUNCTION_NAMES,
-                            SYNC_FUNCTION, UNMAP_ARRAY_FUNCTIONS,
-                            UNMAP_FUNCTIONS, RUNTIME_SIGNATURES)
+from ..runtime.api import (ARRAY_FUNCTIONS, ASYNC_VARIANTS,
+                           MAP_FUNCTIONS, RELEASE_FUNCTIONS,
+                           RUNTIME_FUNCTION_NAMES, RUNTIME_SIGNATURES,
+                           SYNC_FUNCTION, UNMAP_FUNCTIONS)
 
 #: Entry points whose transfers cover the array unit *and* every unit
 #: its stored pointers reference.
-_ARRAY_CALLS = frozenset(MAP_ARRAY_FUNCTIONS + UNMAP_ARRAY_FUNCTIONS
-                         + RELEASE_ARRAY_FUNCTIONS)
+_ARRAY_CALLS = frozenset(ARRAY_FUNCTIONS)
 
 #: Safety bound on dominator-chain hops per hoisted call.
 _MAX_HOPS = 32

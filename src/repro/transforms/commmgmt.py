@@ -33,6 +33,7 @@ from ..ir.types import ArrayType, I64, RAW_PTR
 from ..ir.values import Constant, GlobalVariable, Value
 from ..analysis.alias import ordered_roots, underlying_objects
 from ..analysis.typeinfer import infer_pointer_depths
+from ..runtime.api import map_name, release_name, unmap_name
 from ..runtime.cgcm import declare_runtime
 
 
@@ -89,7 +90,7 @@ class CommunicationManager:
                 raw = Cast("bitcast", actual, RAW_PTR)
             else:
                 raw = Cast("inttoptr", actual, RAW_PTR)
-            map_call = Call(self.runtime[self._map_name(depth)], [raw])
+            map_call = Call(self.runtime[map_name(depth)], [raw])
             if actual.type.is_pointer:
                 back = Cast("bitcast", map_call, actual.type)
             else:
@@ -108,7 +109,7 @@ class CommunicationManager:
             base = self._global_base(fn, value, before)
             raw = Cast("bitcast", base, RAW_PTR)
             raw.name = fn.unique_name("comm")
-            map_call = Call(self.runtime[self._map_name(depth)], [raw])
+            map_call = Call(self.runtime[map_name(depth)], [raw])
             map_call.name = fn.unique_name("comm")
             before.extend([raw, map_call])
             mapped.append((raw, depth))
@@ -124,11 +125,11 @@ class CommunicationManager:
         unmap_calls: List[Call] = []
         release_calls: List[Call] = []
         for raw, depth in mapped:
-            call = Call(self.runtime[self._unmap_name(depth)], [raw])
+            call = Call(self.runtime[unmap_name(depth)], [raw])
             after.append(call)
             unmap_calls.append(call)
         for raw, depth in mapped:
-            call = Call(self.runtime[self._release_name(depth)], [raw])
+            call = Call(self.runtime[release_name(depth)], [raw])
             after.append(call)
             release_calls.append(call)
         index = block.index(launch)
@@ -138,17 +139,6 @@ class CommunicationManager:
 
         self.managed.append((launch, map_calls, unmap_calls, release_calls))
 
-    @staticmethod
-    def _map_name(depth: int) -> str:
-        return "mapArray" if depth >= 2 else "map"
-
-    @staticmethod
-    def _unmap_name(depth: int) -> str:
-        return "unmapArray" if depth >= 2 else "unmap"
-
-    @staticmethod
-    def _release_name(depth: int) -> str:
-        return "releaseArray" if depth >= 2 else "release"
 
     def _global_base(self, fn: Function, gv: GlobalVariable,
                      before: List[Instruction]) -> Value:

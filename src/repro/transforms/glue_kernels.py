@@ -41,7 +41,7 @@ from ..ir.values import Argument, Constant, GlobalVariable, Value
 from ..analysis.alias import UNKNOWN, ordered_roots, underlying_objects
 from ..analysis.loops import Loop, find_loops, loop_preheader
 from ..analysis.cfg import predecessor_map
-from ..runtime.cgcm import RUNTIME_FUNCTION_NAMES
+from ..runtime.api import MAP_FUNCTIONS, RUNTIME_FUNCTION_NAMES
 from .outline import clone_instruction, clone_region, erase_blocks
 
 _DEFAULT_MAX_INSTRUCTIONS = 60
@@ -282,7 +282,7 @@ class GlueKernels:
         for loop_block in enclosing.blocks:
             for inst in loop_block.instructions:
                 if isinstance(inst, Call) \
-                        and inst.callee.name in ("map", "mapArray") \
+                        and inst.callee.name in MAP_FUNCTIONS \
                         and inst.args:
                     mapped_roots |= {
                         root for root

@@ -33,8 +33,9 @@ from ..analysis.callgraph import CallGraph
 from ..analysis.loops import Loop, find_loops, loop_preheader
 from ..analysis.cfg import predecessor_map
 from ..analysis.modref import ModRefAnalysis
-from ..runtime.cgcm import (MAP_FUNCTIONS, RELEASE_FUNCTIONS,
-                            RUNTIME_FUNCTION_NAMES, UNMAP_FUNCTIONS)
+from ..runtime import api
+from ..runtime.api import (MAP_FUNCTIONS, RELEASE_FUNCTIONS,
+                           RUNTIME_FUNCTION_NAMES, UNMAP_FUNCTIONS)
 
 _MAX_ITERATIONS = 10
 
@@ -107,7 +108,8 @@ class _Candidate:
 
     @property
     def is_array(self) -> bool:
-        return bool(self.maps) and self.maps[0].callee.name == "mapArray"
+        return bool(self.maps) \
+            and self.maps[0].callee.name in api.MAP_ARRAY_FUNCTIONS
 
     @property
     def all_calls(self) -> List[Call]:
@@ -299,10 +301,9 @@ class MapPromotion:
                               hoisted: Value, preheader: BasicBlock,
                               exit_block: BasicBlock) -> None:
         map_callee = candidate.maps[0].callee
-        unmap_name = "unmapArray" if candidate.is_array else "unmap"
-        release_name = "releaseArray" if candidate.is_array else "release"
-        unmap_callee = self.module.get_function(unmap_name)
-        release_callee = self.module.get_function(release_name)
+        depth = 2 if candidate.is_array else 1
+        unmap_callee = self.module.get_function(api.unmap_name(depth))
+        release_callee = self.module.get_function(api.release_name(depth))
 
         # Copy map above the region.
         map_call = Call(map_callee, [hoisted])
@@ -420,10 +421,9 @@ class MapPromotion:
                                   candidate: _Candidate,
                                   call_sites: List[Call]) -> None:
         map_callee = candidate.maps[0].callee
-        unmap_name = "unmapArray" if candidate.is_array else "unmap"
-        release_name = "releaseArray" if candidate.is_array else "release"
-        unmap_callee = self.module.get_function(unmap_name)
-        release_callee = self.module.get_function(release_name)
+        depth = 2 if candidate.is_array else 1
+        unmap_callee = self.module.get_function(api.unmap_name(depth))
+        release_callee = self.module.get_function(api.release_name(depth))
 
         for site in call_sites:
             caller_block = site.parent

@@ -1,0 +1,80 @@
+"""CgcmConfig.__post_init__ validation: every bad combination fails
+fast with an actionable message (repro.resilience satellite)."""
+
+import pytest
+
+from repro.core.config import CgcmConfig, OptLevel
+from repro.errors import ConfigError
+from repro.gpu.faults import FaultPlan
+
+
+def plan(**kwargs):
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("alloc_fail_rate", 0.3)
+    return FaultPlan(**kwargs)
+
+
+class TestEngineValidation:
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            CgcmConfig(engine="jit")
+
+    def test_known_engines(self):
+        for engine in ("tree", "compiled"):
+            assert CgcmConfig(engine=engine).engine == engine
+
+
+class TestFaultValidation:
+    def test_faults_must_be_a_plan(self):
+        with pytest.raises(ConfigError, match="must be a FaultPlan"):
+            CgcmConfig(faults=42)
+
+    def test_seedless_plan_rejected(self):
+        with pytest.raises(ConfigError, match="no seed"):
+            CgcmConfig(faults=FaultPlan(alloc_fail_rate=0.3))
+
+    def test_faults_with_streams_rejected(self):
+        with pytest.raises(ConfigError, match="streams"):
+            CgcmConfig(faults=plan(), streams=True)
+
+    def test_faults_on_sequential_rejected(self):
+        with pytest.raises(ConfigError, match="SEQUENTIAL"):
+            CgcmConfig(opt_level=OptLevel.SEQUENTIAL, faults=plan())
+
+    def test_armed_plan_accepted(self):
+        config = CgcmConfig(faults=plan())
+        assert config.resilient
+
+
+class TestHeapLimitValidation:
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            CgcmConfig(device_heap_limit=0)
+        with pytest.raises(ConfigError, match="positive"):
+            CgcmConfig(device_heap_limit=-4096)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            CgcmConfig(device_heap_limit="64k")
+
+    def test_heap_limit_with_streams_rejected(self):
+        with pytest.raises(ConfigError, match="streams"):
+            CgcmConfig(device_heap_limit=4096, streams=True)
+
+    def test_heap_limit_on_sequential_rejected(self):
+        with pytest.raises(ConfigError, match="SEQUENTIAL"):
+            CgcmConfig(opt_level=OptLevel.SEQUENTIAL,
+                       device_heap_limit=4096)
+
+
+class TestResilientProperty:
+    def test_off_by_default(self):
+        assert not CgcmConfig().resilient
+
+    def test_on_with_either_knob(self):
+        assert CgcmConfig(faults=plan()).resilient
+        assert CgcmConfig(device_heap_limit=4096).resilient
+
+    def test_config_error_is_a_value_error(self):
+        """Callers that predate the typed hierarchy catch ValueError."""
+        assert issubclass(ConfigError, ValueError)
