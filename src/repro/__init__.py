@@ -18,6 +18,7 @@ Quick start::
     print(result.stdout, result.total_seconds)
 """
 
+from .api import CompiledWorkload, compile_workload
 from .core import (CgcmCompiler, CgcmConfig, CompileReport, ExecutionResult,
                    OptLevel, compile_and_run)
 from .errors import (CgcmRuntimeError, CgcmUnsupportedError, FrontendError,
@@ -31,7 +32,8 @@ from .runtime import CgcmRuntime
 __version__ = "1.0.0"
 
 __all__ = [
-    "CgcmCompiler", "CgcmConfig", "CompileReport", "ExecutionResult",
+    "CgcmCompiler", "CgcmConfig", "CompileReport", "CompiledWorkload",
+    "ExecutionResult", "compile_workload",
     "OptLevel", "compile_and_run", "compile_minic", "CostModel", "Machine",
     "CgcmRuntime", "ReproError", "CgcmRuntimeError", "CgcmUnsupportedError",
     "FrontendError", "GpuError", "InterpError", "IRError", "MemoryFault",

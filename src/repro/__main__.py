@@ -12,6 +12,7 @@ Usage::
     python -m repro sanitize <workload-or-source> [...] [--level opt]
     python -m repro lint [<workload-or-source> ...] [--json] [--corpus]
     python -m repro lint [--faults SEED]
+    python -m repro fuzz [--seed N] [--count M] [--slow] [--artifacts D]
     python -m repro list
 
 ``run`` compiles a MiniC source file at the chosen optimization level
@@ -34,6 +35,14 @@ seeded-defect corpus); ``list`` shows the 24 available workloads.
 resilient runtime rides the faults out and must print the same
 output); ``--heap-limit BYTES`` caps the device heap to force LRU
 eviction and, when nothing fits, CPU-fallback launches.
+
+``fuzz`` runs the scenario engine: generate ``--count`` novel MiniC
+programs from ``--seed`` (deterministic: same seed, same programs,
+same verdicts) and check each against the full differential property
+matrix -- CPU-reference oracle, level equivalence, engine equivalence
+(clock-for-clock), streams on/off, sanitizer cleanliness, static-check
+cleanliness, and fault-injection byte-identity.  Failures are
+minimized and written under ``--artifacts``.
 """
 
 from __future__ import annotations
@@ -191,6 +200,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "bug must be flagged, every clean control must pass)")
     _add_streams_argument(lint_cmd)
     _add_faults_argument(lint_cmd)
+
+    fuzz_cmd = commands.add_parser(
+        "fuzz",
+        help="scenario engine: generate MiniC programs and check the "
+             "full differential property matrix on each")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="generation seed (default 0); the run is "
+                               "fully determined by (seed, count)")
+    fuzz_cmd.add_argument("--count", type=int, default=100,
+                          help="number of programs to generate "
+                               "(default 100)")
+    fuzz_cmd.add_argument("--slow", action="store_true",
+                          help="widen every property across extra "
+                               "levels and fault/pressure schedules")
+    fuzz_cmd.add_argument("--artifacts", default=None, metavar="DIR",
+                          help="write minimized counterexamples (and "
+                               "the JSON report) into this directory")
+    fuzz_cmd.add_argument("--no-minimize", action="store_true",
+                          help="skip counterexample minimization")
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
@@ -466,6 +494,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failures or corpus_misses else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenarios import run_fuzz
+
+    def progress(verdict):
+        print(verdict.summary(), file=sys.stderr)
+
+    report = run_fuzz(args.seed, args.count, slow=args.slow,
+                      progress=progress,
+                      minimize=not args.no_minimize)
+    print(report.render())
+    if args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for ce in report.counterexamples:
+            base = os.path.join(args.artifacts, ce.name)
+            with open(base + ".c", "w") as handle:
+                handle.write(ce.source)
+            with open(base + ".min.c", "w") as handle:
+                handle.write(ce.minimized_source)
+        document = {
+            "seed": report.seed, "count": report.count,
+            "slow": report.slow, "passed": report.passed,
+            "verdicts": [
+                {"name": v.name, "ok": v.ok,
+                 "failed": list(v.failed)} for v in report.verdicts],
+            "counterexamples": [
+                {"name": ce.name, "failed": list(ce.failed),
+                 "minimized_summary": ce.minimized_summary}
+                for ce in report.counterexamples],
+        }
+        path = os.path.join(args.artifacts, "fuzz_report.json")
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for workload in ALL_WORKLOADS:
         print(f"{workload.name:16s} {workload.suite:10s} "
@@ -478,7 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
                 "bench": _cmd_bench, "faultbench": _cmd_faultbench,
                 "trace": _cmd_trace, "sanitize": _cmd_sanitize,
-                "lint": _cmd_lint, "list": _cmd_list}
+                "lint": _cmd_lint, "fuzz": _cmd_fuzz, "list": _cmd_list}
     try:
         return handlers[args.command](args)
     except ConfigError as exc:

@@ -1,0 +1,249 @@
+"""Public scripting API: MiniC source in, runnable workload out.
+
+PyCUDA-style entry point (run-time code generation plus caching, per
+Klockner et al.): :func:`compile_workload` takes a MiniC program as a
+*string* and a :class:`CgcmConfig`, runs the full frontend-to-pipeline
+stack once, and returns a :class:`CompiledWorkload` handle that can be
+executed any number of times on fresh simulated machines.  Compiled
+artifacts are cached process-wide by ``(source hash, module name,
+config key)``, so serving the same program repeatedly -- the scenario
+engine's fuzz loops, the benchmarks, a hypothetical request stream --
+pays for parsing, lowering, and the transform pipeline exactly once.
+
+Guarantees:
+
+* Malformed source raises :class:`repro.errors.FrontendError`, a typed
+  diagnostic carrying ``line`` and ``column`` -- never a bare Python
+  traceback from deep inside the parser.
+* A bad ``config`` (wrong type, or a config mutated into an invalid
+  combination after construction) raises
+  :class:`repro.errors.ConfigError` *before* any compilation work.
+* The handle's config is a private snapshot: mutating the caller's
+  config afterwards never perturbs a cached artifact, and distinct
+  config variants (sanitize / streams / faults / heap caps) always get
+  distinct cache entries.
+
+Quick start::
+
+    from repro.api import compile_workload
+
+    wl = compile_workload("int main(void){ print_i64(42); return 0; }")
+    result = wl.run()
+    result.stdout            # ('42',)
+    result.observable()      # everything a transform must preserve
+    wl.lint().errors         # static-checker findings, post-pipeline
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from .core.compiler import CgcmCompiler, CompileReport, ExecutionResult
+from .core.config import CgcmConfig, OptLevel
+from .errors import ConfigError
+from .ir import module_to_str
+
+__all__ = ["CompiledWorkload", "compile_workload", "cache_stats",
+           "clear_cache", "CACHE_CAPACITY"]
+
+#: Most-recently-used compiled artifacts kept alive by the cache.
+CACHE_CAPACITY = 256
+
+
+def _config_key(config: CgcmConfig) -> Tuple:
+    """A hashable fingerprint of everything that affects compilation
+    or execution.  Two configs with equal keys are interchangeable."""
+    faults = config.faults
+    fault_key = None
+    if faults is not None:
+        fault_key = (faults.seed, faults.alloc_fail_rate,
+                     faults.transfer_fail_rate, faults.launch_fail_rate,
+                     faults.max_consecutive)
+    return (
+        config.opt_level.value,
+        config.enable_glue_kernels,
+        config.enable_alloca_promotion,
+        config.enable_map_promotion,
+        dataclasses.astuple(config.cost_model),
+        config.record_events,
+        config.verify,
+        config.sanitize,
+        config.engine,
+        config.streams,
+        fault_key,
+        config.device_heap_limit,
+    )
+
+
+def _source_key(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class _ArtifactCache:
+    """Process-wide LRU of compiled workloads, with hit/miss counters.
+
+    The counters double as the test hook the scenario engine asserts
+    against: a served request either bumped ``hits`` (no frontend or
+    pipeline work happened) or ``misses`` (one full compile happened).
+    """
+
+    def __init__(self, capacity: int = CACHE_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, CompiledWorkload]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Tuple) -> Optional["CompiledWorkload"]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def insert(self, key: Tuple, workload: "CompiledWorkload") -> None:
+        with self._lock:
+            self._entries[key] = workload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._entries),
+                    "capacity": self.capacity}
+
+
+_CACHE = _ArtifactCache()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Artifact-cache counters: ``hits``, ``misses``, ``size``."""
+    return _CACHE.stats()
+
+
+def clear_cache() -> None:
+    """Drop every cached artifact and zero the counters."""
+    _CACHE.clear()
+
+
+class CompiledWorkload:
+    """A compiled MiniC program, runnable any number of times.
+
+    Holds the post-pipeline module (shared across runs -- the pipeline
+    ran once) plus a private config snapshot.  Each :meth:`run` builds
+    a fresh simulated machine, so runs never observe each other's
+    memory, clocks, or fault schedules.
+    """
+
+    def __init__(self, source: str, name: str, config: CgcmConfig,
+                 compiler: CgcmCompiler, report: CompileReport,
+                 cache_key: Tuple):
+        self.source = source
+        self.name = name
+        self.config = config
+        self.report = report
+        self.cache_key = cache_key
+        self._compiler = compiler
+        #: Number of completed :meth:`run` calls on this handle.
+        self.runs = 0
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, engine: Optional[str] = None) -> ExecutionResult:
+        """Execute on a fresh machine; returns observables and clocks.
+
+        ``engine`` overrides the config's engine for this run only
+        (the differential harness runs one artifact under both).
+        With ``config.sanitize`` the sanitizer report rides along on
+        :attr:`ExecutionResult.sanitizer_report`.
+        """
+        result = self._compiler.execute(self.report, engine=engine)
+        self.runs += 1
+        return result
+
+    # -- reports -----------------------------------------------------------
+
+    def lint(self):
+        """Static-checker report over the post-pipeline IR."""
+        from .staticcheck.linter import lint_module
+        return lint_module(self.report.module)
+
+    def sanitize(self, level: Optional[OptLevel] = None):
+        """CPU-vs-GPU differential run with the sanitizer armed.
+
+        Recompiles from source (the reference run needs the
+        *untransformed* program); returns a ``DifferentialReport``.
+        """
+        from .sanitizer.differential import run_differential
+        return run_differential(
+            self.source, self.name,
+            level if level is not None else self.config.opt_level,
+            engine=self.config.engine)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def module(self):
+        """The post-pipeline IR module (shared, do not mutate)."""
+        return self.report.module
+
+    @property
+    def ir(self) -> str:
+        """The post-pipeline IR, printed."""
+        return module_to_str(self.report.module)
+
+    def __repr__(self) -> str:
+        return (f"<CompiledWorkload {self.name!r} "
+                f"level={self.config.opt_level.value} runs={self.runs}>")
+
+
+def compile_workload(source: str, config: Optional[CgcmConfig] = None,
+                     name: str = "workload") -> CompiledWorkload:
+    """Compile MiniC source through the CGCM pipeline, with caching.
+
+    ``config`` defaults to a fresh :class:`CgcmConfig` (full
+    optimization, no instrumentation).  The returned handle may come
+    from the artifact cache: same source bytes, same name, and an
+    equivalent config reuse the already-compiled module.  Source is
+    keyed by its exact bytes -- even semantically meaningless
+    whitespace changes produce a distinct artifact, because the cache
+    must never be cleverer than the compiler it is caching.
+    """
+    if not isinstance(source, str):
+        raise ConfigError(
+            f"compile_workload source must be MiniC text (str), got "
+            f"{type(source).__name__}; read files before calling")
+    if config is None:
+        config = CgcmConfig()
+    elif not isinstance(config, CgcmConfig):
+        raise ConfigError(
+            f"compile_workload config must be a CgcmConfig, got "
+            f"{type(config).__name__}")
+    # Snapshot re-runs __post_init__, so a config mutated into an
+    # invalid combination is rejected here -- before any compilation.
+    snapshot = dataclasses.replace(config)
+    key = (_source_key(source), name, _config_key(snapshot))
+    cached = _CACHE.lookup(key)
+    if cached is not None:
+        return cached
+    compiler = CgcmCompiler(snapshot)
+    report = compiler.compile_source(source, name)
+    workload = CompiledWorkload(source, name, snapshot, compiler,
+                                report, key)
+    _CACHE.insert(key, workload)
+    return workload

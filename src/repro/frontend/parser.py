@@ -224,6 +224,10 @@ class MiniCParser:
                     items.append(self.parse_assignment())
                 if not self._accept("op", ","):
                     break
+                # C99 6.7.8: a trailing comma before the closing brace
+                # is part of the grammar, not another initializer.
+                if self.current.text == "}":
+                    break
             self._expect("op", "}")
         return items
 

@@ -1,0 +1,272 @@
+"""Property-based MiniC program generator.
+
+One generator, two front doors:
+
+* :func:`generate_program` -- fully deterministic, driven by a seeded
+  ``random.Random`` (string-seeded, so the stream is stable across
+  platforms and Python versions).  This is what ``python -m repro
+  fuzz`` uses: same seed, same programs, same verdicts.
+* :func:`scenario_specs` -- the same decision procedure driven by
+  hypothesis's ``draw``, so property tests get hypothesis's
+  choice-level *shrinking* for free: a failing spec minimizes to the
+  smallest program that still fails.
+
+Both paths run :func:`build_spec` over an abstract :class:`DrawSource`;
+the decisions (and therefore the distribution of programs) are
+identical by construction.
+
+Coverage by construction: generated programs mix affine
+initialization, DOALL-friendly elementwise maps, nested per-element
+reductions, sequential prefix accumulations (genuine CPU phases),
+writes through aliasing interior pointers, global pointer arrays,
+scalar-global glue updates inside counted repeat loops, and recursive
+checksum helpers -- the exact feature set the CGCM paper's pipeline
+has to get right.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .spec import (AliasPhase, ArrayDecl, ChecksumItem, ElementwisePhase,
+                   FLOAT_PALETTE, InitPhase, Phase, PtrArrayPhase,
+                   RecursionItem, RepeatPhase, ScalarDecl, ScalarUpdatePhase,
+                   ScenarioSpec, SeqAccumPhase, StencilPhase, emit_minic,
+                   evaluate_spec)
+
+__all__ = ["DrawSource", "RandomDrawSource", "build_spec",
+           "GeneratedProgram", "generate_program", "program_seed",
+           "scenario_specs"]
+
+#: Decay-leaning multipliers keep repeated phases numerically tame.
+_MULS = (0.25, 0.375, 0.5, 0.75, 1.25, 1.5)
+_ADDS = (0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0)
+
+_SIMPLE_KINDS = ("elementwise", "elementwise", "elementwise", "stencil",
+                 "seqaccum", "alias", "ptrarray", "scalar")
+
+
+class DrawSource:
+    """The decision interface :func:`build_spec` draws from."""
+
+    def integer(self, lo: int, hi: int) -> int:
+        raise NotImplementedError
+
+    def choice(self, options: Sequence):
+        raise NotImplementedError
+
+    def boolean(self) -> bool:
+        return self.integer(0, 1) == 1
+
+
+class RandomDrawSource(DrawSource):
+    """Deterministic draws from a seeded ``random.Random``."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def integer(self, lo: int, hi: int) -> int:
+        return self.rng.randint(lo, hi)
+
+    def choice(self, options: Sequence):
+        return options[self.rng.randrange(len(options))]
+
+
+class _Builder:
+    """Shared decision procedure: one spec from one draw source."""
+
+    def __init__(self, d: DrawSource):
+        self.d = d
+        self.uid = 0
+        self.arrays: List[ArrayDecl] = []
+        self.scalars: List[ScalarDecl] = []
+        self.ptr_slots = 0
+
+    def next_uid(self) -> int:
+        self.uid += 1
+        return self.uid
+
+    def pick_array(self) -> ArrayDecl:
+        return self.d.choice(self.arrays)
+
+    def build(self) -> ScenarioSpec:
+        d = self.d
+        for index in range(d.integer(2, 4)):
+            size = d.integer(4, 24)
+            init: Tuple[float, ...] = ()
+            if d.integer(0, 2) == 0:
+                init = tuple(d.choice(FLOAT_PALETTE)
+                             for _ in range(d.integer(1, size)))
+            self.arrays.append(ArrayDecl(f"A{index}", size, init))
+        for index in range(d.integer(0, 2)):
+            self.scalars.append(ScalarDecl(f"S{index}",
+                                           d.choice(FLOAT_PALETTE)))
+        phases: List[Phase] = []
+        # Most arrays get an affine init; the rest start zeroed, which
+        # exercises untouched-suffix and all-zero units.
+        for decl in self.arrays:
+            if d.integer(0, 3) > 0:
+                phases.append(self.init_phase(decl))
+        for _ in range(d.integer(2, 5)):
+            if d.integer(0, 3) == 0:
+                phases.append(self.repeat_phase())
+            else:
+                phases.append(self.simple_phase())
+        checksums = tuple(
+            ChecksumItem(decl.name, decl.size, d.choice((3, 5, 7)))
+            for decl in self.arrays)
+        recursions: Tuple[RecursionItem, ...] = ()
+        if d.boolean():
+            decl = self.pick_array()
+            recursions = (RecursionItem(decl.name,
+                                        d.integer(0, decl.size - 1)),)
+        return ScenarioSpec(tuple(self.arrays), tuple(self.scalars),
+                            tuple(phases), checksums, recursions,
+                            self.ptr_slots)
+
+    # -- phase builders ----------------------------------------------------
+
+    def init_phase(self, decl: Optional[ArrayDecl] = None) -> InitPhase:
+        d = self.d
+        decl = decl if decl is not None else self.pick_array()
+        return InitPhase(self.next_uid(), decl.name, decl.size,
+                         d.integer(0, 9), d.integer(0, 9),
+                         d.integer(1, 9), d.choice(FLOAT_PALETTE))
+
+    def simple_phase(self) -> Phase:
+        kind = self.d.choice(_SIMPLE_KINDS)
+        if kind == "scalar" and not self.scalars:
+            kind = "elementwise"
+        return getattr(self, f"{kind}_phase")()
+
+    def elementwise_phase(self) -> ElementwisePhase:
+        d = self.d
+        dst, src1 = self.pick_array(), self.pick_array()
+        src2 = self.pick_array() if d.boolean() else None
+        sizes = [dst.size, src1.size] + ([src2.size] if src2 else [])
+        coeff_scalar = None
+        if self.scalars and d.boolean():
+            coeff_scalar = self.d.choice(self.scalars).name
+        return ElementwisePhase(
+            self.next_uid(), dst.name, src1.name, min(sizes),
+            d.choice(_MULS), d.choice(_MULS),
+            src2.name if src2 else None, d.choice(_MULS), coeff_scalar)
+
+    def stencil_phase(self) -> StencilPhase:
+        d = self.d
+        dst = self.pick_array()
+        others = [a for a in self.arrays if a.name != dst.name]
+        src = d.choice(others) if others else dst
+        return StencilPhase(self.next_uid(), dst.name, src.name,
+                            dst.size, d.integer(1, src.size),
+                            d.choice(_MULS), d.choice(_MULS),
+                            d.choice(_ADDS))
+
+    def seqaccum_phase(self) -> SeqAccumPhase:
+        d = self.d
+        src, dst = self.pick_array(), self.pick_array()
+        return SeqAccumPhase(self.next_uid(), src.name, dst.name,
+                             min(src.size, dst.size), d.choice(_MULS))
+
+    def alias_phase(self) -> AliasPhase:
+        d = self.d
+        decl = self.pick_array()
+        off = d.integer(0, decl.size - 1)
+        length = d.integer(1, decl.size - off)
+        return AliasPhase(self.next_uid(), decl.name, off, length,
+                          d.choice(_MULS), d.choice(_ADDS))
+
+    def ptrarray_phase(self) -> PtrArrayPhase:
+        d = self.d
+        count = d.integer(2, 3)
+        min_size = min(decl.size for decl in self.arrays)
+        length = d.integer(1, min_size)
+        targets = []
+        for _ in range(count):
+            decl = self.pick_array()
+            targets.append((decl.name, d.integer(0, decl.size - length)))
+        self.ptr_slots = max(self.ptr_slots, count)
+        return PtrArrayPhase(self.next_uid(), tuple(targets), length,
+                             d.choice(_MULS))
+
+    def scalar_phase(self) -> ScalarUpdatePhase:
+        d = self.d
+        return ScalarUpdatePhase(self.next_uid(),
+                                 d.choice(self.scalars).name,
+                                 d.choice(_MULS), d.choice(_ADDS))
+
+    def repeat_phase(self) -> RepeatPhase:
+        d = self.d
+        body: List[Phase] = []
+        for _ in range(d.integer(1, 3)):
+            body.append(self.simple_phase())
+        if self.scalars and d.boolean():
+            # The canonical glue shape: a scalar-global update wedged
+            # between GPU-bound array phases inside the loop.
+            body.append(self.scalar_phase())
+            body.append(self.elementwise_phase())
+        return RepeatPhase(self.next_uid(), d.integer(2, 4), tuple(body))
+
+
+def build_spec(d: DrawSource) -> ScenarioSpec:
+    """Draw one complete scenario spec."""
+    return _Builder(d).build()
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A generated workload: spec, source, and its oracle verdict."""
+
+    name: str
+    spec: ScenarioSpec
+    source: str
+    expected_stdout: Tuple[str, ...]
+
+
+def program_seed(seed: int, index: int) -> str:
+    """The string seed of program ``index`` in run ``seed``.
+
+    String seeding pins ``random.Random`` to its version-2 init
+    scheme, which hashes the bytes identically on every platform.
+    """
+    return f"cgcm-fuzz:{seed}:{index}"
+
+
+def generate_program(seed: int, index: int = 0) -> GeneratedProgram:
+    """Deterministically generate program ``index`` of run ``seed``."""
+    rng = random.Random(program_seed(seed, index))
+    spec = build_spec(RandomDrawSource(rng))
+    return materialize(spec, f"fuzz-{seed}-{index}")
+
+
+def materialize(spec: ScenarioSpec, name: str) -> GeneratedProgram:
+    """Emit source and oracle output for a spec."""
+    source = emit_minic(spec, comment=f"generated scenario {name}")
+    return GeneratedProgram(name, spec, source, evaluate_spec(spec))
+
+
+def scenario_specs():
+    """Hypothesis strategy over :class:`ScenarioSpec`.
+
+    Imported lazily so the production fuzz path never needs hypothesis
+    installed; property tests get true choice-level shrinking.
+    """
+    import hypothesis.strategies as st
+
+    class _HypothesisDrawSource(DrawSource):
+        def __init__(self, draw):
+            self.draw = draw
+
+        def integer(self, lo: int, hi: int) -> int:
+            return self.draw(st.integers(lo, hi))
+
+        def choice(self, options: Sequence):
+            return options[self.draw(st.integers(0, len(options) - 1))]
+
+    @st.composite
+    def _specs(draw):
+        return build_spec(_HypothesisDrawSource(draw))
+
+    return _specs()

@@ -1,0 +1,341 @@
+"""Promoted fuzzer survivors: permanent scenario corpus.
+
+Five generated programs promoted from the seed-0 fuzz campaign into
+the committed corpus, each chosen for feature density (glue kernels,
+pointer arrays, aliasing interior pointers, recursion, prefix sums,
+brace-initialized globals).  Sources and expected observables are
+*frozen literals*: regenerating them from the generator is exactly
+what this corpus must not do, because the goldens must keep failing if
+the generator, the frontend, or the pipeline drifts semantically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PromotedScenario", "PROMOTED"]
+
+
+@dataclass(frozen=True)
+class PromotedScenario:
+    """One frozen survivor: source plus expected-stdout golden."""
+
+    name: str
+    origin: str          #: generator coordinates it was promoted from
+    description: str
+    source: str
+    expected_stdout: Tuple[str, ...]
+
+
+PROMOTED: Tuple[PromotedScenario, ...] = (
+    PromotedScenario(
+        name='promoted-fuzz-0-0',
+        origin='seed 0, index 0',
+        description='glue kernels + scalar glue inside a repeat loop, prefix sums',
+        expected_stdout=('111.099', '20.9619', '17.5', '308.625'),
+        source=r'''
+/* generated scenario fuzz-0-0 */
+double A0[23] = {1.5, 2.0, 0.75, 1.5, 1.0, 0.5, 0.75, 0.75, 1.25, 0.5, 0.25, 1.5, 2.0, 0.5, 0.375,};
+double A1[11];
+double A2[6];
+double A3[7] = {1.0, 0.375, 0.125, 0.5, 1.0, 0.125,};
+double S0;
+
+int main(void) {
+    S0 = 0.75;
+    for (int i = 0; i < 11; i++)
+        A1[i] = (i * 3 + 9) % 1 * 0.25;
+    for (int i = 0; i < 6; i++)
+        A2[i] = (i * 3 + 2) % 4 * 1.25;
+    for (int i = 0; i < 7; i++)
+        A3[i] = (i * 1 + 5) % 3 * 1.5;
+    for (int i = 0; i < 6; i++)
+        A1[i] = A1[i] * 1.5 + A1[i] * 0.25 + A2[i] * 0.75;
+    for (int rep = 0; rep < 2; rep++) {
+        for (int i = 0; i < 6; i++)
+            A0[i] = A0[i] * 0.25 + A2[i] * 1.25 + S0;
+        double run_6 = 0.0;
+        for (int i = 0; i < 7; i++) {
+            run_6 += A3[i];
+            A3[i] = A3[i] * 0.25 + run_6;
+        }
+        S0 = S0 * 0.25 + 0.125;
+        for (int i = 0; i < 6; i++)
+            A1[i] = A1[i] * 0.375 + A2[i] * 0.375;
+    }
+    for (int rep = 0; rep < 2; rep++) {
+        for (int i = 0; i < 6; i++)
+            A0[i] = A0[i] * 1.5 + A0[i] * 0.375 + A2[i] * 0.75 + S0;
+        for (int i = 0; i < 11; i++)
+            A0[i] = A0[i] * 0.75 + A1[i] * 0.25 + A0[i] * 0.75 + S0;
+    }
+    for (int i = 0; i < 11; i++)
+        A0[i] = A0[i] * 0.25 + A1[i] * 0.25;
+    double cs_0 = 0.0;
+    for (int i = 0; i < 23; i++)
+        cs_0 += A0[i] * (i % 3 + 1);
+    print_f64(cs_0);
+    double cs_1 = 0.0;
+    for (int i = 0; i < 11; i++)
+        cs_1 += A1[i] * (i % 5 + 1);
+    print_f64(cs_1);
+    double cs_2 = 0.0;
+    for (int i = 0; i < 6; i++)
+        cs_2 += A2[i] * (i % 3 + 1);
+    print_f64(cs_2);
+    double cs_3 = 0.0;
+    for (int i = 0; i < 7; i++)
+        cs_3 += A3[i] * (i % 3 + 1);
+    print_f64(cs_3);
+    return 0;
+}
+''',
+    ),
+    PromotedScenario(
+        name='promoted-fuzz-0-14',
+        origin='seed 0, index 14',
+        description='brace-initialized globals, interior-pointer aliasing, pointer array, recursion',
+        expected_stdout=('90', '29.0933', '31.25'),
+        source=r'''
+/* generated scenario fuzz-0-14 */
+double A0[24];
+double A1[10] = {0.75, 0.25, 0.125, 0.5, 0.375, 2.0, 1.5,};
+double *PTRS[2];
+
+double rsum_A0(long i) {
+    if (i < 0) return 0.0;
+    return A0[i] + rsum_A0(i - 1);
+}
+
+int main(void) {
+    for (int i = 0; i < 24; i++)
+        A0[i] = (i * 7 + 9) % 4 * 1.25;
+    for (int rep = 0; rep < 3; rep++) {
+        PTRS[0] = A1 + 6;
+        PTRS[1] = A1 + 5;
+        for (int k = 0; k < 2; k++) {
+            double *q_2 = PTRS[k];
+            for (int i = 0; i < 4; i++)
+                q_2[i] = q_2[i] * 0.75;
+        }
+    }
+    double *p_4 = A1 + 5;
+    for (int i = 0; i < 4; i++)
+        p_4[i] = p_4[i] * 1.5 + 1.0;
+    double *p_5 = A1 + 6;
+    for (int i = 0; i < 3; i++)
+        p_5[i] = p_5[i] * 0.375 + 0.25;
+    for (int i = 0; i < 10; i++)
+        A1[i] = A1[i] * 0.375 + A1[i] * 0.5 + A1[i] * 1.25;
+    double cs_0 = 0.0;
+    for (int i = 0; i < 24; i++)
+        cs_0 += A0[i] * (i % 3 + 1);
+    print_f64(cs_0);
+    double cs_1 = 0.0;
+    for (int i = 0; i < 10; i++)
+        cs_1 += A1[i] * (i % 5 + 1);
+    print_f64(cs_1);
+    print_f64(rsum_A0(17));
+    return 0;
+}
+''',
+    ),
+    PromotedScenario(
+        name='promoted-fuzz-0-21',
+        origin='seed 0, index 21',
+        description='eight-feature survivor: glue, pointer array, recursion, prefix sums, stencil',
+        expected_stdout=('57522.5', '232.295', '863703', '1410.65'),
+        source=r'''
+/* generated scenario fuzz-0-21 */
+double A0[5] = {2.0,};
+double A1[8];
+double A2[13];
+double S0;
+double *PTRS[3];
+
+double rsum_A0(long i) {
+    if (i < 0) return 0.0;
+    return A0[i] + rsum_A0(i - 1);
+}
+
+int main(void) {
+    S0 = 0.25;
+    for (int i = 0; i < 5; i++)
+        A0[i] = (i * 0 + 1) % 3 * 0.375;
+    for (int i = 0; i < 8; i++)
+        A1[i] = (i * 9 + 1) % 8 * 1.0;
+    for (int i = 0; i < 13; i++)
+        A2[i] = (i * 7 + 1) % 2 * 0.5;
+    for (int i = 0; i < 5; i++)
+        A2[i] = A2[i] * 0.75 + A0[i] * 1.25 + A1[i] * 0.5;
+    for (int i = 0; i < 5; i++)
+        A0[i] = A0[i] * 0.5 + A0[i] * 0.75;
+    PTRS[0] = A2 + 8;
+    PTRS[1] = A2 + 7;
+    PTRS[2] = A2 + 9;
+    for (int k = 0; k < 3; k++) {
+        double *q_6 = PTRS[k];
+        for (int i = 0; i < 4; i++)
+            q_6[i] = q_6[i] * 0.375;
+    }
+    for (int rep = 0; rep < 3; rep++) {
+        for (int i = 0; i < 5; i++)
+            A0[i] = A0[i] * 1.25 + A1[i] * 0.25 + S0;
+        double run_8 = 0.0;
+        for (int i = 0; i < 5; i++) {
+            run_8 += A0[i];
+            A0[i] = A0[i] * 0.75 + run_8;
+        }
+        double run_9 = 0.0;
+        for (int i = 0; i < 8; i++) {
+            run_9 += A2[i];
+            A1[i] = A1[i] * 0.25 + run_9;
+        }
+        S0 = S0 * 0.75 + 0.5;
+        for (int i = 0; i < 5; i++)
+            A0[i] = A0[i] * 1.25 + A0[i] * 1.25 + A0[i] * 0.75;
+    }
+    for (int i = 0; i < 13; i++) {
+        double acc_13 = 0.0;
+        for (int j = 0; j < 5; j++)
+            acc_13 += A0[j] * 1.25;
+        A2[i] = A2[i] * 1.5 + acc_13 + i * 0.125;
+    }
+    double cs_0 = 0.0;
+    for (int i = 0; i < 5; i++)
+        cs_0 += A0[i] * (i % 7 + 1);
+    print_f64(cs_0);
+    double cs_1 = 0.0;
+    for (int i = 0; i < 8; i++)
+        cs_1 += A1[i] * (i % 5 + 1);
+    print_f64(cs_1);
+    double cs_2 = 0.0;
+    for (int i = 0; i < 13; i++)
+        cs_2 += A2[i] * (i % 7 + 1);
+    print_f64(cs_2);
+    print_f64(rsum_A0(1));
+    return 0;
+}
+''',
+    ),
+    PromotedScenario(
+        name='promoted-fuzz-0-44',
+        origin='seed 0, index 44',
+        description='every generator feature in one program',
+        expected_stdout=('0', '2176.81', '612.156', '147.859'),
+        source=r'''
+/* generated scenario fuzz-0-44 */
+double A0[24] = {1.25, 0.75, 0.75, 0.375, 2.0, 1.25, 0.375, 0.375, 0.375, 1.0, 2.0, 0.125, 1.5, 0.125, 2.0,};
+double A1[9];
+double A2[20];
+double S0;
+double *PTRS[2];
+
+double rsum_A2(long i) {
+    if (i < 0) return 0.0;
+    return A2[i] + rsum_A2(i - 1);
+}
+
+int main(void) {
+    S0 = 0.375;
+    for (int i = 0; i < 24; i++)
+        A0[i] = (i * 4 + 6) % 1 * 0.25;
+    for (int i = 0; i < 20; i++)
+        A2[i] = (i * 4 + 9) % 8 * 2.0;
+    for (int rep = 0; rep < 3; rep++) {
+        double run_3 = 0.0;
+        for (int i = 0; i < 9; i++) {
+            run_3 += A1[i];
+            A2[i] = A2[i] * 0.5 + run_3;
+        }
+        double *p_4 = A1 + 6;
+        for (int i = 0; i < 3; i++)
+            p_4[i] = p_4[i] * 1.25 + 1.0;
+        for (int i = 0; i < 9; i++)
+            A2[i] = A2[i] * 0.75 + A1[i] * 1.25 + A2[i] * 1.25 + S0;
+    }
+    for (int rep = 0; rep < 4; rep++) {
+        for (int i = 0; i < 9; i++) {
+            double acc_7 = 0.0;
+            for (int j = 0; j < 15; j++)
+                acc_7 += A2[j] * 0.25;
+            A1[i] = A1[i] * 0.375 + acc_7 + i * 1.0;
+        }
+    }
+    PTRS[0] = A2 + 11;
+    PTRS[1] = A0 + 19;
+    for (int k = 0; k < 2; k++) {
+        double *q_9 = PTRS[k];
+        for (int i = 0; i < 3; i++)
+            q_9[i] = q_9[i] * 0.375;
+    }
+    double cs_0 = 0.0;
+    for (int i = 0; i < 24; i++)
+        cs_0 += A0[i] * (i % 7 + 1);
+    print_f64(cs_0);
+    double cs_1 = 0.0;
+    for (int i = 0; i < 9; i++)
+        cs_1 += A1[i] * (i % 7 + 1);
+    print_f64(cs_1);
+    double cs_2 = 0.0;
+    for (int i = 0; i < 20; i++)
+        cs_2 += A2[i] * (i % 7 + 1);
+    print_f64(cs_2);
+    print_f64(rsum_A2(14));
+    return 0;
+}
+''',
+    ),
+    PromotedScenario(
+        name='promoted-fuzz-0-52',
+        origin='seed 0, index 52',
+        description='compact alias + stencil + recursion under map promotion',
+        expected_stdout=('39.3516', '0', '113.625', '0'),
+        source=r'''
+/* generated scenario fuzz-0-52 */
+double A0[22];
+double A1[13];
+double A2[7];
+
+double rsum_A1(long i) {
+    if (i < 0) return 0.0;
+    return A1[i] + rsum_A1(i - 1);
+}
+
+int main(void) {
+    for (int i = 0; i < 22; i++)
+        A0[i] = (i * 1 + 5) % 4 * 0.5;
+    for (int i = 0; i < 7; i++)
+        A2[i] = (i * 7 + 6) % 1 * 1.25;
+    double *p_3 = A0 + 14;
+    for (int i = 0; i < 8; i++)
+        p_3[i] = p_3[i] * 1.5 + 1.0;
+    for (int rep = 0; rep < 2; rep++) {
+        for (int i = 0; i < 7; i++) {
+            double acc_4 = 0.0;
+            for (int j = 0; j < 3; j++)
+                acc_4 += A0[j] * 1.5;
+            A2[i] = A2[i] * 0.5 + acc_4 + i * 0.5;
+        }
+        for (int i = 0; i < 13; i++)
+            A0[i] = A0[i] * 0.375 + A1[i] * 0.5;
+    }
+    double cs_0 = 0.0;
+    for (int i = 0; i < 22; i++)
+        cs_0 += A0[i] * (i % 3 + 1);
+    print_f64(cs_0);
+    double cs_1 = 0.0;
+    for (int i = 0; i < 13; i++)
+        cs_1 += A1[i] * (i % 5 + 1);
+    print_f64(cs_1);
+    double cs_2 = 0.0;
+    for (int i = 0; i < 7; i++)
+        cs_2 += A2[i] * (i % 5 + 1);
+    print_f64(cs_2);
+    print_f64(rsum_A1(6));
+    return 0;
+}
+''',
+    ),
+)

@@ -1,0 +1,140 @@
+"""Tests for the differential property matrix and the fuzz loop."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.scenarios import (check_program, check_source, generate_program,
+                             minimize_spec, run_fuzz, scenario_specs,
+                             spec_size)
+from repro.scenarios.generator import materialize
+from repro.scenarios.harness import PROPERTIES
+from repro.scenarios.spec import RepeatPhase
+
+
+class TestPropertyMatrix:
+    def test_fixed_seed_batch_passes(self):
+        report = run_fuzz(seed=0, count=4)
+        assert report.ok, report.render()
+        assert report.passed == 4
+
+    def test_every_property_is_checked(self):
+        verdict = check_program(generate_program(0, 0))
+        assert tuple(o.prop for o in verdict.outcomes) == PROPERTIES
+
+    def test_verdicts_are_reproducible(self):
+        first = run_fuzz(seed=3, count=3)
+        second = run_fuzz(seed=3, count=3)
+        assert [v.summary() for v in first.verdicts] \
+            == [v.summary() for v in second.verdicts]
+
+    def test_matrix_catches_a_wrong_oracle(self):
+        program = generate_program(0, 1)
+        tampered = program.expected_stdout + ("999",)
+        verdict = check_source(program.source, program.name, tampered)
+        assert not verdict.ok
+        assert "oracle" in verdict.failed
+
+    def test_matrix_reports_compile_failures_typed(self):
+        verdict = check_source("int main(void) { return 0 }\n", "broken")
+        assert not verdict.ok
+        assert verdict.outcomes[0].prop == "compile"
+        assert "FrontendError" in verdict.outcomes[0].detail
+
+    def test_slow_mode_widens_the_matrix(self):
+        program = generate_program(0, 2)
+        verdict = check_program(program, slow=True)
+        assert verdict.ok, verdict.summary()
+
+
+class TestShrinker:
+    def test_shrinks_to_predicate_core(self):
+        # Failure mode: "has a repeat phase".  The minimum such spec
+        # is tiny; the shrinker must find something close to it.
+        program = generate_program(0, 0)
+        spec = program.spec
+        assert any(isinstance(p, RepeatPhase) for p in spec.phases)
+
+        def failing(candidate):
+            return any(isinstance(p, RepeatPhase)
+                       for p in candidate.phases)
+
+        reduced = minimize_spec(spec, failing)
+        assert failing(reduced)
+        assert spec_size(reduced) < spec_size(spec)
+        assert len(reduced.phases) == 1
+        assert isinstance(reduced.phases[0], RepeatPhase)
+        assert len(reduced.phases[0].body) == 1
+
+    def test_shrunk_spec_still_emits_valid_minic(self):
+        from repro import compile_minic
+        program = generate_program(2, 0)
+
+        def failing(candidate):
+            return True  # everything "fails": maximal shrinking
+
+        reduced = minimize_spec(program.spec, failing)
+        minimized = materialize(reduced, "min")
+        compile_minic(minimized.source)
+        assert len(reduced.arrays) >= 1
+        assert reduced.checksums or reduced.recursions
+
+    def test_budget_bounds_work(self):
+        program = generate_program(0, 3)
+        calls = []
+
+        def failing(candidate):
+            calls.append(1)
+            return True
+
+        minimize_spec(program.spec, failing, budget=5)
+        assert len(calls) <= 5
+
+    def test_counterexample_minimization_end_to_end(self, monkeypatch):
+        # Plant a deterministic "bug" that trips whenever the program
+        # contains a repeat loop, then check run_fuzz both records and
+        # minimizes the counterexample down to that core.
+        import repro.scenarios.harness as harness
+        from repro.scenarios.harness import (PropertyOutcome,
+                                             ScenarioVerdict)
+
+        def fake_check_program(program, slow=False):
+            verdict = ScenarioVerdict(program.name)
+            bad = "rep++" in program.source
+            verdict.outcomes.append(PropertyOutcome(
+                "levels", not bad, "planted repeat-loop bug" if bad
+                else ""))
+            return verdict
+
+        monkeypatch.setattr(harness, "check_program", fake_check_program)
+        assert "rep++" in generate_program(0, 0).source
+        report = harness.run_fuzz(seed=0, count=1)
+        assert not report.ok
+        assert len(report.counterexamples) == 1
+        ce = report.counterexamples[0]
+        assert ce.failed == ("levels",)
+        # Minimization kept the failure and stripped everything else:
+        # exactly one repeat phase with a single-phase body remains.
+        assert "rep++" in ce.minimized_source
+        assert len(ce.minimized_source) < len(ce.source)
+
+
+@pytest.mark.slow
+class TestSlowFuzz:
+    def test_wide_fuzz_run(self):
+        report = run_fuzz(seed=0, count=60)
+        assert report.ok, report.render()
+
+    def test_slow_matrix_batch(self):
+        report = run_fuzz(seed=1, count=10, slow=True)
+        assert report.ok, report.render()
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=scenario_specs())
+def test_property_full_matrix_holds(spec):
+    """hypothesis-driven form of the fuzz loop: any drawable program
+    passes the whole differential matrix (shrinking comes free)."""
+    program = materialize(spec, "hypothesis")
+    verdict = check_program(program)
+    assert verdict.ok, verdict.summary()

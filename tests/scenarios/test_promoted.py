@@ -1,0 +1,55 @@
+"""The promoted-survivor corpus: frozen sources, frozen goldens."""
+
+import pytest
+
+from repro import compile_and_run, OptLevel
+from repro.scenarios import check_source
+from repro.scenarios.promoted import PROMOTED
+
+
+def test_corpus_shape():
+    assert 3 <= len(PROMOTED) <= 8
+    names = [scenario.name for scenario in PROMOTED]
+    assert len(set(names)) == len(names)
+    for scenario in PROMOTED:
+        assert scenario.expected_stdout, scenario.name
+        assert "main" in scenario.source
+
+
+def test_corpus_is_feature_dense():
+    blob = "".join(scenario.source for scenario in PROMOTED)
+    for marker in ("rep++", "PTRS", "rsum_", "double *p_", "run_",
+                   "acc_", "] = {"):
+        assert marker in blob, f"no promoted scenario exercises {marker}"
+
+
+@pytest.mark.parametrize("scenario", PROMOTED,
+                         ids=[s.name for s in PROMOTED])
+def test_golden_stdout_sequential(scenario):
+    result = compile_and_run(scenario.source, OptLevel.SEQUENTIAL)
+    assert result.exit_code == 0
+    assert tuple(result.stdout) == scenario.expected_stdout
+
+
+@pytest.mark.parametrize("scenario", PROMOTED,
+                         ids=[s.name for s in PROMOTED])
+def test_golden_stdout_optimized(scenario):
+    result = compile_and_run(scenario.source, OptLevel.OPTIMIZED)
+    assert tuple(result.stdout) == scenario.expected_stdout
+
+
+@pytest.mark.parametrize("scenario", PROMOTED[:2],
+                         ids=[s.name for s in PROMOTED[:2]])
+def test_full_matrix_fast_subset(scenario):
+    verdict = check_source(scenario.source, scenario.name,
+                           scenario.expected_stdout)
+    assert verdict.ok, verdict.summary()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", PROMOTED,
+                         ids=[s.name for s in PROMOTED])
+def test_full_matrix_slow(scenario):
+    verdict = check_source(scenario.source, scenario.name,
+                           scenario.expected_stdout, slow=True)
+    assert verdict.ok, verdict.summary()
