@@ -72,9 +72,11 @@ def _add_level_argument(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--engine", choices=("compiled", "tree"), default="compiled",
-        help="execution engine: compiled (closure compiler, fast) or "
-             "tree (tree-walking reference interpreter)")
+        "--engine", choices=("source", "compiled", "tree"),
+        default="source",
+        help="execution engine: source (Python source codegen, "
+             "fastest), compiled (closure compiler), or tree "
+             "(tree-walking reference interpreter)")
 
 
 def _add_streams_argument(parser: argparse.ArgumentParser) -> None:
@@ -137,7 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd = commands.add_parser(
         "bench",
         help="with names: run workloads through all configurations; "
-             "with no names: tree-vs-compiled engine sweep")
+             "with no names: three-engine speedup sweep")
     bench_cmd.add_argument("workloads", nargs="*",
                            help="workload names (see 'list'); omit for "
                                 "the engine sweep")
@@ -147,7 +149,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "BENCH_streams.json with --streams)")
     bench_cmd.add_argument("--repeat", type=int, default=1,
                            help="engine sweep: timing runs per engine "
-                                "per workload (min is kept)")
+                                "per workload (the median is kept; "
+                                "min/max record the spread)")
     bench_cmd.add_argument("--streams", action="store_true",
                            help="serial-vs-overlapped sweep over all 24 "
                                 "workloads (writes BENCH_streams.json)")
@@ -234,7 +237,7 @@ def _fault_plan(seed: Optional[int]):
 
 
 def _compile(path: str, level_name: str, record_events: bool = False,
-             engine: str = "compiled", streams: bool = False,
+             engine: str = "source", streams: bool = False,
              faults=None, heap_limit: Optional[int] = None):
     with open(path) as handle:
         source = handle.read()
@@ -344,7 +347,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_engine_bench(args: argparse.Namespace) -> int:
-    """Tree-vs-compiled sweep over all 24 workloads."""
+    """Three-engine sweep over all 24 workloads."""
     from .evaluation.bench import run_engine_bench
 
     def progress(comparison):

@@ -47,11 +47,12 @@ class CgcmConfig:
     #: Arm the communication sanitizer for executions; the resulting
     #: report lands on :attr:`ExecutionResult.sanitizer_report`.
     sanitize: bool = False
-    #: Execution engine for simulated runs: ``"compiled"`` (closure
-    #: compiler, the fast path) or ``"tree"`` (tree-walking reference
-    #: interpreter).  Both are observationally and clock-for-clock
-    #: identical; see ``repro.interp.codegen``.
-    engine: str = "compiled"
+    #: Execution engine for simulated runs: ``"source"`` (Python
+    #: source codegen, the fast path -- see ``repro.interp.srcgen``),
+    #: ``"compiled"`` (closure compiler), or ``"tree"`` (tree-walking
+    #: reference interpreter).  All three are observationally and
+    #: clock-for-clock identical.
+    engine: str = "source"
     #: Streams subsystem: run the comm-overlap transform (at
     #: ``OPTIMIZED``), execute launches/transfers asynchronously, and
     #: report overlap-aware elapsed time

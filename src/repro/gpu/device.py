@@ -20,7 +20,7 @@ from typing import Iterable
 
 from ..errors import (GpuError, GpuLaunchError, GpuOomError,
                       GpuTransferError, MemoryFault)
-from ..memory.flatmem import FlatMemory
+from ..memory.flatmem import FlatMemory, copy_across
 from ..memory.heap import Heap
 from ..memory.layout import DEVICE_BASE, DEVICE_CAPACITY, GlobalLayout
 from .faults import FaultInjector
@@ -273,6 +273,46 @@ class GpuDevice:
         if self.observers:
             self._notify(DriverEvent.DTOH, device_address, size)
         return data
+
+    def memcpy_htod_from(self, device_address: int, host_memory,
+                         host_address: int, size: int) -> None:
+        """``cuMemcpyHtoD`` straight out of a host address space.
+
+        Identical semantics (and modelled cost) to
+        :meth:`memcpy_htod`, but the bytes move segment-to-segment via
+        :func:`~repro.memory.flatmem.copy_across` -- one slice
+        assignment instead of materializing an intermediate ``bytes``
+        payload on the host side.
+        """
+        if self.fault_injector is not None:
+            self._maybe_transfer_fault("htod", device_address, size)
+        copy_across(host_memory, host_address,
+                    self.memory, device_address, size)
+        self.clock.advance(LANE_COMM,
+                           self.clock.model.transfer_time(size),
+                           f"HtoD {size}B")
+        self.clock.count("htod_copies")
+        self.clock.count("htod_bytes", size)
+        if self.observers:
+            self._notify(DriverEvent.HTOD, device_address, size)
+
+    def memcpy_dtoh_into(self, device_address: int, size: int,
+                         host_memory, host_address: int) -> None:
+        """``cuMemcpyDtoH`` straight into a host address space.
+
+        Identical semantics (and modelled cost) to
+        :meth:`memcpy_dtoh`, minus the staging ``bytes`` object.
+        """
+        if self.fault_injector is not None:
+            self._maybe_transfer_fault("dtoh", device_address, size)
+        copy_across(self.memory, device_address,
+                    host_memory, host_address, size)
+        self.clock.advance(LANE_COMM, self.clock.model.transfer_time(size),
+                           f"DtoH {size}B")
+        self.clock.count("dtoh_copies")
+        self.clock.count("dtoh_bytes", size)
+        if self.observers:
+            self._notify(DriverEvent.DTOH, device_address, size)
 
     def memcpy_htod_async(self, device_address: int, data: bytes,
                           stream: str = STREAM_H2D,

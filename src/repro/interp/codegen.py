@@ -306,6 +306,45 @@ def _int_params(type_) -> Tuple[int, int, int]:
     return mask, type_.max_value, 1 << type_.bits
 
 
+def check_definitions(fn: Function) -> None:
+    """Reject (reachable) uses not dominated by their definition.
+
+    The tree-walker discovers such reads at run time and raises
+    :class:`InterpError`; both ahead-of-time engines (closure and
+    source) call this up front so a malformed function can never
+    start executing half-compiled.
+    """
+    reachable = set(reverse_postorder(fn))
+    dom = DominatorTree(fn)
+    positions: Dict[Instruction, Tuple[object, int]] = {}
+    for block in fn.blocks:
+        for index, inst in enumerate(block.instructions):
+            positions[inst] = (block, index)
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        for index, inst in enumerate(block.instructions):
+            for operand in inst.operands:
+                if not isinstance(operand, Instruction):
+                    continue
+                defined = positions.get(operand)
+                if defined is None:
+                    raise InterpError(
+                        f"@{fn.name}/{block.name}: read of undefined "
+                        f"register {operand.ref} (defined in another "
+                        "function)")
+                def_block, def_index = defined
+                if def_block is block:
+                    ok = def_index < index
+                else:
+                    ok = dom.dominates(def_block, block)
+                if not ok:
+                    raise InterpError(
+                        f"@{fn.name}/{block.name}: read of register "
+                        f"{operand.ref} whose definition does not "
+                        "dominate the use (undefined on some path)")
+
+
 def _make_int_add(R, d, a, b, mask, hi, span):
     def op():
         v = (R[a] + R[b]) & mask
@@ -654,42 +693,7 @@ class _Compiler:
                         "constant, global, or local definition")
 
     def _check_definitions(self) -> None:
-        """Reject (reachable) uses not dominated by their definition.
-
-        The tree-walker discovers such reads at run time and raises
-        :class:`InterpError`; compilation detects them up front so a
-        malformed function can never start executing half-compiled.
-        """
-        fn = self.fn
-        reachable = set(reverse_postorder(fn))
-        dom = DominatorTree(fn)
-        positions: Dict[Instruction, Tuple[object, int]] = {}
-        for block in fn.blocks:
-            for index, inst in enumerate(block.instructions):
-                positions[inst] = (block, index)
-        for block in fn.blocks:
-            if block not in reachable:
-                continue
-            for index, inst in enumerate(block.instructions):
-                for operand in inst.operands:
-                    if not isinstance(operand, Instruction):
-                        continue
-                    defined = positions.get(operand)
-                    if defined is None:
-                        raise InterpError(
-                            f"@{fn.name}/{block.name}: read of undefined "
-                            f"register {operand.ref} (defined in another "
-                            "function)")
-                    def_block, def_index = defined
-                    if def_block is block:
-                        ok = def_index < index
-                    else:
-                        ok = dom.dominates(def_block, block)
-                    if not ok:
-                        raise InterpError(
-                            f"@{fn.name}/{block.name}: read of register "
-                            f"{operand.ref} whose definition does not "
-                            "dominate the use (undefined on some path)")
+        check_definitions(self.fn)
 
     # -- per-instruction translation ---------------------------------------
 

@@ -11,22 +11,30 @@ Address spaces are strictly separate: kernels cannot touch host
 memory, host code cannot touch device memory, and kernels may not
 store pointers (a documented CGCM restriction).
 
-Two execution engines share this machine model:
+Three execution engines share this machine model:
 
 * ``engine="tree"`` -- the tree-walking interpreter in
   :meth:`Machine._execute`: the reference semantics.
 * ``engine="compiled"`` -- the closure compiler in
   :mod:`repro.interp.codegen`: each function is translated once into
   flat per-block lists of zero-argument closures and cached on the
-  machine.  It must be observationally *and* clock-for-clock
-  indistinguishable from the tree-walker (see
-  ``tests/interp/test_engine_equivalence.py``).
+  machine.
+* ``engine="source"`` -- the source compiler in
+  :mod:`repro.interp.srcgen`: each function is emitted as real Python
+  source (registers as locals, blocks as a ``while``-dispatched jump
+  table, typed-memoryview loads/stores), ``compile()``-d, and cached
+  on the machine.
+
+Both ahead-of-time engines must be observationally *and*
+clock-for-clock indistinguishable from the tree-walker (see
+``tests/interp/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import math
 import struct
+import weakref
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import CgcmUnsupportedError, InterpError
@@ -58,7 +66,7 @@ _DIV_EXTRA = 8
 MAX_CALL_DEPTH = 256
 
 #: Engines :class:`Machine` can execute IR with.
-ENGINES = ("tree", "compiled")
+ENGINES = ("tree", "compiled", "source")
 
 _F32_STRUCT = struct.Struct("<f")
 
@@ -70,9 +78,38 @@ class Frame:
 
     def __init__(self, function: Function, frame_id: int, sp_base: int):
         self.function = function
-        self.regs: Dict[Value, Union[int, float]] = {}
+        #: Register file; materialized by the tree-walker only (the
+        #: ahead-of-time engines keep registers in Python locals).
+        self.regs: Optional[Dict[Value, Union[int, float]]] = None
         self.sp_base = sp_base
         self.frame_id = frame_id
+
+
+#: Memoized :func:`needs_frame` verdicts (weak: fuzz corpora churn
+#: through throwaway functions).
+_NEEDS_FRAME: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def needs_frame(fn: Function) -> bool:
+    """Whether activations of ``fn`` can touch their own frame.
+
+    Only stack allocation reads the current frame: ``alloca``
+    instructions register into it, and the ``declareAlloca`` runtime
+    entry point resolves ``Machine.current_frame``.  Everything else
+    -- including nested calls, which push their own frames -- is
+    frame-oblivious, so the ahead-of-time engines skip the frame
+    push/pop (but not the frame-id sequencing or the exit-hook
+    sweep) for functions without either.
+    """
+    cached = _NEEDS_FRAME.get(fn)
+    if cached is None:
+        cached = any(
+            isinstance(inst, Alloca)
+            or (isinstance(inst, Call) and inst.callee.is_declaration
+                and inst.callee.name == "declareAlloca")
+            for inst in fn.instructions())
+        _NEEDS_FRAME[fn] = cached
+    return cached
 
 
 class Machine:
@@ -222,7 +259,7 @@ class Machine:
             raise InterpError(f"call depth exceeded at @{fn.name}")
         mode = self._mode
         code = None
-        if self.engine == "compiled" and (mode == "cpu" or mode == "gpu"):
+        if self.engine != "tree" and (mode == "cpu" or mode == "gpu"):
             code = self.compiled_for(fn)
         self._depth += 1
         sp_base = self._gpu_sp if mode == "gpu" else self._cpu_sp
@@ -232,6 +269,7 @@ class Machine:
         try:
             if code is not None:
                 return code(args)
+            frame.regs = {}
             for formal, actual in zip(fn.args, args):
                 frame.regs[formal] = actual
             return self._execute(frame)
@@ -248,17 +286,27 @@ class Machine:
     def compiled_for(self, fn: Function):
         """The cached compiled variant of ``fn`` for the current mode.
 
-        Variants are keyed by (function, mode, hooks-armed): globals
-        resolve to different addresses per address space, and armed
-        ``mem_hooks`` select hook-calling load/store closures so the
+        Variants are keyed by (function, mode, armed hook *set*):
+        globals resolve to different addresses per address space, and
+        armed ``mem_hooks`` select hook-calling load/store code so the
         sanitizer observes exactly what the tree-walker would show it.
+        Keying by the hook set's identity (not just "any hooks?")
+        guarantees a body compiled while one combination of
+        sanitizer/fault/trace hooks was armed is never reused under a
+        different combination -- and an unhooked body is never reused
+        once hooks arm.
         """
-        key = (fn, self._mode, bool(self.mem_hooks))
+        key = (fn, self._mode, tuple(self.mem_hooks))
         code = self._compiled.get(key)
         if code is None:
-            from .codegen import compile_function
-            code = compile_function(self, fn, self._mode,
-                                    bool(self.mem_hooks))
+            hooked = bool(self.mem_hooks)
+            if self.engine == "source":
+                from .srcgen import compile_function_source
+                code = compile_function_source(self, fn, self._mode,
+                                               hooked)
+            else:
+                from .codegen import compile_function
+                code = compile_function(self, fn, self._mode, hooked)
             self._compiled[key] = code
         return code
 
@@ -565,12 +613,15 @@ class Machine:
         total_ops = 0
         max_ops = 0
         try:
-            for tid in range(grid):
-                before = self._gpu_ops
-                self.call(kernel, [tid] + args)
-                thread_ops = self._gpu_ops - before
-                if thread_ops > max_ops:
-                    max_ops = thread_ops
+            if self.engine != "tree" and not kernel.is_declaration:
+                max_ops = self._run_grid_compiled(kernel, grid, args)
+            else:
+                for tid in range(grid):
+                    before = self._gpu_ops
+                    self.call(kernel, [tid] + args)
+                    thread_ops = self._gpu_ops - before
+                    if thread_ops > max_ops:
+                        max_ops = thread_ops
             total_ops = self._gpu_ops
         finally:
             self.mode = previous_mode
@@ -596,6 +647,75 @@ class Machine:
             LANE_GPU, duration, STREAM_COMPUTE, f"{kernel.name}[{grid}]",
             after=(clock.stream_cursor(STREAM_H2D),
                    clock.stream_cursor(STREAM_D2H)))
+
+    def _run_grid_compiled(self, kernel: Function, grid: int,
+                           args: List[Union[int, float]]) -> int:
+        """Per-thread kernel loop for the ahead-of-time engines.
+
+        Inlines the compiled-code path of :meth:`call` -- the
+        per-thread bookkeeping (depth, stack pointer, frame,
+        ``frame_exit_hooks``) is identical, but the callee
+        resolution, arity check, and depth test hoist out of the
+        loop.  The compiled body is re-resolved if the armed hook
+        set changes mid-grid, matching what per-thread
+        :meth:`compiled_for` lookups would select.  Returns the
+        max per-thread op count for the GPU time model.
+        """
+        if len(args) + 1 != len(kernel.args):
+            raise InterpError(f"@{kernel.name}: expected "
+                              f"{len(kernel.args)} args, got "
+                              f"{len(args) + 1}")
+        if self._depth >= MAX_CALL_DEPTH:
+            raise InterpError(f"call depth exceeded at @{kernel.name}")
+        code = self.compiled_for(kernel)
+        snapshot = list(self.mem_hooks)
+        stack = self._frame_stack
+        frame_type = Frame
+        framed = needs_frame(kernel)
+        # Threads run sequentially and each restores the stack
+        # pointer, so the save/restore base is loop-invariant; the
+        # argument list is reused because the emitted prologue
+        # unpacks it into locals before any nested call can run.
+        sp_base = self._gpu_sp
+        argv = [0] + args
+        max_ops = 0
+        self._depth += 1
+        try:
+            for tid in range(grid):
+                before = self._gpu_ops
+                if self.mem_hooks != snapshot:
+                    code = self.compiled_for(kernel)
+                    snapshot = list(self.mem_hooks)
+                self._frame_counter += 1
+                if framed:
+                    frame = frame_type(kernel, self._frame_counter,
+                                       sp_base)
+                    stack.append(frame)
+                    argv[0] = tid
+                    try:
+                        code(argv)
+                    finally:
+                        self._gpu_sp = sp_base
+                        stack.pop()
+                        for hook in self.frame_exit_hooks:
+                            hook(self, frame.frame_id)
+                else:
+                    # Frame-oblivious kernel: keep the frame-id
+                    # sequencing and the exit-hook sweep, skip the
+                    # frame object and stack-pointer churn.
+                    fid = self._frame_counter
+                    argv[0] = tid
+                    try:
+                        code(argv)
+                    finally:
+                        for hook in self.frame_exit_hooks:
+                            hook(self, fid)
+                thread_ops = self._gpu_ops - before
+                if thread_ops > max_ops:
+                    max_ops = thread_ops
+        finally:
+            self._depth -= 1
+        return max_ops
 
 
 def _trunc_div_int(lhs: int, rhs: int) -> int:

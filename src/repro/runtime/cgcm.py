@@ -375,8 +375,7 @@ class CgcmRuntime:
                 info.resident = True
             self.machine.flush_cpu()
             if info.resident:
-                data = self.machine.cpu_memory.read(info.base, info.size)
-                self._htod(info.device_ptr, data)
+                self._htod_from(info.device_ptr, info.base, info.size)
             info.epoch = self.global_epoch
             info.needs_refresh = False
             self._track_device(info)
@@ -410,8 +409,7 @@ class CgcmRuntime:
             raise CgcmRuntimeError(
                 f"unmap of {ptr:#x}: allocation unit has no device copy")
         self.machine.flush_cpu()
-        data = self._dtoh(info.device_ptr, info.size)
-        self.machine.cpu_memory.write(info.base, data)
+        self._dtoh_into(info.device_ptr, info.size, info.base)
         info.epoch = self.global_epoch
         if self.op_hooks:
             self._notify("post", "unmap", ptr, info)
@@ -447,9 +445,8 @@ class CgcmRuntime:
     # -- array (doubly indirect) variants ----------------------------------------
 
     def _read_pointer_array(self, info: AllocationInfo) -> List[int]:
-        count = info.size // 8
-        data = self.machine.cpu_memory.read(info.base, count * 8)
-        return list(struct.unpack(f"<{count}Q", data))
+        return self.machine.cpu_memory.read_u64_array(
+            info.base, info.size // 8)
 
     def map_array(self, ptr: int) -> int:
         info = self.lookup(ptr)
@@ -585,6 +582,54 @@ class CgcmRuntime:
                     raise
                 self._backoff(LANE_COMM)
 
+    def _htod_from(self, device_ptr: int, host_address: int,
+                   size: int) -> None:
+        """Whole-unit host-to-device copy, segment to segment.
+
+        :meth:`_htod` without the staging ``bytes``: the serial
+        map/restore/refresh transfers always move one contiguous
+        unit, so the payload slices straight across the two address
+        spaces.  Same bounded retry."""
+        device = self.device
+        host_memory = self.machine.cpu_memory
+        if device.fault_injector is None:
+            device.memcpy_htod_from(device_ptr, host_memory,
+                                    host_address, size)
+            return
+        attempts = 0
+        while True:
+            try:
+                device.memcpy_htod_from(device_ptr, host_memory,
+                                        host_address, size)
+                return
+            except GpuTransferError:
+                attempts += 1
+                if attempts > MAX_FAULT_RETRIES:
+                    raise
+                self._backoff(LANE_COMM)
+
+    def _dtoh_into(self, device_ptr: int, size: int,
+                   host_address: int) -> None:
+        """Whole-unit device-to-host write-back, segment to segment
+        (:meth:`_dtoh` without the staging ``bytes``)."""
+        device = self.device
+        host_memory = self.machine.cpu_memory
+        if device.fault_injector is None:
+            device.memcpy_dtoh_into(device_ptr, size, host_memory,
+                                    host_address)
+            return
+        attempts = 0
+        while True:
+            try:
+                device.memcpy_dtoh_into(device_ptr, size, host_memory,
+                                        host_address)
+                return
+            except GpuTransferError:
+                attempts += 1
+                if attempts > MAX_FAULT_RETRIES:
+                    raise
+                self._backoff(LANE_COMM)
+
     def _alloc_device(self, info: AllocationInfo) -> bool:
         """Get device memory for a freshly mapped unit, resiliently.
 
@@ -642,8 +687,7 @@ class CgcmRuntime:
         if (not info.is_read_only and not info.is_array
                 and not info.needs_refresh
                 and info.epoch != self.global_epoch):
-            data = self._dtoh(info.device_ptr, info.size)
-            self.machine.cpu_memory.write(info.base, data)
+            self._dtoh_into(info.device_ptr, info.size, info.base)
             info.epoch = self.global_epoch
         self.device.mem_free(info.device_ptr)
         info.resident = False
@@ -677,10 +721,9 @@ class CgcmRuntime:
             self._notify("pre", "restore", info.base, info)
         self.machine.flush_cpu()
         if info.is_array:
-            payload = self._array_payload(info)
+            self._htod(info.device_ptr, self._array_payload(info))
         else:
-            payload = self.machine.cpu_memory.read(info.base, info.size)
-        self._htod(info.device_ptr, payload)
+            self._htod_from(info.device_ptr, info.base, info.size)
         info.resident = True
         info.epoch = self.global_epoch
         info.needs_refresh = False
@@ -696,10 +739,9 @@ class CgcmRuntime:
             self._notify("pre", "refresh", info.base, info)
         self.machine.flush_cpu()
         if info.is_array:
-            payload = self._array_payload(info)
+            self._htod(info.device_ptr, self._array_payload(info))
         else:
-            payload = self.machine.cpu_memory.read(info.base, info.size)
-        self._htod(info.device_ptr, payload)
+            self._htod_from(info.device_ptr, info.base, info.size)
         info.epoch = self.global_epoch
         info.needs_refresh = False
         self.machine.clock.count("device_refreshes")
@@ -858,8 +900,7 @@ class CgcmRuntime:
                     and info.epoch != self.global_epoch):
                 if self.op_hooks:
                     self._notify("pre", "flush", info.base, info)
-                data = self._dtoh(info.device_ptr, info.size)
-                self.machine.cpu_memory.write(info.base, data)
+                self._dtoh_into(info.device_ptr, info.size, info.base)
                 info.epoch = self.global_epoch
                 if self.op_hooks:
                     self._notify("post", "flush", info.base, info)

@@ -11,8 +11,9 @@ oracle     sequential run reproduces the pure-Python CPU reference
            stdout exactly, and exits 0
 levels     sequential == unoptimized == optimized observables,
            byte for byte
-engines    tree-walker == compiled engine: observables *and* modelled
-           clocks (cpu/gpu/comm/critical-path/instructions) identical
+engines    tree-walker == compiled == source engines: observables
+           *and* modelled clocks (cpu/gpu/comm/critical-path/
+           instructions) identical
 streams    streams-on == streams-off observables
 sanitizer  CPU-vs-GPU differential run is byte-identical and the
            communication sanitizer reports zero violations
@@ -146,20 +147,23 @@ def check_source(source: str, name: str = "scenario",
 
     def check_engines() -> Optional[str]:
         tree = optimized.run(engine="tree")
-        compiled = optimized.run(engine="compiled")
-        if tree.observable() != compiled.observable():
-            return _diff("tree vs compiled observables",
-                         tree.observable(), compiled.observable())
-        if _clocks(tree) != _clocks(compiled):
-            return _diff("tree vs compiled clocks", _clocks(tree),
-                         _clocks(compiled))
+        for engine in ("compiled", "source"):
+            other = optimized.run(engine=engine)
+            if tree.observable() != other.observable():
+                return _diff(f"tree vs {engine} observables",
+                             tree.observable(), other.observable())
+            if _clocks(tree) != _clocks(other):
+                return _diff(f"tree vs {engine} clocks", _clocks(tree),
+                             _clocks(other))
         if slow:
             unopt = compile_workload(
                 source, CgcmConfig(opt_level=OptLevel.UNOPTIMIZED), name)
             t = unopt.run(engine="tree")
-            c = unopt.run(engine="compiled")
-            if t.observable() != c.observable() or _clocks(t) != _clocks(c):
-                return "tree vs compiled diverged at unoptimized"
+            for engine in ("compiled", "source"):
+                o = unopt.run(engine=engine)
+                if t.observable() != o.observable() \
+                        or _clocks(t) != _clocks(o):
+                    return f"tree vs {engine} diverged at unoptimized"
         return None
 
     def check_streams() -> Optional[str]:

@@ -1,9 +1,11 @@
-"""Engine equivalence: tree-walker and closure compiler must agree.
+"""Engine equivalence: all three engines must agree with the tree.
 
-The compiled engine exists only for speed; any observable difference
--- stdout, exit code, final global bytes, dynamic instruction count,
-or a single bit of any simulated-clock lane -- is a bug.  The fast
-subset runs in tier-1; the full 24-workload sweep is ``slow``.
+The compiled engines (closure and source codegen) exist only for
+speed; any observable difference -- stdout, exit code, final global
+bytes, dynamic instruction count, or a single bit of any
+simulated-clock lane -- is a bug.  The fast subset runs in tier-1;
+the full 24-workload sweep and the 25-program fuzz corpus are
+``slow``.
 """
 
 import pytest
@@ -15,13 +17,16 @@ from repro.workloads import ALL_WORKLOADS, get_workload, workload_names
 #: Small-but-diverse tier-1 subset (int, float, multi-kernel, glue).
 FAST_WORKLOADS = ("atax", "nw", "kmeans", "blackscholes")
 
+#: Engines held to the tree-walker oracle.
+FAST_ENGINES = ("compiled", "source")
 
-def both_engines(name: str, level: OptLevel):
+
+def engine_results(name: str, level: OptLevel):
     workload = get_workload(name)
     compiler = CgcmCompiler(CgcmConfig(opt_level=level))
     report = compiler.compile_source(workload.source, workload.name)
-    return (compiler.execute(report, engine="tree"),
-            compiler.execute(report, engine="compiled"))
+    return {engine: compiler.execute(report, engine=engine)
+            for engine in ("tree",) + FAST_ENGINES}
 
 
 @pytest.mark.parametrize("name", FAST_WORKLOADS)
@@ -29,29 +34,57 @@ def both_engines(name: str, level: OptLevel):
                          [OptLevel.SEQUENTIAL, OptLevel.OPTIMIZED],
                          ids=lambda l: l.value)
 def test_engines_identical_fast(name, level):
-    tree, compiled = both_engines(name, level)
-    assert compare_engines(tree, compiled) == ()
+    results = engine_results(name, level)
+    for engine in FAST_ENGINES:
+        assert compare_engines(results["tree"], results[engine]) == (), \
+            engine
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("name", workload_names())
 def test_engines_identical_all_workloads(name):
-    tree, compiled = both_engines(name, OptLevel.OPTIMIZED)
-    assert compare_engines(tree, compiled) == ()
+    results = engine_results(name, OptLevel.OPTIMIZED)
+    for engine in FAST_ENGINES:
+        assert compare_engines(results["tree"], results[engine]) == (), \
+            engine
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("name", workload_names())
 def test_engines_identical_unoptimized(name):
-    tree, compiled = both_engines(name, OptLevel.UNOPTIMIZED)
-    assert compare_engines(tree, compiled) == ()
+    results = engine_results(name, OptLevel.UNOPTIMIZED)
+    for engine in FAST_ENGINES:
+        assert compare_engines(results["tree"], results[engine]) == (), \
+            engine
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("index", range(25))
+def test_engines_identical_fuzz_corpus(index):
+    """25 generator programs, clock-for-clock across all engines.
+
+    The fuzz generator reaches IR shapes the workloads do not
+    (degenerate loops, dead blocks, deep conditional ladders), so it
+    exercises the source engine's block fusion and dispatch fallback
+    paths.
+    """
+    from repro.scenarios.generator import generate_program
+
+    program = generate_program(0, index)
+    compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED))
+    report = compiler.compile_source(program.source, program.name)
+    tree = compiler.execute(report, engine="tree")
+    for engine in FAST_ENGINES:
+        other = compiler.execute(report, engine=engine)
+        assert compare_engines(tree, other) == (), engine
 
 
 @pytest.mark.parametrize("name", ("atax", "kmeans"))
-def test_sanitizer_armed_subset(name):
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_sanitizer_armed_subset(name, engine):
     """Hook-compiled variants keep the sanitizer's view identical.
 
-    Both engines execute the *same* compiled module: recompiling per
+    All engines execute the *same* compiled module: recompiling per
     engine may legally reorder instructions, which shifts the int
     partition at clock flushes and the exact-float comparison with it.
     """
@@ -63,31 +96,30 @@ def test_sanitizer_armed_subset(name):
     compiler = CgcmCompiler(CgcmConfig(opt_level=OptLevel.OPTIMIZED))
     report = compiler.compile_source(workload.source, workload.name)
     runs = {}
-    for engine in ("tree", "compiled"):
+    for which in ("tree", engine):
         machine = Machine(report.module, compiler.config.cost_model,
-                          engine=engine)
+                          engine=which)
         runtime = CgcmRuntime(machine)
         sanitizer = CommSanitizer(machine, runtime)
         exit_code = machine.run()
         sanitizer_report = sanitizer.finish()
-        runs[engine] = (exit_code, list(machine.stdout),
-                        machine.clock.totals(),
-                        machine.executed_instructions,
-                        sanitizer_report)
-    tree, compiled = runs["tree"], runs["compiled"]
+        runs[which] = (exit_code, list(machine.stdout),
+                       machine.clock.totals(),
+                       machine.executed_instructions,
+                       sanitizer_report)
+    tree, other = runs["tree"], runs[engine]
     # Everything down to exact clock floats and sanitizer statistics.
-    assert tree[:4] == compiled[:4]
-    assert tree[4].clean and compiled[4].clean
-    assert tree[4].stats == compiled[4].stats
+    assert tree[:4] == other[:4]
+    assert tree[4].clean and other[4].clean
+    assert tree[4].stats == other[4].stats
     # The sanitizer saw real traffic, i.e. the hooks did fire.
     assert any(tree[4].stats.values())
 
-    # The full differential oracle stays clean under both engines.
+    # The full differential oracle stays clean under the fast engine.
     from repro.sanitizer import run_differential_workload
-    for engine in ("tree", "compiled"):
-        oracle = run_differential_workload(name, OptLevel.OPTIMIZED,
-                                           engine=engine)
-        assert oracle.ok, f"{engine}: {oracle.summary()}"
+    oracle = run_differential_workload(name, OptLevel.OPTIMIZED,
+                                       engine=engine)
+    assert oracle.ok, f"{engine}: {oracle.summary()}"
 
 
 def test_config_rejects_unknown_engine():
@@ -95,6 +127,6 @@ def test_config_rejects_unknown_engine():
         CgcmConfig(engine="jit")
 
 
-def test_default_engine_is_compiled():
-    assert CgcmConfig().engine == "compiled"
+def test_default_engine_is_source():
+    assert CgcmConfig().engine == "source"
     assert len(ALL_WORKLOADS) == 24
