@@ -4,14 +4,15 @@ Usage::
 
     python -m repro run program.c [--level optimized] [--streams]
     python -m repro run program.c [--faults SEED] [--heap-limit BYTES]
+    python -m repro run program.c [--validate]
     python -m repro emit-ir program.c [--level unoptimized] [--streams]
     python -m repro bench [<workload> ...] [--out BENCH_interp.json]
     python -m repro bench --streams [--out BENCH_streams.json]
     python -m repro faultbench [<workload> ...] [--out BENCH_faults.json]
     python -m repro trace <workload-or-source> [--streams] [--out t.json]
     python -m repro sanitize <workload-or-source> [...] [--level opt]
-    python -m repro lint [<workload-or-source> ...] [--json] [--corpus]
-    python -m repro lint [--faults SEED]
+    python -m repro lint [<workload-or-source> ...] [--json] [--sarif]
+    python -m repro lint [--corpus] [--faults SEED] [--validate]
     python -m repro fuzz [--seed N] [--count M] [--slow] [--artifacts D]
     python -m repro list
 
@@ -27,9 +28,15 @@ byte-identical observables and reporting recovery counters
 (``BENCH_faults.json``); ``trace`` dumps one run's timeline as
 Chrome trace-event JSON for ``chrome://tracing``; ``sanitize`` runs
 the CPU-vs-GPU differential oracle with the communication sanitizer
-armed; ``lint`` runs the static communication verifier and DOALL race
-auditor over post-pipeline IR (``--corpus`` self-checks the
-seeded-defect corpus); ``list`` shows the 24 available workloads.
+armed; ``lint`` runs the static communication verifier, DOALL race
+auditor, and async happens-before auditor over post-pipeline IR
+(``--corpus`` self-checks the seeded-defect corpus, ``--sarif`` emits
+a SARIF 2.1.0 log); ``list`` shows the 24 available workloads.
+
+``--validate`` (on ``run``, ``lint``, and ``fuzz``) arms translation
+validation: after each optimize-stage pass the pipeline checks the
+pass's declared legality contract on the before/after IR pair and
+fails the compile on any violation.
 
 ``run --faults SEED`` arms deterministic driver-fault injection (the
 resilient runtime rides the faults out and must print the same
@@ -53,7 +60,7 @@ import sys
 from typing import List, Optional
 
 from .core import CgcmCompiler, CgcmConfig, OptLevel
-from .errors import ConfigError
+from .errors import ConfigError, TransformValidationError
 from .evaluation import run_benchmark
 from .interp.trace import render_schedule
 from .ir import module_to_str
@@ -94,6 +101,14 @@ def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
              "(the resilient runtime must ride the faults out)")
 
 
+def _add_validate_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="translation validation: check each optimize-stage "
+             "pass's legality contract on its before/after IR pair "
+             "and fail on any violation")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -111,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="BYTES",
                          help="cap the device heap to force eviction "
                               "and CPU-fallback launches")
+    _add_validate_argument(run_cmd)
     run_cmd.add_argument("--trace", action="store_true",
                          help="draw the execution schedule (Figure 2 "
                               "style)")
@@ -196,13 +212,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pipeline level to lint the post-pipeline IR of")
     lint_cmd.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit machine-readable findings as JSON")
+        help="emit machine-readable findings as JSON (deterministic "
+             "order, stable per-finding fingerprints)")
+    lint_cmd.add_argument(
+        "--sarif", action="store_true", dest="as_sarif",
+        help="emit findings as a SARIF 2.1.0 log (one run per module)")
     lint_cmd.add_argument(
         "--corpus", action="store_true",
         help="also self-check the seeded-defect corpus (every seeded "
              "bug must be flagged, every clean control must pass)")
     _add_streams_argument(lint_cmd)
     _add_faults_argument(lint_cmd)
+    _add_validate_argument(lint_cmd)
 
     fuzz_cmd = commands.add_parser(
         "fuzz",
@@ -222,6 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                "the JSON report) into this directory")
     fuzz_cmd.add_argument("--no-minimize", action="store_true",
                           help="skip counterexample minimization")
+    _add_validate_argument(fuzz_cmd)
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
@@ -238,13 +260,15 @@ def _fault_plan(seed: Optional[int]):
 
 def _compile(path: str, level_name: str, record_events: bool = False,
              engine: str = "source", streams: bool = False,
-             faults=None, heap_limit: Optional[int] = None):
+             faults=None, heap_limit: Optional[int] = None,
+             validate: bool = False):
     with open(path) as handle:
         source = handle.read()
     config = CgcmConfig(opt_level=_LEVELS[level_name],
                         record_events=record_events, engine=engine,
                         streams=streams, faults=faults,
-                        device_heap_limit=heap_limit)
+                        device_heap_limit=heap_limit,
+                        validate=validate)
     compiler = CgcmCompiler(config)
     report = compiler.compile_source(source, path)
     return compiler, report
@@ -254,7 +278,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     compiler, report = _compile(args.source, args.level, args.trace,
                                 args.engine, args.streams,
                                 faults=_fault_plan(args.faults),
-                                heap_limit=args.heap_limit)
+                                heap_limit=args.heap_limit,
+                                validate=args.validate)
     result = compiler.execute(report)
     for line in result.stdout:
         print(line)
@@ -437,7 +462,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from .staticcheck import check_corpus, lint_source, lint_workload
+    from .staticcheck import (check_corpus, lint_source, lint_workload,
+                              sarif_document)
 
     level = _LEVELS[args.level]
     targets: List[str] = []
@@ -457,17 +483,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 source = handle.read()
             reports.append(lint_source(source, target, level,
                                        streams=args.streams,
-                                       faults=faults))
+                                       faults=faults,
+                                       validate=args.validate))
         else:
             reports.append(lint_workload(get_workload(target), level,
                                          streams=args.streams,
-                                         faults=faults))
+                                         faults=faults,
+                                         validate=args.validate))
 
     corpus_results = check_corpus() if args.corpus else []
     corpus_misses = [r for r in corpus_results if not r.caught]
     failures = [r for r in reports if not r.clean]
 
-    if args.as_json:
+    if args.as_sarif:
+        document = sarif_document(reports)
+        print(json.dumps(document, indent=2))
+    elif args.as_json:
         payload = {"reports": [r.to_json() for r in reports]}
         if args.corpus:
             payload["corpus"] = [
@@ -507,7 +538,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     report = run_fuzz(args.seed, args.count, slow=args.slow,
                       progress=progress,
-                      minimize=not args.no_minimize)
+                      minimize=not args.no_minimize,
+                      validate=args.validate)
     print(report.render())
     if args.artifacts:
         os.makedirs(args.artifacts, exist_ok=True)
@@ -550,6 +582,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "lint": _cmd_lint, "fuzz": _cmd_fuzz, "list": _cmd_list}
     try:
         return handlers[args.command](args)
+    except TransformValidationError as exc:
+        for finding in exc.findings:
+            print(finding.render(), file=sys.stderr)
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     except ConfigError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,568 @@
+"""Static happens-before facts over the asynchronous streams IR.
+
+The comm-overlap transform (``transforms/comm_overlap``) rewrites
+map/unmap calls into their asynchronous twins: an ``mapAsync`` issues
+an HtoD copy on the upload stream, an ``unmapAsync`` issues a DtoH
+write-back on the download stream ordered after the latest compute
+work, and a ``cgcmSync`` is the host barrier that drains the download
+stream.  The *scheduler* (``gpu/timing.SimClock``) defines the real
+ordering semantics; this module rebuilds the same relation statically:
+
+* **host program order** -- every IR instruction *issues* in program
+  order on the host;
+* **per-stream FIFO** -- operations on one stream complete in issue
+  order;
+* **event edges** -- a write-back waits on the compute event recorded
+  at its issue (so launches happen-before later write-backs), an async
+  upload waits on a pending write-back of its own unit
+  (``_writeback_deps``), and a launch waits on both copy cursors (so
+  every copy issued before a launch happens-before it);
+* **barriers** -- ``cgcmSync`` happens-after every write-back issued
+  before it.
+
+Two views are provided:
+
+:class:`HappensBeforeProblem`
+    A forward dataflow over *pending asynchronous tokens*: which
+    allocation units have an un-fenced write-back or upload in flight
+    at each program point.  This is the engine behind the
+    ``staticcheck/hbcheck`` auditor; it is interprocedural via
+    :class:`HBSummary` records replayed at call sites
+    (``staticcheck.mapstate`` style).
+
+:func:`build_hb_graph`
+    An explicit must-happens-before graph (issue and completion nodes,
+    edges derived from the four rules above, with dominance standing
+    in for host program order across blocks).  Sound but not complete:
+    ``ordered(a, b)`` answering True is a proof; answering False only
+    means no proof was found.  Used by tests to cross-validate the
+    dataflow checker and by documentation as the reference relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import (Alloca, Call, Instruction, LaunchKernel,
+                               Load, Store)
+from ..ir.values import Argument, Constant, GlobalVariable
+from ..runtime.api import ENTRY_POINTS, EntryOp, MAP_FUNCTIONS, UnitKind
+from . import dataflow
+from .alias import (UNKNOWN, Root, ordered_roots, underlying_objects)
+from .dominators import DominatorTree
+from .modref import ModRefAnalysis
+
+
+def async_op_kind(name: str) -> Optional[str]:
+    """``"h2d"`` / ``"d2h"`` / ``"sync"`` for stream operations, else
+    None.  Derived from the runtime-API registry, never from literal
+    name tables."""
+    ep = ENTRY_POINTS.get(name)
+    if ep is None:
+        return None
+    if ep.op is EntryOp.SYNC:
+        return "sync"
+    if not ep.is_async:
+        return None
+    if ep.op is EntryOp.MAP:
+        return "h2d"
+    if ep.op is EntryOp.UNMAP:
+        return "d2h"
+    return None
+
+
+def _trackable(root: Root) -> bool:
+    """Host allocation units the analysis keeps state for."""
+    if root is UNKNOWN or isinstance(root, str) \
+            or isinstance(root, Constant):
+        return False
+    if isinstance(root, Call):
+        return root.callee.name not in MAP_FUNCTIONS  # device pointers
+    return isinstance(root, (GlobalVariable, Alloca, Argument))
+
+
+# ---------------------------------------------------------------------------
+# Pending-token dataflow
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AsyncUnitState:
+    """Pending asynchronous operations of one allocation unit."""
+
+    #: An async write-back (DtoH) was issued and no host barrier has
+    #: retired it: host reads/writes of the unit are unordered against
+    #: the in-flight copy.
+    wb_pending: bool = False
+    #: The write-back's unit resolution was not a single identified
+    #: root (weak update): hazards report as notes, not errors.
+    wb_weak: bool = False
+    #: The pending write-back crossed a call boundary (issued by a
+    #: callee, or survived an unanalyzable call): only the run-time
+    #: guard orders it, so hazards report as notes.
+    wb_foreign: bool = False
+    #: An async upload (HtoD) was issued on *some* path and no kernel
+    #: launch has fenced it: a write-back issued now would read the
+    #: device range the upload is still writing.
+    h2d_pending: bool = False
+    #: The upload is pending on *every* path (join is AND): a race
+    #: against it is certain, not path-dependent -- required for an
+    #: error-severity report under the precision contract.
+    h2d_must: bool = False
+    #: Upload unit resolution was weak.
+    h2d_weak: bool = False
+
+    @property
+    def any_wb(self) -> bool:
+        return self.wb_pending or self.wb_foreign
+
+    @property
+    def empty(self) -> bool:
+        return self == _UNIT_DEFAULT
+
+
+_UNIT_DEFAULT = AsyncUnitState()
+
+
+def _join_unit(a: AsyncUnitState, b: AsyncUnitState) -> AsyncUnitState:
+    if a == b:
+        return a
+    return AsyncUnitState(
+        wb_pending=a.wb_pending or b.wb_pending,
+        wb_weak=a.wb_weak or b.wb_weak,
+        wb_foreign=a.wb_foreign or b.wb_foreign,
+        h2d_pending=a.h2d_pending or b.h2d_pending,
+        h2d_must=a.h2d_must and b.h2d_must,
+        h2d_weak=a.h2d_weak or b.h2d_weak,
+    )
+
+
+@dataclass
+class HBState:
+    """Dataflow state: pending tokens per unit plus path facts."""
+
+    #: Only non-default unit states are stored.
+    units: Dict[Root, AsyncUnitState] = field(default_factory=dict)
+    #: Some async write-back was issued on *some* path to here (the
+    #: download stream's completion event has been recorded at least
+    #: once) -- a barrier with this False waits on nothing that was
+    #: ever recorded.
+    recorded: bool = False
+    #: A full write-back barrier executed on *every* path since entry
+    #: (must-fact: join is AND); exported as the summary's must_fence.
+    fenced: bool = False
+    #: An unanalyzable (recursive / summary-less) call happened: sync
+    #: liveness warnings are suppressed downstream.
+    tainted: bool = False
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HBState)
+                and self.units == other.units
+                and self.recorded == other.recorded
+                and self.fenced == other.fenced
+                and self.tainted == other.tainted)
+
+
+@dataclass
+class HBSummary:
+    """Externally visible asynchronous effect of one function."""
+
+    #: Module-visible units that may have a pending write-back when the
+    #: function returns (argument roots are callee-side; call sites
+    #: translate them to actuals).
+    pending_exit: Tuple[Root, ...]
+    #: Every path through the function executes a write-back barrier.
+    must_fence: bool
+    #: The function may issue an async write-back.
+    recorded: bool
+    #: The function may launch a kernel (fences pending uploads).
+    any_launch: bool
+    #: The summary is incomplete (unanalyzable calls inside).
+    tainted: bool
+
+
+class HappensBeforeProblem(dataflow.DataflowProblem):
+    """Forward pending-token dataflow for one function.
+
+    ``modref`` decides what counts as a host *touch* of a pending unit
+    -- the exact same oracle the comm-overlap transform uses to place
+    its ``cgcmSync`` calls, so transform and checker can never drift.
+    ``coverage`` maps pointer-array units to their element units
+    (``CheckContext.coverage``); ``summaries`` maps defined functions
+    to :class:`HBSummary` records (filled bottom-up by the driver).
+    """
+
+    direction = "forward"
+
+    def __init__(self, fn: Function, modref: ModRefAnalysis,
+                 coverage: Dict[Root, FrozenSet[Root]],
+                 summaries: Dict[Function, object]):
+        self.fn = fn
+        self.modref = modref
+        self.coverage = coverage
+        self.summaries = summaries
+
+    # -- lattice -----------------------------------------------------------
+
+    def boundary_state(self, fn: Function) -> HBState:
+        return HBState()
+
+    def initial_state(self, fn: Function) -> HBState:
+        return HBState()
+
+    def join(self, states: List[HBState]) -> HBState:
+        result = HBState(units=dict(states[0].units),
+                         recorded=states[0].recorded,
+                         fenced=states[0].fenced,
+                         tainted=states[0].tainted)
+        for other in states[1:]:
+            for root in set(result.units) | set(other.units):
+                a = result.units.get(root, _UNIT_DEFAULT)
+                b = other.units.get(root, _UNIT_DEFAULT)
+                joined = _join_unit(a, b)
+                if joined.empty:
+                    result.units.pop(root, None)
+                else:
+                    result.units[root] = joined
+            result.recorded = result.recorded or other.recorded
+            result.fenced = result.fenced and other.fenced
+            result.tainted = result.tainted or other.tainted
+        return result
+
+    # -- helpers -----------------------------------------------------------
+
+    def _get(self, state: HBState, root: Root) -> AsyncUnitState:
+        return state.units.get(root, _UNIT_DEFAULT)
+
+    def _set(self, state: HBState, root: Root,
+             unit: AsyncUnitState) -> HBState:
+        units = dict(state.units)
+        if unit.empty:
+            units.pop(root, None)
+        else:
+            units[root] = unit
+        return HBState(units, state.recorded, state.fenced, state.tainted)
+
+    def unit_roots(self, value) -> Tuple[List[Root], bool]:
+        """(trackable roots, strong) of a runtime-call unit operand."""
+        roots = [r for r in ordered_roots(underlying_objects(value))
+                 if _trackable(r)]
+        return roots, len(roots) == 1
+
+    def _element_roots(self, call: Call) -> List[Root]:
+        out: List[Root] = []
+        for unit in ordered_roots(underlying_objects(call.args[0])):
+            for element in ordered_roots(self.coverage.get(unit) or ()):
+                if _trackable(element) and element not in out:
+                    out.append(element)
+        return out
+
+    def touched_roots(self, inst: Instruction,
+                      state: HBState) -> List[Root]:
+        """Pending units ``inst`` may touch, per the mod/ref oracle."""
+        touched = []
+        for root in ordered_roots(state.units):
+            mod, ref = self.modref.instruction_mod_ref(inst, root)
+            if mod or ref:
+                touched.append(root)
+        return touched
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer_instruction(self, inst: Instruction,
+                             state: HBState) -> HBState:
+        if isinstance(inst, Call):
+            return self._transfer_call(inst, state)
+        if isinstance(inst, LaunchKernel):
+            return self._fence_uploads(state)
+        if isinstance(inst, (Load, Store)):
+            return self._transfer_touch(inst, state)
+        return state
+
+    def _transfer_touch(self, inst: Instruction, state: HBState) -> HBState:
+        """A host access of a pending unit: the hazard (if any) is
+        reported against the *first* touch by the report phase; after
+        it, the run-time guard has synchronized the unit's write-backs,
+        so the pending token is retired to avoid cascading reports."""
+        for root in self.touched_roots(inst, state):
+            s = self._get(state, root)
+            if s.any_wb:
+                state = self._set(state, root, replace(
+                    s, wb_pending=False, wb_weak=False, wb_foreign=False))
+        return state
+
+    def _fence_uploads(self, state: HBState) -> HBState:
+        """A kernel launch waits on both copy cursors: every upload
+        issued before it happens-before the launch (and everything
+        after it)."""
+        changed = False
+        units = dict(state.units)
+        for root, s in state.units.items():
+            if s.h2d_pending:
+                cleared = replace(s, h2d_pending=False, h2d_must=False,
+                                  h2d_weak=False)
+                if cleared.empty:
+                    units.pop(root)
+                else:
+                    units[root] = cleared
+                changed = True
+        if not changed:
+            return state
+        return HBState(units, state.recorded, state.fenced, state.tainted)
+
+    def _drain_writebacks(self, state: HBState) -> HBState:
+        units = {}
+        for root, s in state.units.items():
+            cleared = replace(s, wb_pending=False, wb_weak=False,
+                              wb_foreign=False)
+            if not cleared.empty:
+                units[root] = cleared
+        return HBState(units, state.recorded, True, state.tainted)
+
+    def _transfer_call(self, inst: Call, state: HBState) -> HBState:
+        name = inst.callee.name
+        op = async_op_kind(name)
+        if op == "h2d":
+            roots, strong = self.unit_roots(inst.args[0])
+            for root in roots:
+                s = self._get(state, root)
+                state = self._set(state, root, replace(
+                    s, h2d_pending=True, h2d_must=True,
+                    h2d_weak=s.h2d_weak or not strong))
+            if ENTRY_POINTS[name].unit_kind is UnitKind.ARRAY:
+                for element in self._element_roots(inst):
+                    s = self._get(state, element)
+                    state = self._set(state, element, replace(
+                        s, h2d_pending=True, h2d_must=True,
+                        h2d_weak=True))
+            return state
+        if op == "d2h":
+            roots, strong = self.unit_roots(inst.args[0])
+            for root in roots:
+                s = self._get(state, root)
+                state = self._set(state, root, replace(
+                    s, wb_pending=True, wb_weak=s.wb_weak or not strong))
+            if ENTRY_POINTS[name].unit_kind is UnitKind.ARRAY:
+                for element in self._element_roots(inst):
+                    s = self._get(state, element)
+                    state = self._set(state, element, replace(
+                        s, wb_pending=True, wb_weak=True))
+            return HBState(state.units, True, state.fenced, state.tainted)
+        if op == "sync":
+            return self._drain_writebacks(state)
+        if name in ENTRY_POINTS:
+            # Synchronous map/unmap/release and the declare entry
+            # points have no asynchronous ordering effect (their copies
+            # block the host; release's deferred free is FIFO-ordered
+            # behind the unit's own write-back on the download stream).
+            return state
+        if inst.callee.is_declaration:
+            return self._transfer_touch(inst, state)
+        return self._transfer_defined(inst, state)
+
+    def _weaken_uploads(self, state: HBState) -> HBState:
+        """A call that *may* launch a kernel: it may or may not fence a
+        pending upload, so the race fact survives but is no longer a
+        proof (note severity downstream)."""
+        units = {}
+        for root, s in state.units.items():
+            if s.h2d_pending:
+                s = replace(s, h2d_weak=True)
+            units[root] = s
+        return HBState(units, state.recorded, state.fenced, state.tainted)
+
+    def _transfer_defined(self, inst: Call, state: HBState) -> HBState:
+        # The callee touching a pending unit resolves it (its own
+        # inserted syncs or the run-time guard); hazards are reported
+        # at the call site by the report phase.
+        state = self._transfer_touch(inst, state)
+        summary = self.summaries.get(inst.callee)
+        if not isinstance(summary, HBSummary):
+            # Recursive / unknown callee: it may issue, fence, launch,
+            # or touch anything.  Pending tokens survive but only as
+            # weak/foreign (note-severity) facts, and sync-liveness
+            # warnings are suppressed downstream.
+            units = {}
+            for root, s in state.units.items():
+                if s.wb_pending:
+                    s = replace(s, wb_foreign=True)
+                if s.h2d_pending:
+                    s = replace(s, h2d_weak=True)
+                units[root] = s
+            return HBState(units, True, state.fenced, True)
+        if summary.any_launch:
+            # May-launch, not must-launch: weaken rather than clear.
+            state = self._weaken_uploads(state)
+        if summary.must_fence:
+            state = self._drain_writebacks(state)
+        recorded = state.recorded or summary.recorded
+        tainted = state.tainted or summary.tainted
+        state = HBState(dict(state.units), recorded, state.fenced, tainted)
+        for root in summary.pending_exit:
+            for target in self._translate_root(inst, root):
+                s = self._get(state, target)
+                state = self._set(state, target, replace(
+                    s, wb_pending=True, wb_foreign=True))
+        return state
+
+    def _translate_root(self, call: Call, root: Root) -> List[Root]:
+        """Callee-side summary root -> caller-side roots."""
+        if isinstance(root, Argument):
+            if root.index >= len(call.args):
+                return []
+            actual = call.args[root.index]
+            return [r for r in ordered_roots(underlying_objects(actual))
+                    if _trackable(r)]
+        return [root]
+
+
+# ---------------------------------------------------------------------------
+# Explicit must-happens-before graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HBNode:
+    """One end of an operation: its host issue or its completion."""
+
+    inst: Instruction
+    phase: str  #: "issue" (host program point) or "done" (completion)
+
+    def __repr__(self) -> str:
+        return f"<{self.phase}:{self.inst!r}>"
+
+
+class HBGraph:
+    """A must-happens-before relation over one function's stream ops.
+
+    Nodes are (instruction, phase) pairs; ``ordered(a, b)`` is True
+    only when a proof of ordering exists from host program order
+    (approximated by dominance), per-stream FIFO, event edges, and
+    barriers.  Sound, not complete.
+    """
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.nodes: List[HBNode] = []
+        self._succs: Dict[HBNode, List[HBNode]] = {}
+        self._doms = DominatorTree(fn)
+
+    def add_node(self, node: HBNode) -> None:
+        self.nodes.append(node)
+        self._succs.setdefault(node, [])
+
+    def add_edge(self, a: HBNode, b: HBNode) -> None:
+        self._succs.setdefault(a, [])
+        if b not in self._succs[a]:
+            self._succs[a].append(b)
+
+    def successors(self, node: HBNode) -> List[HBNode]:
+        return list(self._succs.get(node, ()))
+
+    def issue_before(self, a: Instruction, b: Instruction) -> bool:
+        """Host program order, dominance-approximated: ``a`` issues
+        before ``b`` on every path that reaches ``b``."""
+        if a.parent is None or b.parent is None:
+            return False
+        if a.parent is b.parent:
+            return a.parent.index(a) < b.parent.index(b)
+        return self._doms.dominates(a.parent, b.parent)
+
+    def ordered(self, a: HBNode, b: HBNode) -> bool:
+        """Is ``a`` proven to happen before ``b``?"""
+        seen = {a}
+        work = [a]
+        while work:
+            node = work.pop()
+            if node == b:
+                return True
+            # Issue nodes inherit host program order implicitly.
+            if node.phase == "issue" and b.phase == "issue" \
+                    and self.issue_before(node.inst, b.inst):
+                return True
+            for succ in self._succs.get(node, ()):  # explicit edges
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+            if node.phase == "issue":
+                for other in self.nodes:
+                    if other.phase == "issue" and other not in seen \
+                            and self.issue_before(node.inst, other.inst):
+                        seen.add(other)
+                        work.append(other)
+        return False
+
+
+def build_hb_graph(fn: Function) -> HBGraph:
+    """Construct the must-happens-before graph of one function.
+
+    Stream operations get an issue and a done node; launches likewise
+    (issue = host enqueue, done = kernel completion); ``cgcmSync`` and
+    host memory accesses are single host nodes (their issue *is* their
+    completion -- the host blocks).
+    """
+    graph = HBGraph(fn)
+    ops: List[Tuple[Call, str]] = []        # async stream calls
+    launches: List[LaunchKernel] = []
+    syncs: List[Call] = []
+
+    for inst in fn.instructions():
+        if isinstance(inst, Call):
+            kind = async_op_kind(inst.callee.name)
+            if kind in ("h2d", "d2h"):
+                issue, done = HBNode(inst, "issue"), HBNode(inst, "done")
+                graph.add_node(issue)
+                graph.add_node(done)
+                graph.add_edge(issue, done)
+                ops.append((inst, kind))
+            elif kind == "sync":
+                graph.add_node(HBNode(inst, "issue"))
+                syncs.append(inst)
+        elif isinstance(inst, LaunchKernel):
+            issue, done = HBNode(inst, "issue"), HBNode(inst, "done")
+            graph.add_node(issue)
+            graph.add_node(done)
+            graph.add_edge(issue, done)
+            launches.append(inst)
+        elif isinstance(inst, (Load, Store)):
+            graph.add_node(HBNode(inst, "issue"))
+
+    def done(inst: Instruction) -> HBNode:
+        return HBNode(inst, "done")
+
+    # Per-stream FIFO: completions follow issue order within a stream.
+    for (a, kind_a) in ops:
+        for (b, kind_b) in ops:
+            if kind_a == kind_b and graph.issue_before(a, b):
+                graph.add_edge(done(a), done(b))
+    for a in launches:
+        for b in launches:
+            if graph.issue_before(a, b):
+                graph.add_edge(done(a), done(b))
+
+    # Launches wait on both copy cursors; write-backs wait on the
+    # compute event recorded at issue; uploads wait on a pending
+    # write-back of their own unit (the run-time's _writeback_deps).
+    for (op, kind) in ops:
+        for launch in launches:
+            if graph.issue_before(op, launch):
+                graph.add_edge(done(op), done(launch))
+        if kind == "d2h":
+            for launch in launches:
+                if graph.issue_before(launch, op):
+                    graph.add_edge(done(launch), done(op))
+            op_roots = frozenset(underlying_objects(op.args[0]))
+            for (other, other_kind) in ops:
+                if other_kind == "h2d" and graph.issue_before(op, other):
+                    other_roots = frozenset(
+                        underlying_objects(other.args[0]))
+                    if op_roots & other_roots:
+                        graph.add_edge(done(op), done(other))
+
+    # Barriers: cgcmSync happens-after every write-back issued before
+    # it (the host blocks until the download stream drains).
+    for sync in syncs:
+        for (op, kind) in ops:
+            if kind == "d2h" and graph.issue_before(op, sync):
+                graph.add_edge(done(op), HBNode(sync, "issue"))
+    return graph

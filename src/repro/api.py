@@ -76,6 +76,7 @@ def _config_key(config: CgcmConfig) -> Tuple:
         config.streams,
         fault_key,
         config.device_heap_limit,
+        config.validate,
     )
 
 

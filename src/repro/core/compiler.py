@@ -41,6 +41,10 @@ class CompileReport:
     promoted_allocas: int = 0
     #: Statistics of the comm-overlap transform (streams configs only).
     overlap_stats: Dict[str, int] = field(default_factory=dict)
+    #: Translation-validation findings (``config.validate`` only); any
+    #: error here also raises
+    #: :class:`~repro.errors.TransformValidationError` at pipeline end.
+    validation: List["object"] = field(default_factory=list)
 
     @property
     def kernel_count(self) -> int:
@@ -101,6 +105,14 @@ class CgcmCompiler:
         manager = CommunicationManager(module)
         manager.run()
 
+        validator = None
+        if config.validate and config.optimize:
+            # Imported lazily: the validator re-runs staticcheck
+            # analyses, and staticcheck depends on this module.
+            from ..staticcheck.transval import TranslationValidator
+            validator = TranslationValidator()
+            validator.begin(module)
+
         if config.optimize:
             # Paper section 5.3: glue kernels, then alloca promotion,
             # then map promotion.
@@ -110,22 +122,40 @@ class CgcmCompiler:
                     parent = launch.parent.parent
                     manager.manage_launch(parent, launch)
                 report.glue_kernels = glue.kernels
+                if validator is not None:
+                    from ..transforms import glue_kernels as _glue_mod
+                    validator.check(_glue_mod.CONTRACT, module)
             if config.enable_alloca_promotion:
                 alloca_promo = AllocaPromotion(module)
                 alloca_promo.run()
                 report.promoted_allocas = alloca_promo.promoted
+                if validator is not None:
+                    from ..transforms import alloca_promotion as _ap_mod
+                    validator.check(_ap_mod.CONTRACT, module)
             if config.enable_map_promotion:
                 map_promo = MapPromotion(module)
                 map_promo.run()
                 report.promoted_loops = map_promo.promoted_loops
                 report.promoted_functions = map_promo.promoted_functions
+                if validator is not None:
+                    from ..transforms import map_promotion as _mp_mod
+                    validator.check(_mp_mod.CONTRACT, module)
             if config.streams:
                 # After map promotion: copies are already at their
                 # final per-region positions; overlap then hoists,
                 # sinks, and rewrites them asynchronous.
                 report.overlap_stats = CommOverlap(module).run()
+                if validator is not None:
+                    from ..transforms import comm_overlap as _co_mod
+                    validator.check(_co_mod.CONTRACT, module)
         if config.verify:
             verify_module(module)
+        if validator is not None:
+            report.validation = list(validator.findings)
+            errors = validator.errors
+            if errors:
+                from ..errors import TransformValidationError
+                raise TransformValidationError(report, errors)
         return report
 
     def execute(self, report: CompileReport,

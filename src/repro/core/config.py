@@ -69,6 +69,13 @@ class CgcmConfig:
     #: Allocations beyond the cap raise a non-transient OOM, driving
     #: the runtime's LRU eviction.  None = the full simulated arena.
     device_heap_limit: Optional[int] = None
+    #: Translation validation: after every optimize-stage pass, check
+    #: the pass's declared legality contract (``transforms/contract``)
+    #: against the before/after IR pair and fail the compile with
+    #: :class:`~repro.errors.TransformValidationError` on any
+    #: violation.  Off by default (it re-lints intermediate modules,
+    #: which costs compile time).
+    validate: bool = False
 
     def __post_init__(self) -> None:
         from ..interp.machine import ENGINES

@@ -114,3 +114,26 @@ class ConfigError(ReproError, ValueError):
 
 class TransformError(ReproError):
     """A compiler pass could not be applied to the given IR."""
+
+
+class TransformValidationError(TransformError):
+    """Translation validation rejected a pipeline pass: a before/after
+    IR pair violates the pass's declared legality contract
+    (``transforms/contract``).  Raised at the end of the pipeline when
+    compiling with ``CgcmConfig(validate=True)``; carries the full
+    :class:`~repro.core.compiler.CompileReport` (``report``) and the
+    error-severity findings (``findings``) for reporting."""
+
+    def __init__(self, report: "object", findings: "list"):
+        stages = []
+        for finding in findings:
+            if finding.unit and finding.unit not in stages:
+                stages.append(finding.unit)
+        where = ", ".join(stages) if stages else "pipeline"
+        super().__init__(
+            f"translation validation failed after {where}: "
+            f"{len(findings)} contract violation"
+            f"{'s' if len(findings) != 1 else ''} "
+            f"(first: {findings[0].render() if findings else '?'})")
+        self.report = report
+        self.findings = findings

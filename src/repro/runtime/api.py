@@ -161,6 +161,13 @@ ASYNC_VARIANTS: Dict[str, str] = {
     ep.name: ep.twin for ep in ENTRY_POINTS.values()
     if not ep.is_async and ep.twin is not None}
 
+#: async name -> sync name: the inverse rewrite, used by translation
+#: validation to compare runtime-call multisets modulo the async twin
+#: renaming.
+SYNC_TWINS: Dict[str, str] = {
+    ep.name: ep.twin for ep in ENTRY_POINTS.values()
+    if ep.is_async and ep.twin is not None}
+
 SYNC_FUNCTION = _names(op=EntryOp.SYNC)[0]
 
 #: Entry points that observe a unit's *address* without reading or

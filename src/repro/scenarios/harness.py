@@ -37,6 +37,7 @@ from ..api import compile_workload
 from ..core.config import CgcmConfig, OptLevel
 from ..errors import ReproError
 from ..gpu.faults import FaultPlan
+from ..staticcheck.findings import Severity
 from .generator import GeneratedProgram, generate_program, materialize
 from .shrink import minimize_spec
 from .spec import ScenarioSpec, emit_minic
@@ -49,7 +50,7 @@ CHAOS_RATES = dict(alloc_fail_rate=0.3, transfer_fail_rate=0.15,
                    launch_fail_rate=0.15)
 
 PROPERTIES = ("oracle", "levels", "engines", "streams", "sanitizer",
-              "static", "faults")
+              "static", "faults", "transval")
 
 
 @dataclass
@@ -98,8 +99,13 @@ def _diff(kind: str, left, right) -> str:
 def check_source(source: str, name: str = "scenario",
                  expected_stdout: Optional[Sequence[str]] = None,
                  slow: bool = False,
-                 fault_seed: Optional[int] = None) -> ScenarioVerdict:
-    """Run the full property matrix over one MiniC program."""
+                 fault_seed: Optional[int] = None,
+                 validate: bool = False) -> ScenarioVerdict:
+    """Run the full property matrix over one MiniC program.
+
+    ``validate`` adds the ``transval`` property: the pipeline (with
+    streams, the configuration exercising every pass) must satisfy
+    every per-pass legality contract on the program."""
     verdict = ScenarioVerdict(name)
     out = verdict.outcomes
     if fault_seed is None:
@@ -223,6 +229,18 @@ def check_source(source: str, name: str = "scenario",
                              result.observable(), base.observable())
         return None
 
+    def check_transval() -> Optional[str]:
+        # Streams is the configuration that runs every optimize-stage
+        # pass, including comm overlap; faults cannot combine with it.
+        validated = compile_workload(
+            source, CgcmConfig(streams=True, validate=True), name)
+        violations = [f for f in validated.report.validation
+                      if f.severity is Severity.ERROR]
+        if violations:
+            return (f"{len(violations)} contract violations, first: "
+                    f"{violations[0].render()}")
+        return None
+
     attempt("oracle", check_oracle)
     attempt("levels", check_levels)
     attempt("engines", check_engines)
@@ -230,14 +248,18 @@ def check_source(source: str, name: str = "scenario",
     attempt("sanitizer", check_sanitizer)
     attempt("static", check_static)
     attempt("faults", check_faults)
+    if validate:
+        attempt("transval", check_transval)
     return verdict
 
 
 def check_program(program: GeneratedProgram,
-                  slow: bool = False) -> ScenarioVerdict:
+                  slow: bool = False,
+                  validate: bool = False) -> ScenarioVerdict:
     """Property matrix over one generated program (oracle included)."""
     return check_source(program.source, program.name,
-                        program.expected_stdout, slow=slow)
+                        program.expected_stdout, slow=slow,
+                        validate=validate)
 
 
 # -- fuzz runs -------------------------------------------------------------
@@ -287,42 +309,46 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _minimize_failure(program: GeneratedProgram,
-                      slow: bool) -> Counterexample:
+def _minimize_failure(program: GeneratedProgram, slow: bool,
+                      validate: bool = False) -> Counterexample:
     """Shrink a failing spec to the smallest spec that still fails the
     same way (same non-empty failed-property set, any subset)."""
-    original = check_program(program, slow=slow)
+    original = check_program(program, slow=slow, validate=validate)
     target = set(original.failed)
 
     def still_failing(spec: ScenarioSpec) -> bool:
         candidate = materialize(spec, program.name + "-min")
-        verdict = check_program(candidate, slow=slow)
+        verdict = check_program(candidate, slow=slow, validate=validate)
         failed = set(verdict.failed)
         return bool(failed) and failed <= target
 
     reduced = minimize_spec(program.spec, still_failing)
     minimized = materialize(reduced, program.name + "-min")
-    summary = check_program(minimized, slow=slow).summary()
+    summary = check_program(minimized, slow=slow,
+                            validate=validate).summary()
     return Counterexample(program.name, original.failed, program.source,
                           minimized.source, summary)
 
 
 def run_fuzz(seed: int, count: int, slow: bool = False,
              progress: Optional[Callable[[ScenarioVerdict], None]] = None,
-             minimize: bool = True) -> FuzzReport:
+             minimize: bool = True,
+             validate: bool = False) -> FuzzReport:
     """Generate ``count`` programs from ``seed`` and check them all.
 
-    Deterministic end to end: the same ``(seed, count, slow)`` yields
-    the same programs, the same verdicts, and (on failure) the same
-    minimized counterexamples.
+    Deterministic end to end: the same ``(seed, count, slow,
+    validate)`` yields the same programs, the same verdicts, and (on
+    failure) the same minimized counterexamples.  ``validate`` adds
+    the translation-validation property to the matrix.
     """
     report = FuzzReport(seed, count, slow)
     for index in range(count):
         program = generate_program(seed, index)
-        verdict = check_program(program, slow=slow)
+        verdict = check_program(program, slow=slow, validate=validate)
         report.verdicts.append(verdict)
         if progress is not None:
             progress(verdict)
         if not verdict.ok and minimize:
-            report.counterexamples.append(_minimize_failure(program, slow))
+            report.counterexamples.append(
+                _minimize_failure(program, slow, validate))
     return report

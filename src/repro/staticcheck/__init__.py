@@ -13,18 +13,30 @@ per run; this package proves them over all paths on post-pipeline IR:
 * :mod:`doallcheck` -- independent re-derivation of affine access
   forms from each outlined kernel's own IR and a cross-thread
   conflict re-check (defense-in-depth against parallelizer bugs).
+* :mod:`hbcheck`    -- happens-before auditor for the asynchronous
+  stream schedule: every CPU access of a unit with an in-flight
+  asynchronous copy must be statically ordered after it (per-stream
+  FIFO, launch/copy events, ``cgcmSync`` barriers); also flags waits
+  on never-recorded events and dead synchronization.
+* :mod:`transval`   -- translation validation of the pass pipeline:
+  after each optimize-stage pass, check the pass's declared legality
+  contract (``transforms/contract``) on the before/after IR pair.
 
 Entry points: :func:`lint_module` / :func:`lint_source` /
 :func:`lint_workload` (module :mod:`linter`), and the seeded-defect
 corpus self-check in :mod:`corpus`.  CLI: ``python -m repro lint``.
 """
 
-from .findings import Finding, LintReport, Severity
+from .findings import Finding, LintReport, Severity, sarif_document
 from .linter import lint_module, lint_source, lint_workload
 from .corpus import CORPUS, CorpusDefect, check_corpus
+from .hbcheck import check_happens_before
+from .transval import TranslationValidator, validate_stage
 
 __all__ = [
-    "Finding", "LintReport", "Severity",
+    "Finding", "LintReport", "Severity", "sarif_document",
     "lint_module", "lint_source", "lint_workload",
     "CORPUS", "CorpusDefect", "check_corpus",
+    "check_happens_before",
+    "TranslationValidator", "validate_stage",
 ]

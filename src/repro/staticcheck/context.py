@@ -90,6 +90,8 @@ class CheckContext:
         self._coverage: Optional[Dict[Root, FrozenSet[Root]]] = None
         #: Filled by the mapstate pass: per-function summaries.
         self.summaries: Dict[Function, object] = {}
+        #: Filled by the hbcheck pass: per-function async summaries.
+        self.hb_summaries: Dict[Function, object] = {}
 
     # -- kernel access summaries -------------------------------------------
 

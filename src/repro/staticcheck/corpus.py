@@ -375,6 +375,140 @@ int main(void) {{
     return 0;
 }}
 """),
+    # -- asynchronous-stream hazards (happens-before auditor) ---------
+    CorpusDefect(
+        "async-use-before-sync",
+        "CPU reads the unit while its asynchronous write-back is still "
+        "in flight (no cgcmSync orders the read after the DtoH copy)",
+        "hbcheck", ("hb-use-before-sync",),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    print_f64(A[0]);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "async-ww-conflict",
+        "CPU store to the unit races the in-flight asynchronous "
+        "write-back on the download stream (cross-stream W/W)",
+        "hbcheck", ("hb-ww-conflict",),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    A[0] = 99.0;
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "async-map-unmap-race",
+        "asynchronous unmap issued while the asynchronous map is still "
+        "in flight: no launch orders the download after the upload",
+        "hbcheck", ("hb-map-unmap-race",),
+        """
+double A[8];
+int main(void) {
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    mapAsync((char *) A);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}
+"""),
+    CorpusDefect(
+        "async-sync-unrecorded",
+        "cgcmSync waits on the download stream but no asynchronous "
+        "write-back was ever issued (wait on a never-recorded event)",
+        "hbcheck", ("hb-sync-unrecorded",),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    cgcmSync();
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "async-dead-sync",
+        "second cgcmSync back-to-back: the first already drained the "
+        "download stream, the second synchronizes nothing",
+        "hbcheck", ("hb-dead-sync",),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    cgcmSync();
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}}
+"""),
+    # -- async clean controls: zero errors required -------------------
+    CorpusDefect(
+        "control-async-clean",
+        "well-ordered asynchronous schedule: launch fences the upload, "
+        "cgcmSync orders the write-back before the CPU read",
+        "", (),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}}
+"""),
+    CorpusDefect(
+        "control-async-loop",
+        "per-iteration asynchronous round trip, synced before the next "
+        "iteration's CPU store touches the unit",
+        "", (),
+        f"""
+double A[8];
+{_SCALE_GLOBAL}
+int main(void) {{
+    for (int i = 0; i < 4; i++) {{
+        A[i] = i + 1.0;
+        mapAsync((char *) A);
+        __launch(scale, 8);
+        unmapAsync((char *) A);
+        cgcmSync();
+        release((char *) A);
+    }}
+    print_f64(A[0]);
+    return 0;
+}}
+"""),
 )
 
 

@@ -1,0 +1,277 @@
+"""Happens-before auditor for the asynchronous streams IR.
+
+Post-pipeline streams IR orders its asynchronous copies three ways:
+per-stream FIFO, the event edges the run-time records (write-backs
+wait on the latest compute event, uploads wait on a pending write-back
+of their own unit, launches wait on both copy cursors), and the
+explicit ``cgcmSync`` host barrier.  The run-time *also* carries a
+dynamic load/store guard that synchronizes before the CPU touches a
+unit with a pending write-back -- a safety net, not a proof.  This
+pass demands the proof: every CPU access of a unit with an in-flight
+asynchronous operation must be *statically* ordered after it, i.e. a
+``cgcmSync`` (or a fencing kernel launch, for uploads) must dominate
+the access on every path.  Accesses that only the guard would save are
+findings.
+
+Rules (pass name ``hbcheck``):
+
+``hb-use-before-sync``
+    CPU read of a unit whose asynchronous write-back is pending and
+    not ordered before the read by any barrier.
+``hb-ww-conflict``
+    CPU write to such a unit: a host-write/DtoH-write pair on the same
+    bytes with no ordering between the streams.
+``hb-map-unmap-race``
+    Asynchronous unmap whose DtoH races a pending asynchronous upload
+    of the same unit -- no kernel launch orders the download stream
+    after the upload stream.
+``hb-sync-unrecorded``
+    ``cgcmSync`` on a path where no write-back was ever issued: a wait
+    on an event that was never recorded (warning).
+``hb-dead-sync``
+    ``cgcmSync`` with no write-back pending on any path: dead
+    synchronization (warning).
+
+Precision contract (PR 3): ERROR only when the unit-aliasing facts are
+fully analyzable -- the access names the unit's root directly, the
+pending operation resolved to a single identified root, and it did not
+cross a call boundary.  Everything weaker is a NOTE.  The dataflow
+uses the same :class:`ModRefAnalysis` touch oracle the comm-overlap
+transform uses to place its syncs, so transform and auditor cannot
+disagree about what counts as a touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import dataflow
+from ..analysis.alias import (Root, may_alias_roots, ordered_roots,
+                              underlying_objects)
+from ..analysis.happens_before import (HappensBeforeProblem, HBState,
+                                       HBSummary, async_op_kind)
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Call, Instruction, Load, Store
+from ..ir.module import Module
+from ..ir.values import Argument
+from ..runtime.api import ENTRY_POINTS
+from .context import CheckContext
+from .findings import Finding, Severity, finding_at
+from .mapstate import _root_label
+
+PASS_NAME = "hbcheck"
+
+
+class HBChecker:
+    """Runs the pending-token dataflow per function and reports."""
+
+    def __init__(self, module: Module, ctx: CheckContext):
+        self.module = module
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._results: Dict[Function, dataflow.DataflowResult] = {}
+        self._problems: Dict[Function, HappensBeforeProblem] = {}
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        for fn in self.ctx.callgraph.bottom_up():
+            if fn.is_kernel or fn.is_declaration:
+                continue
+            problem = HappensBeforeProblem(
+                fn, self.ctx.modref, self.ctx.coverage,
+                self.ctx.hb_summaries)
+            result = dataflow.solve(fn, problem)
+            self._problems[fn] = problem
+            self._results[fn] = result
+            if not self.ctx.callgraph.is_recursive(fn):
+                self.ctx.hb_summaries[fn] = self._summarize(
+                    fn, problem, result)
+        for fn in self.module.defined_functions():
+            if fn.is_kernel:
+                continue
+            self._report_function(fn)
+        return self.findings
+
+    def _summarize(self, fn: Function, problem: HappensBeforeProblem,
+                   result: dataflow.DataflowResult) -> HBSummary:
+        exits = [b for b in result.blocks if not b.successors]
+        if exits:
+            exit_state = problem.join(
+                [result.output_state(b) for b in exits])
+        else:
+            exit_state = HBState()
+        pending: List[Root] = []
+        for root in ordered_roots(exit_state.units):
+            if not exit_state.units[root].any_wb:
+                continue
+            if isinstance(root, Alloca) or (
+                    isinstance(root, Call)
+                    and root.callee.name == "declareAlloca"):
+                block = root.parent
+                if block is not None and block.parent is fn:
+                    continue  # this function's stack: dies with the frame
+            if isinstance(root, Argument) and root.function is not fn:
+                continue
+            pending.append(root)
+        return HBSummary(
+            pending_exit=tuple(pending),
+            must_fence=exit_state.fenced,
+            recorded=exit_state.recorded,
+            any_launch=self._may_launch(fn),
+            tainted=exit_state.tainted,
+        )
+
+    def _may_launch(self, fn: Function) -> bool:
+        from ..ir.instructions import LaunchKernel
+        for inst in fn.instructions():
+            if isinstance(inst, LaunchKernel):
+                return True
+            if isinstance(inst, Call) and not inst.callee.is_declaration:
+                sub = self.ctx.hb_summaries.get(inst.callee)
+                if not isinstance(sub, HBSummary) or sub.any_launch:
+                    return True
+        return False
+
+    # -- reporting ---------------------------------------------------------
+
+    def _emit(self, kind: str, severity: Severity, inst: Instruction,
+              message: str, unit: str = "") -> None:
+        self.findings.append(
+            finding_at(PASS_NAME, kind, severity, inst, message, unit))
+
+    def _report_function(self, fn: Function) -> None:
+        result = self._results.get(fn)
+        problem = self._problems.get(fn)
+        if result is None or problem is None:
+            return
+        for block in fn.blocks:
+            if block not in result._block_in:
+                continue
+            for inst, before in result.instruction_states(block):
+                self._check_instruction(problem, inst, before)
+
+    def _check_instruction(self, problem: HappensBeforeProblem,
+                           inst: Instruction, state: HBState) -> None:
+        if isinstance(inst, Call):
+            name = inst.callee.name
+            op = async_op_kind(name)
+            if op == "d2h":
+                self._check_copy_race(problem, inst, state)
+            elif op == "sync":
+                self._check_sync(inst, state)
+            elif name in ENTRY_POINTS:
+                return  # sync entry points / async map: no hazard here
+            elif inst.callee.is_declaration:
+                self._check_touch(problem, inst, state, direct_args=[
+                    arg for arg in inst.args if arg.type.is_pointer])
+            else:
+                self._check_touch(problem, inst, state, direct_args=None)
+        elif isinstance(inst, (Load, Store)):
+            self._check_touch(problem, inst, state,
+                              direct_args=[inst.pointer])
+
+    def _check_touch(self, problem: HappensBeforeProblem,
+                     inst: Instruction, state: HBState,
+                     direct_args) -> None:
+        """A host access while write-backs are pending.  ``direct_args``
+        are the pointer operands the access goes through (None for a
+        defined call, which is never a direct touch)."""
+        direct_roots = set()
+        for value in direct_args or ():
+            direct_roots |= set(underlying_objects(value))
+        for root in ordered_roots(state.units):
+            s = state.units[root]
+            if not s.any_wb:
+                continue
+            mod, ref = problem.modref.instruction_mod_ref(inst, root)
+            if not (mod or ref):
+                continue
+            direct = root in direct_roots
+            analyzable = (direct and s.wb_pending
+                          and not s.wb_weak and not s.wb_foreign)
+            label = _root_label(root)
+            if mod:
+                kind = "hb-ww-conflict"
+                message = (f"CPU write to {label} while its asynchronous "
+                           "write-back is in flight (write/write race "
+                           "with the DtoH copy; no cgcmSync orders them)")
+            else:
+                kind = "hb-use-before-sync"
+                message = (f"CPU read of {label} while its asynchronous "
+                           "write-back is in flight (not ordered after "
+                           "the DtoH copy by any cgcmSync)")
+            if not analyzable:
+                if s.wb_foreign:
+                    reason = ("the pending write-back crosses a call "
+                              "boundary; only the run-time guard orders it")
+                elif s.wb_weak:
+                    reason = ("the write-back's unit did not resolve to "
+                              "a single identified root")
+                elif direct_args is None:
+                    reason = "the unit is touched through a call"
+                else:
+                    reason = "the access aliases the unit only indirectly"
+                message += f" -- {reason}"
+            self._emit(kind,
+                       Severity.ERROR if analyzable else Severity.NOTE,
+                       inst, message, unit=label)
+
+    def _check_copy_race(self, problem: HappensBeforeProblem, inst: Call,
+                         state: HBState) -> None:
+        """Async unmap issued while an async upload of the same unit is
+        pending: nothing orders the DtoH after the HtoD (the write-back
+        only waits on the *compute* event, and no launch fenced the
+        upload), so the download may ship bytes the upload is still
+        writing."""
+        _, strong = problem.unit_roots(inst.args[0])
+        call_roots = frozenset(underlying_objects(inst.args[0]))
+        for root in ordered_roots(state.units):
+            s = state.units[root]
+            if not s.h2d_pending:
+                continue
+            direct = root in call_roots
+            if not direct and not may_alias_roots(
+                    frozenset({root}), call_roots):
+                continue
+            analyzable = (direct and strong
+                          and s.h2d_must and not s.h2d_weak)
+            label = _root_label(root)
+            message = (f"asynchronous unmap of {label} races its "
+                       "in-flight asynchronous map: no kernel launch "
+                       "orders the download stream after the upload")
+            if not analyzable:
+                if not s.h2d_must:
+                    reason = ("the upload is pending only on some "
+                              "paths to here")
+                elif s.h2d_weak or not strong:
+                    reason = "upload unit resolution is weak"
+                else:
+                    reason = "the copies alias only indirectly"
+                message += f" -- {reason}"
+            self._emit("hb-map-unmap-race",
+                       Severity.ERROR if analyzable else Severity.NOTE,
+                       inst, message, unit=label)
+
+    def _check_sync(self, inst: Call, state: HBState) -> None:
+        if any(s.any_wb for s in state.units.values()):
+            return  # live barrier: it orders a pending write-back
+        if state.tainted:
+            return  # an unanalyzable call may have issued work
+        if not state.recorded:
+            self._emit(
+                "hb-sync-unrecorded", Severity.WARNING, inst,
+                "cgcmSync waits for write-backs but none was ever issued "
+                "on any path to here (wait on a never-recorded event)")
+        else:
+            self._emit(
+                "hb-dead-sync", Severity.WARNING, inst,
+                "cgcmSync with no write-back pending on any path to here "
+                "(dead synchronization: every earlier write-back is "
+                "already ordered)")
+
+
+def check_happens_before(module: Module,
+                         ctx: CheckContext) -> List[Finding]:
+    """Entry point: run the happens-before auditor over a module."""
+    return HBChecker(module, ctx).run()

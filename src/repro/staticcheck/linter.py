@@ -12,18 +12,19 @@ from typing import Iterable, List, Optional
 
 from ..core.compiler import CgcmCompiler
 from ..core.config import CgcmConfig, OptLevel
-from ..errors import IRError
+from ..errors import IRError, TransformValidationError
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from .context import CheckContext
 from .doallcheck import check_doall
 from .findings import Finding, LintReport, Severity
+from .hbcheck import check_happens_before
 from .mapstate import check_map_state
 from .redundant import check_redundant_transfers
 
 #: Pass execution order.  ``mapstate`` runs first: it fills the
 #: context's per-function summaries which later passes may consult.
-ALL_PASSES = ("mapstate", "redundant", "doall")
+ALL_PASSES = ("mapstate", "redundant", "doall", "hbcheck")
 
 
 def lint_module(module: Module,
@@ -53,30 +54,49 @@ def lint_module(module: Module,
     if "doall" in selected:
         findings.extend(check_doall(module, ctx))
         ran.append("doall")
+    if "hbcheck" in selected:
+        findings.extend(check_happens_before(module, ctx))
+        ran.append("hbcheck")
     return LintReport(module.name, findings, ran)
 
 
 def lint_source(source: str, name: str = "program",
                 opt_level: OptLevel = OptLevel.OPTIMIZED,
                 passes: Optional[Iterable[str]] = None,
-                streams: bool = False, faults=None) -> LintReport:
+                streams: bool = False, faults=None,
+                validate: bool = False) -> LintReport:
     """Compile MiniC through the pipeline at ``opt_level`` and lint
     the resulting module.  With ``streams``, the comm-overlap pass
     runs too, so the checks see the hoisted/sunk asynchronous calls.
     ``faults`` (a :class:`~repro.gpu.faults.FaultPlan`) compiles under
     a resilient configuration -- the resilience machinery is purely a
-    runtime concern, so the linted IR must be identical either way."""
+    runtime concern, so the linted IR must be identical either way.
+    ``validate`` arms translation validation during the compile; any
+    per-pass contract findings are merged into the report (the lint
+    still runs on the final module even when validation failed)."""
     compiler = CgcmCompiler(CgcmConfig(opt_level=opt_level,
-                                       streams=streams, faults=faults))
-    report = compiler.compile_source(source, name)
+                                       streams=streams, faults=faults,
+                                       validate=validate))
+    try:
+        report = compiler.compile_source(source, name)
+    except TransformValidationError as exc:
+        report = exc.report
     lint = lint_module(report.module, passes)
+    if report.validation:
+        lint = LintReport(lint.module_name,
+                          lint.findings + list(report.validation),
+                          lint.passes_run + ["transval"])
+    elif validate:
+        lint = LintReport(lint.module_name, lint.findings,
+                          lint.passes_run + ["transval"])
     lint.module_name = name
     return lint
 
 
 def lint_workload(workload, opt_level: OptLevel = OptLevel.OPTIMIZED,
                   passes: Optional[Iterable[str]] = None,
-                  streams: bool = False, faults=None) -> LintReport:
+                  streams: bool = False, faults=None,
+                  validate: bool = False) -> LintReport:
     """Lint one of the paper workloads post-pipeline."""
     return lint_source(workload.source, workload.name, opt_level, passes,
-                       streams, faults)
+                       streams, faults, validate)

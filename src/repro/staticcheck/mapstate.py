@@ -520,9 +520,9 @@ class MapStateChecker:
     # -- reporting ---------------------------------------------------------
 
     def _emit(self, kind: str, severity: Severity, inst: Instruction,
-              message: str) -> None:
+              message: str, unit: str = "") -> None:
         self.findings.append(
-            finding_at(PASS_NAME, kind, severity, inst, message))
+            finding_at(PASS_NAME, kind, severity, inst, message, unit))
 
     def _report_function(self, fn: Function) -> None:
         result = self._results.get(fn)
@@ -561,19 +561,22 @@ class MapStateChecker:
                     if s.released:
                         self._emit("use-after-release", Severity.ERROR, inst,
                                    f"unmap of {_root_label(root)} after its "
-                                   "release dropped the mapping")
+                                   "release dropped the mapping",
+                                   unit=_root_label(root))
                     else:
                         self._emit("unmap-unmapped", Severity.ERROR, inst,
                                    f"unmap of {_root_label(root)} which is "
-                                   "not mapped")
+                                   "not mapped", unit=_root_label(root))
                 elif s.top:
                     self._emit("unmap-unmapped-path", Severity.WARNING, inst,
                                f"unmap of {_root_label(root)} which is not "
-                               "mapped on all incoming paths")
+                               "mapped on all incoming paths",
+                               unit=_root_label(root))
                 elif s.stale and s.host_dirty and strong:
                     self._emit("lost-update", Severity.ERROR, inst,
                                f"unmap of {_root_label(root)} copies stale "
-                               "device memory over a newer CPU store")
+                               "device memory over a newer CPU store",
+                               unit=_root_label(root))
         elif name in RELEASE_FUNCTIONS:
             roots, strong = problem._single_root(inst.args[0])
             for root in roots:
@@ -582,15 +585,17 @@ class MapStateChecker:
                     if s.released:
                         self._emit("double-release", Severity.ERROR, inst,
                                    f"release of {_root_label(root)} which "
-                                   "was already released")
+                                   "was already released",
+                                   unit=_root_label(root))
                     else:
                         self._emit("release-underflow", Severity.ERROR, inst,
                                    f"release of {_root_label(root)} which "
-                                   "was never mapped")
+                                   "was never mapped", unit=_root_label(root))
                 elif s.top:
                     self._emit("release-underflow", Severity.WARNING, inst,
                                f"release of {_root_label(root)} which is "
-                               "not mapped on all incoming paths")
+                               "not mapped on all incoming paths",
+                               unit=_root_label(root))
                 elif strong and not s.top and not s.entry_unknown \
                         and s.delta == 1 and s.dev_written:
                     # Provably drops the count to zero: the device
@@ -600,7 +605,8 @@ class MapStateChecker:
                     # silent there.
                     self._emit("lost-update", Severity.ERROR, inst,
                                f"release of {_root_label(root)} drops "
-                               "device writes that were never copied back")
+                               "device writes that were never copied back",
+                               unit=_root_label(root))
         elif name in ("free", "realloc"):
             for root in ordered_roots(underlying_objects(inst.args[0])):
                 if not _trackable(root):
@@ -609,11 +615,13 @@ class MapStateChecker:
                 if s.provably_mapped:
                     self._emit("device-free-live", Severity.ERROR, inst,
                                f"{name} of {_root_label(root)} while it is "
-                               "still mapped to the device")
+                               "still mapped to the device",
+                               unit=_root_label(root))
                 elif s.top:
                     self._emit("device-free-live", Severity.WARNING, inst,
                                f"{name} of {_root_label(root)} which may "
-                               "still be mapped on some path")
+                               "still be mapped on some path",
+                               unit=_root_label(root))
 
     def _check_launch(self, fn: Function, problem: MapStateProblem,
                       inst: LaunchKernel, state: MapState) -> None:
@@ -631,7 +639,8 @@ class MapStateChecker:
                         "launch-raw-pointer", Severity.ERROR, inst,
                         f"kernel @{kernel.name} dereferences parameter "
                         f"{index} but the launch passes the raw host "
-                        f"pointer {_root_label(root)} (missing map)")
+                        f"pointer {_root_label(root)} (missing map)",
+                        unit=_root_label(root))
         for root, read, write in problem._launch_unit_accesses(inst):
             s = problem._get(state, root)
             verb = "writes" if write and not read else "reads"
@@ -643,7 +652,8 @@ class MapStateChecker:
                 self._emit(
                     "launch-unmapped-path", Severity.ERROR, inst,
                     f"kernel @{kernel.name} {verb} {_root_label(root)} "
-                    "which is not mapped on all incoming paths")
+                    "which is not mapped on all incoming paths",
+                    unit=_root_label(root))
                 continue
             elif s.entry_unknown:
                 continue  # caller may have mapped it: cannot judge
@@ -652,19 +662,20 @@ class MapStateChecker:
                     self._emit(
                         "use-after-release", Severity.ERROR, inst,
                         f"kernel @{kernel.name} {verb} {_root_label(root)} "
-                        "after its mapping was released")
+                        "after its mapping was released",
+                        unit=_root_label(root))
                 else:
                     self._emit(
                         "launch-unmapped", Severity.ERROR, inst,
                         f"kernel @{kernel.name} {verb} {_root_label(root)} "
-                        "which is not mapped")
+                        "which is not mapped", unit=_root_label(root))
                 continue
             if s.host_dirty and read:
                 self._emit(
                     "stale-device-read", Severity.ERROR, inst,
                     f"kernel @{kernel.name} reads {_root_label(root)} but "
                     "the CPU stored to it after it was mapped (the device "
-                    "copy is stale)")
+                    "copy is stale)", unit=_root_label(root))
 
     def _check_cpu_access(self, problem: MapStateProblem, inst: Instruction,
                           pointer, state: MapState, is_load: bool) -> None:
@@ -673,7 +684,8 @@ class MapStateChecker:
                 self._emit(
                     "pointer-mix", Severity.ERROR, inst,
                     "CPU dereference of a device pointer (result of "
-                    f"@{root.callee.name})")  # type: ignore[union-attr]
+                    f"@{root.callee.name})",  # type: ignore[union-attr]
+                    unit=_root_label(root))
                 continue
             if not _trackable(root) or not is_identified(root):
                 continue
@@ -682,7 +694,8 @@ class MapStateChecker:
                 self._emit(
                     "stale-host-read", Severity.ERROR, inst,
                     f"CPU read of {_root_label(root)} while device writes "
-                    "have not been copied back (missing unmap)")
+                    "have not been copied back (missing unmap)",
+                    unit=_root_label(root))
 
     def _check_return(self, fn: Function, problem: MapStateProblem,
                       inst: Return, state: MapState) -> None:
@@ -695,12 +708,14 @@ class MapStateChecker:
                     "refcount-leak", Severity.ERROR, inst,
                     f"@{fn.name} returns with {_root_label(root)} still "
                     f"mapped ({s.delta} unreleased reference"
-                    f"{'s' if s.delta != 1 else ''})")
+                    f"{'s' if s.delta != 1 else ''})",
+                    unit=_root_label(root))
             elif s.top:
                 self._emit(
                     "refcount-leak", Severity.WARNING, inst,
                     f"@{fn.name} may return with {_root_label(root)} "
-                    "mapped on some path (unbalanced map/release)")
+                    "mapped on some path (unbalanced map/release)",
+                    unit=_root_label(root))
 
 
 def _root_label(root: Root) -> str:

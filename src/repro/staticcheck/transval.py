@@ -1,0 +1,224 @@
+"""Translation validation of the CGCM pass pipeline.
+
+Every optimize-stage transform declares a :class:`PassContract`
+(``transforms/contract``); this module checks one contract against a
+before/after module pair after the pass has run.  The *before* side is
+an independent replica obtained by printing and re-parsing the module
+(the IR round-trip is golden-tested), so the checks can re-run whole
+analyses on it without aliasing the live pipeline state.
+
+Obligations checked for every stage:
+
+* the structural IR verifier still passes (``verify-broken``);
+* the module-wide multiset of non-runtime external calls -- the
+  observable effects: ``print_*``, allocation, ``memcpy`` -- is
+  unchanged (``external-calls-changed``);
+* the kernel-launch multiset is unchanged, or for passes contracted
+  as ``launches="grow"`` (glue kernels) only ever extended
+  (``launches-changed``);
+* no module global disappears (``globals-dropped``).
+
+Contract-selected obligations:
+
+* ``runtime_calls="twin-normalized"`` (comm overlap): per function,
+  the multiset of managed runtime calls is unchanged once async names
+  are normalized to their sync twins and ``cgcmSync`` barriers are
+  dropped -- the pass may move, rename, and fence, but never add or
+  drop a map/unmap/release (``runtime-calls-changed``);
+* ``check_mapstate_regression``: the mapping-state verifier must not
+  report any (kind x function) error key on the after module that the
+  before module did not already have -- the static form of "a map's
+  live range must not grow across a mutating store, and no launch
+  loses its mapping" (``mapstate-regression``);
+* ``check_hb`` (comm overlap): the happens-before auditor must report
+  zero errors on the after module -- every asynchronous operation the
+  pass introduced owes a static ordering proof (``hb-regression``).
+
+Findings carry ``pass_name="transval"`` and the stage name in their
+``unit`` field, so fingerprints distinguish the same rule firing after
+different passes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from ..ir.instructions import Call, LaunchKernel
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import module_to_str
+from ..ir.verifier import verify_module
+from ..errors import IRError
+from ..runtime.api import ENTRY_POINTS, SYNC_FUNCTION, SYNC_TWINS
+from ..transforms.contract import PassContract
+from .context import CheckContext
+from .findings import Finding, Severity
+from .hbcheck import check_happens_before
+from .mapstate import check_map_state
+
+PASS_NAME = "transval"
+
+
+def _finding(kind: str, stage: str, message: str,
+             function: str = "") -> Finding:
+    return Finding(PASS_NAME, kind, Severity.ERROR, function, "", -1, -1,
+                   message, unit=stage)
+
+
+def _external_calls(module: Module) -> Counter:
+    """Module-wide multiset of non-runtime external calls."""
+    counts: Counter = Counter()
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            if isinstance(inst, Call) and inst.callee.is_declaration \
+                    and inst.callee.name not in ENTRY_POINTS:
+                counts[inst.callee.name] += 1
+    return counts
+
+
+def _launches(module: Module) -> Counter:
+    counts: Counter = Counter()
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            if isinstance(inst, LaunchKernel):
+                counts[inst.kernel.name] += 1
+    return counts
+
+
+def _runtime_calls_normalized(module: Module) -> Dict[str, Counter]:
+    """Per-function managed-call multisets, async names normalized to
+    their sync twins, ``cgcmSync`` barriers dropped."""
+    per_fn: Dict[str, Counter] = {}
+    for fn in module.defined_functions():
+        counts: Counter = Counter()
+        for inst in fn.instructions():
+            if not isinstance(inst, Call):
+                continue
+            name = inst.callee.name
+            if name not in ENTRY_POINTS or name == SYNC_FUNCTION:
+                continue
+            counts[SYNC_TWINS.get(name, name)] += 1
+        if counts:
+            per_fn[fn.name] = counts
+    return per_fn
+
+
+def _mapstate_error_keys(module: Module) -> Set[Tuple[str, str]]:
+    ctx = CheckContext(module)
+    return {(f.kind, f.function)
+            for f in check_map_state(module, ctx)
+            if f.severity is Severity.ERROR}
+
+
+def _diff_counter(kind: str, stage: str, label: str, before: Counter,
+                  after: Counter, grow_ok: bool,
+                  findings: List[Finding]) -> None:
+    for name in sorted(set(before) | set(after)):
+        delta = after[name] - before[name]
+        if delta == 0 or (grow_ok and delta > 0):
+            continue
+        verb = "gained" if delta > 0 else "lost"
+        findings.append(_finding(
+            kind, stage,
+            f"{stage} {verb} {abs(delta)} {label} of {name!r} "
+            f"({before[name]} before, {after[name]} after)"))
+
+
+def validate_stage(contract: PassContract, before: Module,
+                   after: Module) -> List[Finding]:
+    """Check one pass contract against a before/after module pair."""
+    stage = contract.stage
+    findings: List[Finding] = []
+    try:
+        verify_module(after)
+    except IRError as exc:
+        findings.append(_finding(
+            "verify-broken", stage,
+            f"{stage} broke a structural IR invariant: {exc}"))
+        return findings  # further analyses assume verified IR
+
+    _diff_counter("external-calls-changed", stage, "external call",
+                  _external_calls(before), _external_calls(after),
+                  grow_ok=False, findings=findings)
+    _diff_counter("launches-changed", stage, "kernel launch",
+                  _launches(before), _launches(after),
+                  grow_ok=(contract.launches == "grow"),
+                  findings=findings)
+    dropped = sorted(set(before.globals) - set(after.globals))
+    for name in dropped:
+        findings.append(_finding(
+            "globals-dropped", stage,
+            f"{stage} dropped module global @{name}"))
+
+    if contract.runtime_calls == "twin-normalized":
+        before_rt = _runtime_calls_normalized(before)
+        after_rt = _runtime_calls_normalized(after)
+        for fn_name in sorted(set(before_rt) | set(after_rt)):
+            b = before_rt.get(fn_name, Counter())
+            a = after_rt.get(fn_name, Counter())
+            if b == a:
+                continue
+            for name in sorted(set(b) | set(a)):
+                delta = a[name] - b[name]
+                if delta == 0:
+                    continue
+                verb = "gained" if delta > 0 else "lost"
+                findings.append(_finding(
+                    "runtime-calls-changed", stage,
+                    f"{stage} {verb} {abs(delta)} managed call(s) of "
+                    f"@{name} (twin-normalized) in @{fn_name}",
+                    function=fn_name))
+
+    if contract.check_mapstate_regression:
+        before_keys = _mapstate_error_keys(before)
+        for kind, fn_name in sorted(_mapstate_error_keys(after)):
+            if (kind, fn_name) in before_keys:
+                continue
+            findings.append(_finding(
+                "mapstate-regression", stage,
+                f"{stage} introduced a mapping-state error "
+                f"({kind}) in @{fn_name} that the input module "
+                "did not have", function=fn_name))
+
+    if contract.check_hb:
+        ctx = CheckContext(after)
+        for f in check_happens_before(after, ctx):
+            if f.severity is not Severity.ERROR:
+                continue
+            findings.append(_finding(
+                "hb-regression", stage,
+                f"{stage} left an unordered asynchronous operation: "
+                f"{f.kind} in @{f.function}: {f.message}",
+                function=f.function))
+    return findings
+
+
+class TranslationValidator:
+    """Stateful harness the pipeline drives: snapshot, run pass, check.
+
+    ``begin`` snapshots the module as printed IR; each ``check``
+    re-parses that snapshot into an independent before-module, runs
+    the contract obligations against the pass's output, and advances
+    the snapshot so the next pass is validated against *its* input.
+    """
+
+    def __init__(self) -> None:
+        self._before_text: str = ""
+        self.findings: List[Finding] = []
+
+    def begin(self, module: Module) -> None:
+        self._before_text = module_to_str(module)
+
+    def check(self, contract: PassContract,
+              module: Module) -> List[Finding]:
+        before = parse_module(self._before_text)
+        findings = validate_stage(contract, before, module)
+        self.findings.extend(findings)
+        self._before_text = module_to_str(module)
+        return findings
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.severity is Severity.ERROR]

@@ -23,6 +23,13 @@ from ..ir.module import Module
 from ..ir.types import FunctionType, RAW_PTR
 from ..ir.values import Argument, Constant
 from ..analysis.callgraph import CallGraph
+from .contract import PassContract
+
+#: Alloca promotion reshapes signatures and moves ``declareAlloca``
+#: registrations across frames but never touches launches or
+#: observable calls; the mapping-state checker guards the moved
+#: registrations.
+CONTRACT = PassContract(stage="alloca-promotion")
 
 _MAX_ITERATIONS = 10
 

@@ -14,10 +14,13 @@ the same :class:`ModRefAnalysis` machinery map promotion trusts:
   host would ever wait on the DtoH.
 * **Rewrite** the moved calls to their asynchronous variants
   (``mapAsync``/``unmapAsync``/...) and insert a ``cgcmSync`` in front
-  of the first same-block instruction that touches a deferred
-  write-back's unit.  Cross-block readers are caught at run time by
-  the ``CgcmRuntime`` load/store guard, which synchronizes the d2h
-  stream before the CPU observes the region -- so the sanitizer, the
+  of the first instruction that touches a deferred write-back's unit
+  on every CFG path leaving the write-back (loop back edges included),
+  so the ordering is explicit in the IR and statically checkable by
+  the happens-before auditor (``staticcheck/hbcheck``).  The
+  ``CgcmRuntime`` load/store guard, which synchronizes the d2h stream
+  before the CPU observes the region, remains as a safety net for
+  units the alias analysis cannot resolve -- so the sanitizer, the
   differential oracle, and the static mapping-state verifier all see
   exactly the coherence protocol they already check.
 
@@ -59,6 +62,15 @@ from ..runtime.api import (ARRAY_FUNCTIONS, ASYNC_VARIANTS,
                            MAP_FUNCTIONS, RELEASE_FUNCTIONS,
                            RUNTIME_FUNCTION_NAMES, RUNTIME_SIGNATURES,
                            SYNC_FUNCTION, UNMAP_FUNCTIONS)
+from .contract import PassContract
+
+#: Comm overlap renames managed calls to their async twins and inserts
+#: ``cgcmSync`` barriers, nothing else: twin-normalized the runtime
+#: calls must match, and every async operation it introduces owes the
+#: happens-before auditor a static ordering proof.
+CONTRACT = PassContract(stage="comm-overlap",
+                        runtime_calls="twin-normalized",
+                        check_hb=True)
 
 #: Entry points whose transfers cover the array unit *and* every unit
 #: its stored pointers reference.
@@ -386,32 +398,86 @@ class CommOverlap:
 
     # -- explicit syncs -------------------------------------------------------
 
+    def _touches(self, inst: Instruction, roots: FrozenSet[Root]) -> bool:
+        for root in roots:
+            mod, ref = self.modref.instruction_mod_ref(inst, root)
+            if mod or ref:
+                return True
+        return False
+
     def _insert_sync_after(self, call: Call) -> None:
-        """Place ``cgcmSync`` before the first same-block instruction
-        after ``call`` that touches the deferred write-back's unit.
-        Later blocks rely on the run-time guard instead."""
+        """Place ``cgcmSync`` before the first instruction that touches
+        the deferred write-back's unit, on *every* CFG path leaving
+        ``call`` (loop back edges included, so an in-loop write-back
+        followed next iteration by a read of the unit is ordered too).
+        Each path stops at the first existing sync, at the issue point
+        itself, or at the inserted barrier; paths that never touch the
+        unit get no sync -- the static happens-before auditor
+        (``staticcheck/hbcheck``) checks exactly this placement, and
+        the run-time load/store guard remains as a safety net for the
+        unit shapes the alias analysis cannot resolve."""
         roots = self._unit_roots(call)
         block = call.parent
         if roots is None or block is None:
             return
-        index = block.index(call)
-        for position in range(index + 1, len(block.instructions)):
-            inst = block.instructions[position]
-            if isinstance(inst, Call) \
-                    and inst.callee.name == SYNC_FUNCTION:
-                return  # already synchronized downstream
-            touches = False
-            for root in roots:
-                mod, ref = self.modref.instruction_mod_ref(inst, root)
-                if mod or ref:
-                    touches = True
+        unmap_loops = self._loops_of.get(block, frozenset())
+        work = [(block, block.index(call) + 1)]
+        visited: Set[BasicBlock] = set()
+        while work:
+            current, start = work.pop()
+            stopped = False
+            for position in range(start, len(current.instructions)):
+                inst = current.instructions[position]
+                if inst is call:
+                    stopped = True  # looped back to the issue point
                     break
-            if touches:
-                sync = Call(self.module.declare_function(
-                    SYNC_FUNCTION, RUNTIME_SIGNATURES[SYNC_FUNCTION]), [])
-                block.insert(position, sync)
-                self.stats["syncs_inserted"] += 1
-                return
+                if isinstance(inst, Call) \
+                        and inst.callee.name == SYNC_FUNCTION:
+                    stopped = True  # already synchronized on this path
+                    break
+                if self._touches(inst, roots):
+                    self._emit_sync(current, position)
+                    stopped = True
+                    break
+            if stopped:
+                continue
+            # About to walk into a loop that does not re-issue this
+            # write-back but does touch its unit somewhere inside: a
+            # barrier placed at the touch would execute every
+            # iteration, so put one single barrier in front of the
+            # loop instead (it also orders everything beyond it, so
+            # this path is done).
+            current_loops = self._loops_of.get(current, frozenset())
+            entering_touchy_loop = any(
+                loop not in current_loops and loop not in unmap_loops
+                and self._loop_touches(loop, roots)
+                for succ in current.successors
+                for loop in self._loops_of.get(succ, frozenset()))
+            if entering_touchy_loop:
+                terminator = len(current.instructions) - 1
+                previous = current.instructions[terminator - 1] \
+                    if terminator > 0 else None
+                if not (isinstance(previous, Call)
+                        and previous.callee.name == SYNC_FUNCTION):
+                    self._emit_sync(current, terminator)
+                continue
+            for succ in current.successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    work.append((succ, 0))
+
+    def _emit_sync(self, block: BasicBlock, position: int) -> None:
+        sync = Call(self.module.declare_function(
+            SYNC_FUNCTION, RUNTIME_SIGNATURES[SYNC_FUNCTION]), [])
+        block.insert(position, sync)
+        self.stats["syncs_inserted"] += 1
+
+    def _loop_touches(self, loop, roots: FrozenSet[Root]) -> bool:
+        for loop_block in loop.blocks:
+            for inst in loop_block.instructions:
+                if self._touches(inst, roots):
+                    return True
+        return False
 
 
 def overlap_communication(module: Module) -> Dict[str, int]:

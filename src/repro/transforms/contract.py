@@ -1,0 +1,48 @@
+"""Per-pass legality contracts for translation validation.
+
+Each optimize-stage transform declares a :class:`PassContract` module
+constant named ``CONTRACT``: the machine-checkable obligations a
+single run of the pass must uphold on its before/after module pair.
+The translation-validation harness (``staticcheck/transval``) replays
+these obligations after every pass when the pipeline runs with
+``CgcmConfig(validate=True)``.
+
+The obligations are *relational* -- they compare the output module
+against a snapshot of the input -- so they catch the miscompile
+classes a structural verifier cannot: a dropped kernel launch, a
+duplicated observable call, a map whose live range now crosses a
+mutating store (surfacing as a new mapping-state error), an async
+rewrite that lost a write-back barrier (surfacing as a happens-before
+error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PassContract:
+    """Obligations one transform pass owes its before/after IR pair."""
+
+    #: Stage name used in findings (``unit`` field) and reports.
+    stage: str
+    #: Kernel-launch multiset discipline: ``"equal"`` (the pass moves
+    #: or rewrites but never adds/removes launches) or ``"grow"`` (the
+    #: pass may add launches -- glue kernels -- but never remove one).
+    launches: str = "equal"
+    #: Runtime-call discipline per function: ``"any"`` (the pass may
+    #: insert/remove managed calls; the mapping-state regression check
+    #: guards it instead) or ``"twin-normalized"`` (modulo the
+    #: sync/async twin renaming and inserted ``cgcmSync`` barriers,
+    #: the per-function runtime-call multiset must be unchanged).
+    runtime_calls: str = "any"
+    #: Re-run the mapping-state verifier on the after module: any
+    #: error key (kind x function) absent before the pass is a
+    #: regression the pass introduced -- the static form of "a map's
+    #: live range must not grow across a mutating store".
+    check_mapstate_regression: bool = True
+    #: Run the happens-before auditor on the after module and require
+    #: zero errors (the pass introduced the asynchronous operations,
+    #: so it owes every one of them a static ordering proof).
+    check_hb: bool = False

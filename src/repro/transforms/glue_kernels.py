@@ -42,7 +42,13 @@ from ..analysis.alias import UNKNOWN, ordered_roots, underlying_objects
 from ..analysis.loops import Loop, find_loops, loop_preheader
 from ..analysis.cfg import predecessor_map
 from ..runtime.api import MAP_FUNCTIONS, RUNTIME_FUNCTION_NAMES
+from .contract import PassContract
 from .outline import clone_instruction, clone_region, erase_blocks
+
+#: Glue kernels may add launches (the outlined glue regions) but never
+#: remove one; the outlined code must not duplicate or drop observable
+#: external calls.
+CONTRACT = PassContract(stage="glue-kernels", launches="grow")
 
 _DEFAULT_MAX_INSTRUCTIONS = 60
 

@@ -36,6 +36,13 @@ from ..analysis.modref import ModRefAnalysis
 from ..runtime import api
 from ..runtime.api import (MAP_FUNCTIONS, RELEASE_FUNCTIONS,
                            RUNTIME_FUNCTION_NAMES, UNMAP_FUNCTIONS)
+from .contract import PassContract
+
+#: Map promotion hoists, sinks, and deletes managed calls, so the
+#: runtime-call multiset legitimately changes; the mapping-state
+#: regression check is the guard that the hoisted live ranges never
+#: cross a CPU access of the unit.
+CONTRACT = PassContract(stage="map-promotion")
 
 _MAX_ITERATIONS = 10
 

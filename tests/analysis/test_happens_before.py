@@ -1,0 +1,154 @@
+"""Happens-before analysis unit tests: graph and pending-token views.
+
+The explicit :func:`build_hb_graph` relation is the reference
+semantics (per-stream FIFO, event edges, barriers, host program
+order); the pending-token dataflow behind the ``hbcheck`` auditor must
+agree with it on every verdict both can express.
+"""
+
+from repro.analysis.happens_before import (HBNode, async_op_kind,
+                                           build_hb_graph)
+from repro.frontend import compile_minic
+from repro.ir.instructions import Call, LaunchKernel, Load
+
+_KERNEL = ("__global__ void scale(long tid) "
+           "{ A[tid] = A[tid] * 2.0; }")
+
+
+def _main(source):
+    module = compile_minic(source)
+    return module.functions["main"]
+
+
+def _calls(fn, name):
+    return [inst for inst in fn.instructions()
+            if isinstance(inst, Call) and inst.callee.name == name]
+
+
+def _loads(fn):
+    return [inst for inst in fn.instructions() if isinstance(inst, Load)]
+
+
+class TestAsyncOpKind:
+    def test_registry_derived_classification(self):
+        assert async_op_kind("mapAsync") == "h2d"
+        assert async_op_kind("mapArrayAsync") == "h2d"
+        assert async_op_kind("unmapAsync") == "d2h"
+        assert async_op_kind("unmapArrayAsync") == "d2h"
+        assert async_op_kind("cgcmSync") == "sync"
+
+    def test_sync_twins_and_non_runtime_are_not_stream_ops(self):
+        assert async_op_kind("map") is None
+        assert async_op_kind("unmap") is None
+        assert async_op_kind("release") is None
+        assert async_op_kind("print_f64") is None
+
+
+class TestHBGraph:
+    def _well_ordered(self):
+        return _main(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}}
+""")
+
+    def test_issue_order_follows_program_order(self):
+        fn = self._well_ordered()
+        graph = build_hb_graph(fn)
+        (h2d,) = _calls(fn, "mapAsync")
+        (d2h,) = _calls(fn, "unmapAsync")
+        assert graph.issue_before(h2d, d2h)
+        assert not graph.issue_before(d2h, h2d)
+
+    def test_launch_fences_the_upload(self):
+        fn = self._well_ordered()
+        graph = build_hb_graph(fn)
+        (h2d,) = _calls(fn, "mapAsync")
+        (launch,) = [i for i in fn.instructions()
+                     if isinstance(i, LaunchKernel)]
+        assert graph.ordered(HBNode(h2d, "done"), HBNode(launch, "done"))
+
+    def test_writeback_waits_on_the_launch(self):
+        fn = self._well_ordered()
+        graph = build_hb_graph(fn)
+        (d2h,) = _calls(fn, "unmapAsync")
+        (launch,) = [i for i in fn.instructions()
+                     if isinstance(i, LaunchKernel)]
+        assert graph.ordered(HBNode(launch, "done"), HBNode(d2h, "done"))
+
+    def test_barrier_orders_the_writeback_before_the_read(self):
+        fn = self._well_ordered()
+        graph = build_hb_graph(fn)
+        (d2h,) = _calls(fn, "unmapAsync")
+        (sync,) = _calls(fn, "cgcmSync")
+        read = _loads(fn)[-1]  # the A[0] read after the barrier
+        assert graph.ordered(HBNode(d2h, "done"), HBNode(sync, "issue"))
+        assert graph.ordered(HBNode(d2h, "done"), HBNode(read, "issue"))
+
+    def test_unsynced_read_has_no_ordering_proof(self):
+        fn = _main(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    print_f64(A[0]);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        graph = build_hb_graph(fn)
+        (d2h,) = _calls(fn, "unmapAsync")
+        read = _loads(fn)[0]
+        assert not graph.ordered(HBNode(d2h, "done"),
+                                 HBNode(read, "issue"))
+
+    def test_per_stream_fifo(self):
+        fn = _main("""
+double A[8];
+double B[8];
+int main(void) {
+    mapAsync((char *) A);
+    mapAsync((char *) B);
+    cgcmSync();
+    release((char *) A);
+    release((char *) B);
+    return 0;
+}
+""")
+        graph = build_hb_graph(fn)
+        first, second = _calls(fn, "mapAsync")
+        assert graph.ordered(HBNode(first, "done"),
+                             HBNode(second, "done"))
+        assert not graph.ordered(HBNode(second, "done"),
+                                 HBNode(first, "done"))
+
+    def test_race_without_launch_has_no_cross_stream_proof(self):
+        fn = _main("""
+double A[8];
+int main(void) {
+    mapAsync((char *) A);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}
+""")
+        graph = build_hb_graph(fn)
+        (h2d,) = _calls(fn, "mapAsync")
+        (d2h,) = _calls(fn, "unmapAsync")
+        # No launch separates the streams: neither completion is
+        # provably ordered against the other.
+        assert not graph.ordered(HBNode(h2d, "done"), HBNode(d2h, "done"))
+        assert not graph.ordered(HBNode(d2h, "done"), HBNode(h2d, "done"))

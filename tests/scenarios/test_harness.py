@@ -18,7 +18,7 @@ class TestPropertyMatrix:
         assert report.passed == 4
 
     def test_every_property_is_checked(self):
-        verdict = check_program(generate_program(0, 0))
+        verdict = check_program(generate_program(0, 0), validate=True)
         assert tuple(o.prop for o in verdict.outcomes) == PROPERTIES
 
     def test_verdicts_are_reproducible(self):
@@ -97,7 +97,7 @@ class TestShrinker:
         from repro.scenarios.harness import (PropertyOutcome,
                                              ScenarioVerdict)
 
-        def fake_check_program(program, slow=False):
+        def fake_check_program(program, slow=False, validate=False):
             verdict = ScenarioVerdict(program.name)
             bad = "rep++" in program.source
             verdict.outcomes.append(PropertyOutcome(

@@ -19,7 +19,7 @@ class TestLintCommand:
         assert report["module"] == "atax"
         assert report["clean"] is True
         assert report["passes"] == ["verify", "mapstate", "redundant",
-                                    "doall"]
+                                    "doall", "hbcheck"]
 
     def test_source_path_target(self, tmp_path, capsys):
         bad = tmp_path / "bad.c"
@@ -45,11 +45,11 @@ int main(void) {
         captured = capsys.readouterr()
         assert "MISSED" not in captured.out
         assert "FALSE POSITIVE" not in captured.out
-        assert "corpus 20/20 as expected" in captured.err
+        assert "corpus 27/27 as expected" in captured.err
 
     def test_corpus_json(self, capsys):
         assert main(["lint", "--corpus", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["reports"] == []
-        assert len(payload["corpus"]) == 20
+        assert len(payload["corpus"]) == 27
         assert all(entry["caught"] for entry in payload["corpus"])

@@ -23,7 +23,7 @@ def test_corpus_is_large_enough():
 
 def test_every_pass_is_exercised():
     passes = {d.expected_pass for d in CORPUS if not d.is_control}
-    assert passes == {"mapstate", "redundant", "doall"}
+    assert passes == {"mapstate", "redundant", "doall", "hbcheck"}
 
 
 @pytest.mark.parametrize("name", _DEFECTS)

@@ -1,0 +1,138 @@
+"""Finding identity: fingerprints, deterministic ordering, SARIF."""
+
+import hashlib
+import json
+
+from repro.frontend import compile_minic
+from repro.staticcheck import (Severity, lint_module, sarif_document)
+from repro.staticcheck.findings import Finding, LintReport
+
+
+def _finding(**overrides):
+    base = dict(pass_name="mapstate", kind="launch-unmapped",
+                severity=Severity.ERROR, function="main", block="body",
+                block_position=2, index=7, message="the message",
+                unit="@A")
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestFingerprint:
+    def test_identity_coordinates_only(self):
+        # Shifting the instruction position or rewording the message
+        # must keep the fingerprint: CI baselines survive refactors.
+        original = _finding()
+        moved = _finding(block_position=5, index=0,
+                         message="reworded diagnostic",
+                         severity=Severity.NOTE)
+        assert original.fingerprint == moved.fingerprint
+
+    def test_each_coordinate_is_significant(self):
+        original = _finding()
+        for field, value in [("pass_name", "hbcheck"),
+                             ("kind", "launch-raw-pointer"),
+                             ("function", "helper"),
+                             ("unit", "@B"),
+                             ("block", "exit")]:
+            assert _finding(**{field: value}).fingerprint \
+                != original.fingerprint, field
+
+    def test_sha1_derivation_is_stable_across_processes(self):
+        finding = _finding()
+        identity = "\x1f".join(("mapstate", "launch-unmapped", "main",
+                                "@A", "body"))
+        expected = hashlib.sha1(
+            identity.encode("utf-8")).hexdigest()[:16]
+        assert finding.fingerprint == expected
+
+    def test_separator_prevents_coordinate_gluing(self):
+        # ("ab", "c") and ("a", "bc") must not collide.
+        glued = _finding(function="mainx", unit="@A")
+        split = _finding(function="main", unit="x@A")
+        assert glued.fingerprint != split.fingerprint
+
+
+class TestDeterministicReports:
+    _SOURCE = """
+double A[8];
+double B[8];
+__global__ void k(long tid) { A[tid] = B[tid]; }
+int main(void) {
+    map((char *) B);
+    __launch(k, 8);
+    unmap((char *) A);
+    unmap((char *) B);
+    release((char *) B);
+    return 0;
+}
+"""
+
+    def test_findings_are_sorted_on_construction(self):
+        module = compile_minic(self._SOURCE)
+        report = lint_module(module)
+        assert report.findings == sorted(report.findings,
+                                         key=Finding.sort_key)
+        shuffled = LintReport(report.module_name,
+                              list(reversed(report.findings)),
+                              report.passes_run)
+        assert [f.fingerprint for f in shuffled.findings] \
+            == [f.fingerprint for f in report.findings]
+
+    def test_json_roundtrip_is_bytewise_reproducible(self):
+        module = compile_minic(self._SOURCE)
+        first = json.dumps(lint_module(module).to_json(), indent=2)
+        second = json.dumps(
+            lint_module(compile_minic(self._SOURCE)).to_json(), indent=2)
+        assert first == second
+
+    def test_mapstate_findings_carry_unit_labels(self):
+        module = compile_minic(self._SOURCE)
+        report = lint_module(module, passes=("mapstate",))
+        assert report.findings
+        units = {f.unit for f in report.findings}
+        assert "@A" in units or "@B" in units
+        # Findings about different units never share a fingerprint.
+        per_unit = {}
+        for f in report.findings:
+            per_unit.setdefault((f.kind, f.function, f.unit),
+                                set()).add(f.fingerprint)
+        prints = [fp for fps in per_unit.values() for fp in fps]
+        assert len(prints) == len(set(prints))
+
+
+class TestSarif:
+    def _reports(self):
+        module = compile_minic(TestDeterministicReports._SOURCE)
+        return [lint_module(module)]
+
+    def test_document_shape(self):
+        doc = sarif_document(self._reports())
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"], "expected findings on the dirty module"
+
+    def test_results_reference_declared_rules(self):
+        (run,) = sarif_document(self._reports())["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [rule["id"] for rule in rules]
+        assert len(rule_ids) == len(set(rule_ids))
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_partial_fingerprints_match_finding_identity(self):
+        (report,) = self._reports()
+        (run,) = sarif_document([report])["runs"]
+        sarif_prints = [r["partialFingerprints"]["repro/finding/v1"]
+                        for r in run["results"]]
+        assert sarif_prints == [f.fingerprint for f in report.findings]
+
+    def test_levels_use_sarif_vocabulary(self):
+        (run,) = sarif_document(self._reports())["runs"]
+        assert {r["level"] for r in run["results"]} \
+            <= {"error", "warning", "note"}
+
+    def test_document_is_json_serializable(self):
+        json.dumps(sarif_document(self._reports()))

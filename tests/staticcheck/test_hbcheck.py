@@ -1,0 +1,335 @@
+"""Async happens-before auditor unit tests (pass-level and pipeline).
+
+Covers the hazard taxonomy on hand-managed async IR, the precision
+contract (errors only on fully analyzable unit facts, notes
+otherwise), cross-validation against the explicit happens-before
+graph, and the mutation property: deleting any single ``cgcmSync``
+the comm-overlap transform inserted must be caught.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.happens_before import HBNode, build_hb_graph
+from repro.core.compiler import CgcmCompiler
+from repro.core.config import CgcmConfig
+from repro.frontend import compile_minic
+from repro.ir.instructions import Call, Load
+from repro.runtime.api import SYNC_FUNCTION
+from repro.scenarios import scenario_specs
+from repro.scenarios.generator import materialize
+from repro.staticcheck import Severity, lint_module
+from repro.workloads import get_workload
+
+_KERNEL = ("__global__ void scale(long tid) "
+           "{ A[tid] = A[tid] * 2.0; }")
+
+
+def lint(source, passes=("hbcheck",)):
+    return lint_module(compile_minic(source), passes=passes)
+
+
+class TestAsyncHazards:
+    def test_read_before_sync_is_an_error(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    print_f64(A[0]);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        (finding,) = report.by_kind("hb-use-before-sync")
+        assert finding.severity is Severity.ERROR
+        assert "@A" in finding.message
+        assert finding.unit == "@A"
+
+    def test_write_during_writeback_is_a_ww_error(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    A[0] = 99.0;
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        (finding,) = report.by_kind("hb-ww-conflict")
+        assert finding.severity is Severity.ERROR
+
+    def test_unmap_racing_map_without_launch(self):
+        report = lint("""
+double A[8];
+int main(void) {
+    mapAsync((char *) A);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}
+""")
+        (finding,) = report.by_kind("hb-map-unmap-race")
+        assert finding.severity is Severity.ERROR
+
+    def test_launch_fences_the_race_away(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert not report.by_kind("hb-map-unmap-race")
+        assert report.clean
+
+    def test_sync_with_nothing_recorded_warns(self):
+        report = lint("""
+int main(void) {
+    cgcmSync();
+    return 0;
+}
+""")
+        (finding,) = report.by_kind("hb-sync-unrecorded")
+        assert finding.severity is Severity.WARNING
+
+    def test_back_to_back_sync_is_dead(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        (finding,) = report.by_kind("hb-dead-sync")
+        assert finding.severity is Severity.WARNING
+
+    def test_well_ordered_schedule_has_no_findings(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}}
+""")
+        assert not report.findings
+
+
+class TestPrecisionContract:
+    def test_foreign_writeback_is_a_note(self):
+        # The pending write-back crosses a call boundary: only the
+        # run-time guard orders the read, so the contract demands a
+        # note, never an error.
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+void flush(void) {{
+    unmapAsync((char *) A);
+}}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    flush();
+    print_f64(A[0]);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        findings = report.by_kind("hb-use-before-sync")
+        assert findings, report.render()
+        assert all(f.severity is Severity.NOTE for f in findings)
+        assert any("call boundary" in f.message for f in findings)
+
+    def test_path_dependent_upload_race_is_a_note(self):
+        # The upload is pending on only one path to the unmap: the
+        # race is real on that path but not provable on all paths, so
+        # h2d_must is off and the report degrades to a note.
+        report = lint("""
+double A[8];
+long n;
+int main(void) {
+    n = 1;
+    if (n > 0) { mapAsync((char *) A); }
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}
+""")
+        findings = report.by_kind("hb-map-unmap-race")
+        assert findings, report.render()
+        assert all(f.severity is Severity.NOTE for f in findings)
+
+    def test_callee_sync_counts_as_must_fence(self):
+        report = lint(f"""
+double A[8];
+{_KERNEL}
+void barrier(void) {{
+    cgcmSync();
+}}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    barrier();
+    print_f64(A[0]);
+    release((char *) A);
+    return 0;
+}}
+""")
+        assert not report.by_kind("hb-use-before-sync"), report.render()
+
+
+class TestGraphCrossValidation:
+    """Every dataflow error verdict must agree with the explicit
+    must-happens-before graph: an error means no ordering proof
+    exists; a clean read means the graph proves the ordering."""
+
+    def _first_global_read(self, fn):
+        for inst in fn.instructions():
+            if isinstance(inst, Load):
+                return inst
+        raise AssertionError("no load found")
+
+    def test_flagged_read_has_no_graph_proof(self):
+        module = compile_minic(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    print_f64(A[0]);
+    cgcmSync();
+    release((char *) A);
+    return 0;
+}}
+""")
+        report = lint_module(module, passes=("hbcheck",))
+        assert report.by_kind("hb-use-before-sync")
+        fn = module.functions["main"]
+        graph = build_hb_graph(fn)
+        (d2h,) = [i for i in fn.instructions() if isinstance(i, Call)
+                  and i.callee.name == "unmapAsync"]
+        read = self._first_global_read(fn)
+        assert not graph.ordered(HBNode(d2h, "done"),
+                                 HBNode(read, "issue"))
+
+    def test_clean_read_has_a_graph_proof(self):
+        module = compile_minic(f"""
+double A[8];
+{_KERNEL}
+int main(void) {{
+    mapAsync((char *) A);
+    __launch(scale, 8);
+    unmapAsync((char *) A);
+    cgcmSync();
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}}
+""")
+        report = lint_module(module, passes=("hbcheck",))
+        assert not report.findings
+        fn = module.functions["main"]
+        graph = build_hb_graph(fn)
+        (d2h,) = [i for i in fn.instructions() if isinstance(i, Call)
+                  and i.callee.name == "unmapAsync"]
+        read = self._first_global_read(fn)
+        assert graph.ordered(HBNode(d2h, "done"), HBNode(read, "issue"))
+
+
+def _fingerprints(report, pass_name="hbcheck"):
+    return {f.fingerprint for f in report.findings
+            if f.pass_name == pass_name}
+
+
+class TestMutationIsCaught:
+    """The ``cgcmSync`` barriers the comm-overlap transform inserts
+    carry the schedule's ordering proof: some single deletion out of a
+    known-clean schedule must produce a new hbcheck finding, and
+    stripping every barrier must always be caught.  (A single deletion
+    need not always trip the auditor -- a sibling barrier can still
+    cover the touch -- which is exactly the dead-sync taxonomy.)"""
+
+    def _compile_streams(self, name, source):
+        config = CgcmConfig(streams=True)
+        return CgcmCompiler(config).compile_source(source, name)
+
+    def _syncs(self, module):
+        return [inst for fn in module.defined_functions()
+                for inst in fn.instructions()
+                if isinstance(inst, Call)
+                and inst.callee.name == SYNC_FUNCTION]
+
+    @pytest.mark.parametrize("name", ["atax", "kmeans", "gramschmidt"])
+    def test_some_single_sync_deletion_is_caught(self, name):
+        source = get_workload(name).source
+        baseline_report = self._compile_streams(name, source)
+        assert baseline_report.overlap_stats.get("syncs_inserted", 0) > 0
+        baseline = lint_module(baseline_report.module,
+                               passes=("hbcheck",))
+        assert baseline.clean, baseline.render()
+        sync_count = len(self._syncs(baseline_report.module))
+
+        caught = []
+        for victim in range(sync_count):
+            module = self._compile_streams(name, source).module
+            target = self._syncs(module)[victim]
+            target.parent.instructions.remove(target)
+            mutated = lint_module(module, passes=("hbcheck",))
+            if _fingerprints(mutated) - _fingerprints(baseline):
+                caught.append(victim)
+        assert caught, (
+            f"{name}: no single cgcmSync deletion was noticed "
+            f"({sync_count} barriers)")
+
+    @pytest.mark.parametrize("name", ["atax", "kmeans", "gramschmidt"])
+    def test_stripping_every_sync_is_caught(self, name):
+        source = get_workload(name).source
+        module = self._compile_streams(name, source).module
+        for target in self._syncs(module):
+            target.parent.instructions.remove(target)
+        mutated = lint_module(module, passes=("hbcheck",))
+        assert _fingerprints(mutated), (
+            f"{name}: removing all barriers went unnoticed")
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=scenario_specs())
+def test_property_generated_streams_schedules_audit_clean(spec):
+    """Any drawable fuzzer program, compiled with streams, passes the
+    happens-before auditor with zero errors: the pipeline only ever
+    emits statically provable schedules."""
+    program = materialize(spec, "hb-hypothesis")
+    report = CgcmCompiler(CgcmConfig(streams=True)).compile_source(
+        program.source, program.name)
+    lint = lint_module(report.module, passes=("hbcheck",))
+    assert lint.clean, lint.render()

@@ -1,0 +1,266 @@
+"""Translation-validation harness: obligations, gating, CLI surface.
+
+The harness must pass silently on every real pipeline stage of every
+workload, and catch each obligation class when a "pass" is broken on
+purpose (the classic translation-validation smoke test: validate the
+validator against seeded miscompilations).
+"""
+
+import pytest
+
+from repro.core.compiler import CgcmCompiler
+from repro.core.config import CgcmConfig
+from repro.errors import TransformValidationError
+from repro.frontend import compile_minic
+from repro.ir.instructions import Call, LaunchKernel
+from repro.ir.parser import parse_module
+from repro.ir.printer import module_to_str
+from repro.runtime.api import SYNC_FUNCTION
+from repro.staticcheck import TranslationValidator, validate_stage
+from repro.staticcheck.linter import lint_source
+from repro.transforms import (alloca_promotion, comm_overlap,
+                              glue_kernels, map_promotion)
+from repro.transforms.contract import PassContract
+from repro.workloads import get_workload
+
+_SOURCE = """
+double A[8];
+__global__ void scale(long tid) { A[tid] = A[tid] * 2.0; }
+int main(void) {
+    for (int i = 0; i < 8; i++) A[i] = i + 1;
+    map((char *) A);
+    __launch(scale, 8);
+    unmap((char *) A);
+    release((char *) A);
+    print_f64(A[0]);
+    return 0;
+}
+"""
+
+_CONTRACT = PassContract(stage="test-stage")
+
+
+def _replica(module):
+    """Independent copy of a module via the golden IR round-trip."""
+    return parse_module(module_to_str(module))
+
+
+def _kinds(findings):
+    return sorted({f.kind for f in findings})
+
+
+class TestSeededMiscompilations:
+    def _module(self):
+        return compile_minic(_SOURCE)
+
+    def test_identity_pass_validates_clean(self):
+        module = self._module()
+        assert validate_stage(_CONTRACT, _replica(module), module) == []
+
+    def test_dropped_launch_is_caught(self):
+        module = self._module()
+        before = _replica(module)
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, LaunchKernel):
+                    inst.parent.instructions.remove(inst)
+        findings = validate_stage(_CONTRACT, before, module)
+        assert "launches-changed" in _kinds(findings)
+        assert all(f.severity.name == "ERROR" for f in findings)
+
+    def test_grow_contract_permits_new_launches_only(self):
+        grow = PassContract(stage="grow-stage", launches="grow")
+        module = self._module()
+        before = _replica(module)
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, LaunchKernel):
+                    inst.parent.instructions.remove(inst)
+        # Losing a launch is a violation even under the grow contract.
+        findings = validate_stage(grow, before, module)
+        assert "launches-changed" in _kinds(findings)
+
+    def test_dropped_observable_call_is_caught(self):
+        module = self._module()
+        before = _replica(module)
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, Call) \
+                        and inst.callee.name == "print_f64":
+                    inst.parent.instructions.remove(inst)
+        findings = validate_stage(_CONTRACT, before, module)
+        assert "external-calls-changed" in _kinds(findings)
+
+    def test_dropped_global_is_caught(self):
+        module = self._module()
+        before = _replica(module)
+        before.globals["phantom"] = before.globals["A"]
+        findings = validate_stage(_CONTRACT, before, module)
+        assert "globals-dropped" in _kinds(findings)
+        assert any("@phantom" in f.message for f in findings)
+
+    def test_dropped_runtime_call_is_caught_twin_normalized(self):
+        contract = PassContract(stage="overlap-stage",
+                                runtime_calls="twin-normalized")
+        module = self._module()
+        before = _replica(module)
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, Call) \
+                        and inst.callee.name == "unmap":
+                    inst.parent.instructions.remove(inst)
+        findings = validate_stage(contract, before, module)
+        assert "runtime-calls-changed" in _kinds(findings)
+        assert any("unmap" in f.message for f in findings)
+
+    def test_async_rename_is_invisible_under_twin_normalization(self):
+        from repro.runtime.api import ASYNC_VARIANTS, RUNTIME_SIGNATURES
+        contract = PassContract(stage="overlap-stage",
+                                runtime_calls="twin-normalized")
+        module = self._module()
+        before = _replica(module)
+        # Reproduce what comm overlap legitimately does: rename the
+        # managed calls to their async twins and add a barrier.
+        for fn in list(module.defined_functions()):
+            for inst in fn.instructions():
+                if isinstance(inst, Call) \
+                        and inst.callee.name in ASYNC_VARIANTS:
+                    twin = ASYNC_VARIANTS[inst.callee.name]
+                    inst.callee = module.declare_function(
+                        twin, RUNTIME_SIGNATURES[twin])
+        sync = Call(module.declare_function(
+            SYNC_FUNCTION, RUNTIME_SIGNATURES[SYNC_FUNCTION]), [])
+        last = list(module.functions["main"].blocks)[-1]
+        last.insert(len(last.instructions) - 1, sync)
+        findings = validate_stage(contract, before, module)
+        assert "runtime-calls-changed" not in _kinds(findings)
+
+    def test_mapstate_regression_is_caught(self):
+        module = self._module()
+        before = _replica(module)
+        # Break the protocol on the after side only: drop the release.
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, Call) \
+                        and inst.callee.name == "release":
+                    inst.parent.instructions.remove(inst)
+        findings = validate_stage(_CONTRACT, before, module)
+        assert "mapstate-regression" in _kinds(findings)
+
+    def test_hb_obligation_catches_unordered_async(self):
+        contract = PassContract(stage="overlap-stage", check_hb=True,
+                                check_mapstate_regression=False)
+        compiled = CgcmCompiler(CgcmConfig(streams=True)).compile_source(
+            get_workload("atax").source, "atax")
+        module = compiled.module
+        # The hb obligation only inspects the after side, so the
+        # unmutated module can stand in as its own "before".
+        before = module
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, Call) \
+                        and inst.callee.name == SYNC_FUNCTION:
+                    inst.parent.instructions.remove(inst)
+        findings = validate_stage(contract, before, module)
+        assert "hb-regression" in _kinds(findings)
+
+
+class TestValidatorHarness:
+    def test_validator_accumulates_and_advances_snapshots(self):
+        module = compile_minic(_SOURCE)
+        validator = TranslationValidator()
+        validator.begin(module)
+        assert validator.check(_CONTRACT, module) == []
+        # Mutate after the snapshot advanced: the next check sees it.
+        for fn in module.defined_functions():
+            for inst in list(fn.instructions()):
+                if isinstance(inst, LaunchKernel):
+                    inst.parent.instructions.remove(inst)
+        findings = validator.check(_CONTRACT, module)
+        assert "launches-changed" in _kinds(findings)
+        assert validator.errors == findings
+
+    def test_pipeline_gates_on_a_broken_pass(self, monkeypatch):
+        from repro.transforms.comm_overlap import CommOverlap
+
+        original = CommOverlap.run
+
+        def sabotaged(self):
+            stats = original(self)
+            for fn in self.module.defined_functions():
+                for inst in list(fn.instructions()):
+                    if isinstance(inst, Call) \
+                            and inst.callee.name == SYNC_FUNCTION:
+                        inst.parent.instructions.remove(inst)
+            return stats
+
+        monkeypatch.setattr(CommOverlap, "run", sabotaged)
+        config = CgcmConfig(streams=True, validate=True)
+        with pytest.raises(TransformValidationError) as excinfo:
+            CgcmCompiler(config).compile_source(
+                get_workload("atax").source, "atax")
+        assert excinfo.value.findings
+        assert {f.kind for f in excinfo.value.findings} \
+            >= {"hb-regression"}
+        assert excinfo.value.report.module is not None
+
+    def test_report_carries_validation_findings(self):
+        config = CgcmConfig(streams=True, validate=True)
+        report = CgcmCompiler(config).compile_source(
+            get_workload("atax").source, "atax")
+        assert report.validation == []
+
+
+class TestContracts:
+    def test_every_optimize_pass_declares_a_contract(self):
+        assert glue_kernels.CONTRACT.stage == "glue-kernels"
+        assert glue_kernels.CONTRACT.launches == "grow"
+        assert alloca_promotion.CONTRACT.stage == "alloca-promotion"
+        assert map_promotion.CONTRACT.stage == "map-promotion"
+        assert comm_overlap.CONTRACT.stage == "comm-overlap"
+        assert comm_overlap.CONTRACT.runtime_calls == "twin-normalized"
+        assert comm_overlap.CONTRACT.check_hb
+
+
+class TestLintSurface:
+    def test_lint_validate_merges_transval_pass(self):
+        report = lint_source(get_workload("atax").source, "atax",
+                             streams=True, validate=True)
+        assert report.clean, report.render()
+        assert "transval" in report.passes_run
+
+    def test_lint_without_validate_omits_transval(self):
+        report = lint_source(get_workload("atax").source, "atax",
+                             streams=True)
+        assert "transval" not in report.passes_run
+
+
+_FAST_SUBSET = ["atax", "gemm", "hotspot"]
+
+
+@pytest.mark.parametrize("name", _FAST_SUBSET)
+@pytest.mark.parametrize("streams", [False, True])
+def test_workload_pipeline_validates_clean(name, streams):
+    config = CgcmConfig(streams=streams, validate=True)
+    report = CgcmCompiler(config).compile_source(
+        get_workload(name).source, name)
+    assert report.validation == []
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("streams", [False, True])
+def test_all_workloads_validate_clean_slow(streams):
+    from repro.workloads import workload_names
+    failures = []
+    for name in workload_names():
+        config = CgcmConfig(streams=streams, validate=True)
+        try:
+            report = CgcmCompiler(config).compile_source(
+                get_workload(name).source, name)
+        except TransformValidationError as exc:
+            failures.append((name, [f.render() for f in exc.findings]))
+            continue
+        if report.validation:
+            failures.append(
+                (name, [f.render() for f in report.validation]))
+    assert not failures, failures

@@ -19,7 +19,8 @@ _FAST_SUBSET = ("atax", "gemm", "hotspot")
 def test_workload_lints_clean(name):
     report = lint_workload(get_workload(name))
     assert report.clean, report.render()
-    assert report.passes_run == ["verify", "mapstate", "redundant", "doall"]
+    assert report.passes_run == ["verify", "mapstate", "redundant",
+                                 "doall", "hbcheck"]
 
 
 @pytest.mark.slow
