@@ -14,6 +14,8 @@ Usage::
     python -m repro lint [<workload-or-source> ...] [--json] [--sarif]
     python -m repro lint [--corpus] [--faults SEED] [--validate]
     python -m repro fuzz [--seed N] [--count M] [--slow] [--artifacts D]
+    python -m repro serve [--clients N] [--policy fair] [--tenants SPEC]
+    python -m repro servebench [--clients 10 100 1000] [--out F.json]
     python -m repro list
 
 ``run`` compiles a MiniC source file at the chosen optimization level
@@ -50,6 +52,16 @@ matrix -- CPU-reference oracle, level equivalence, engine equivalence
 (clock-for-clock), streams on/off, sanitizer cleanliness, static-check
 cleanliness, and fault-injection byte-identity.  Failures are
 minimized and written under ``--artifacts``.
+
+``serve`` drives the compile-once serve-many request loop on the
+built-in mix: ``--clients`` concurrent requests are admitted, batched,
+and executed in simulated time with shared read-only device mappings
+and per-tenant quotas (``--tenants "gold,tight=24576"`` caps tenant
+device heaps); ``servebench`` sweeps clients x cache x sharing and
+writes ``BENCH_serve.json``.  ``run``/``fuzz`` accept
+``--cache-stats`` to print the artifact-cache counters
+(``repro.api.cache_stats()``), and ``trace --serve N`` dumps a serve
+run's timeline with one track per request.
 """
 
 from __future__ import annotations
@@ -132,6 +144,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "style)")
     run_cmd.add_argument("--stats", action="store_true",
                          help="print timing breakdown and counters")
+    run_cmd.add_argument("--cache-stats", action="store_true",
+                         help="print artifact-cache counters "
+                              "(hits/misses/evictions/entries) after "
+                              "the run")
 
     emit_cmd = commands.add_parser("emit-ir",
                                    help="print the transformed IR")
@@ -144,10 +160,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump one run's timeline as Chrome trace-event JSON "
              "(load in chrome://tracing or ui.perfetto.dev)")
     trace_cmd.add_argument(
-        "target", help="workload name (see 'list') or MiniC source path")
+        "target", nargs="?", default=None,
+        help="workload name (see 'list') or MiniC source path "
+             "(not used with --serve)")
     _add_level_argument(trace_cmd)
     _add_engine_argument(trace_cmd)
     _add_streams_argument(trace_cmd)
+    trace_cmd.add_argument(
+        "--serve", type=int, default=None, metavar="CLIENTS",
+        help="trace a serve run of this many concurrent mix requests "
+             "instead of one workload (one track per request: "
+             "admission, queue wait, compile, transfer, launch)")
     trace_cmd.add_argument(
         "--out", default="-",
         help="output path (default: stdout)")
@@ -243,7 +266,74 @@ def _build_parser() -> argparse.ArgumentParser:
                                "the JSON report) into this directory")
     fuzz_cmd.add_argument("--no-minimize", action="store_true",
                           help="skip counterexample minimization")
+    fuzz_cmd.add_argument("--cache-stats", action="store_true",
+                          help="print artifact-cache counters after "
+                               "the fuzz run")
     _add_validate_argument(fuzz_cmd)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="compile-once serve-many request loop: admit, batch, and "
+             "execute concurrent mix requests in simulated time")
+    serve_cmd.add_argument("--clients", type=int, default=50,
+                           help="concurrent requests (default 50; one "
+                                "burst at t=0)")
+    serve_cmd.add_argument("--seed", type=int, default=0,
+                           help="mix seed (default 0)")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="host workers (default 4)")
+    serve_cmd.add_argument("--policy", choices=("fifo", "fair"),
+                           default="fifo",
+                           help="admission policy (default fifo)")
+    serve_cmd.add_argument("--batch-limit", type=int, default=64,
+                           help="largest shared dispatch (default 64)")
+    serve_cmd.add_argument("--no-batching", action="store_true",
+                           help="dispatch every request alone")
+    serve_cmd.add_argument("--no-sharing", action="store_true",
+                           help="never share read-only device copies")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="charge a full compile per request "
+                                "(the cache-off ablation)")
+    serve_cmd.add_argument("--sanitize", action="store_true",
+                           help="arm the communication sanitizer on "
+                                "every request's run")
+    serve_cmd.add_argument("--shuffle-seed", type=int, default=None,
+                           help="seeded shuffle of the pending queue "
+                                "before each dispatch")
+    serve_cmd.add_argument("--spread", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="spread arrivals uniformly over this "
+                                "window instead of one burst")
+    serve_cmd.add_argument("--tenants", default=None, metavar="SPEC",
+                           help="comma-separated tenants, each "
+                                "name[=heap-limit-bytes]; requests "
+                                "round-robin over them "
+                                "(e.g. 'gold,tight=24576')")
+    serve_cmd.add_argument("--quota-mix", action="store_true",
+                           help="serve the heap-allocating quota mix "
+                                "(exercises eviction and strict "
+                                "heap-limit rejection under tenant "
+                                "caps)")
+    serve_cmd.add_argument("--json", action="store_true",
+                           dest="as_json",
+                           help="emit the full report as JSON")
+
+    servebench_cmd = commands.add_parser(
+        "servebench",
+        help="serve sweep: clients x cache x sharing, with byte-"
+             "identity and sanitizer verification per scale")
+    servebench_cmd.add_argument(
+        "--clients", type=int, nargs="*", default=None,
+        help="client scales (default: 10 100 1000)")
+    servebench_cmd.add_argument("--seed", type=int, default=0,
+                                help="mix seed (default 0)")
+    servebench_cmd.add_argument("--no-verify", action="store_true",
+                                help="skip the byte-identity and "
+                                     "sanitized verification passes")
+    servebench_cmd.add_argument(
+        "--out", default="BENCH_serve.json",
+        help="where to write the JSON report (default "
+             "BENCH_serve.json)")
 
     commands.add_parser("list", help="list the 24 paper workloads")
     return parser
@@ -275,12 +365,19 @@ def _compile(path: str, level_name: str, record_events: bool = False,
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    compiler, report = _compile(args.source, args.level, args.trace,
-                                args.engine, args.streams,
-                                faults=_fault_plan(args.faults),
-                                heap_limit=args.heap_limit,
-                                validate=args.validate)
-    result = compiler.execute(report)
+    from . import api
+
+    with open(args.source) as handle:
+        source = handle.read()
+    config = CgcmConfig(opt_level=_LEVELS[args.level],
+                        record_events=args.trace, engine=args.engine,
+                        streams=args.streams,
+                        faults=_fault_plan(args.faults),
+                        device_heap_limit=args.heap_limit,
+                        validate=args.validate)
+    workload = api.compile_workload(source, config, name=args.source)
+    report = workload.report
+    result = workload.run()
     for line in result.stdout:
         print(line)
     if args.stats:
@@ -317,7 +414,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                       file=sys.stderr)
     if args.trace:
         print(render_schedule(result.events), file=sys.stderr)
+    if args.cache_stats:
+        _print_cache_stats()
     return result.exit_code
+
+
+def _print_cache_stats() -> None:
+    from . import api
+
+    stats = api.cache_stats()
+    print("artifact cache: "
+          f"{stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['evictions']} evictions, "
+          f"{stats['entries']}/{stats['capacity']} entries",
+          file=sys.stderr)
 
 
 def _cmd_emit_ir(args: argparse.Namespace) -> int:
@@ -329,6 +439,27 @@ def _cmd_emit_ir(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .interp.trace import chrome_trace_json
 
+    if args.serve is not None:
+        from .serve import ServeLoop, ServeOptions
+        from .serve.mixes import build_mix
+
+        loop = ServeLoop(ServeOptions(record_events=True))
+        report = loop.run(build_mix(args.serve))
+        document = chrome_trace_json(report.events,
+                                     f"serve-{args.serve}")
+        if args.out == "-":
+            print(document)
+        else:
+            with open(args.out, "w") as handle:
+                handle.write(document + "\n")
+            print(f"wrote {args.out} ({len(report.events)} events, "
+                  f"{len(report.ok)}/{len(report.metrics)} requests ok)",
+                  file=sys.stderr)
+        return 0 if len(report.ok) == len(report.metrics) else 1
+    if args.target is None:
+        print("repro trace: a workload or source target is required "
+              "unless --serve is given", file=sys.stderr)
+        return 2
     if os.path.exists(args.target):
         compiler, report = _compile(args.target, args.level,
                                     record_events=True, engine=args.engine,
@@ -564,6 +695,79 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2)
         print(f"wrote {path}", file=sys.stderr)
+    if args.cache_stats:
+        _print_cache_stats()
+    return 0 if report.ok else 1
+
+
+def _parse_tenants(spec: Optional[str]):
+    """``name[=heap-limit]``, comma-separated, into TenantSpecs."""
+    from .serve import TenantSpec
+
+    tenants = {}
+    if not spec:
+        return tenants
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, limit = part.partition("=")
+        name = name.strip()
+        if not name:
+            raise ConfigError(f"--tenants: empty tenant name in {spec!r}")
+        try:
+            heap = int(limit) if limit else None
+        except ValueError:
+            raise ConfigError(
+                f"--tenants: heap limit for {name!r} must be an integer "
+                f"byte count, got {limit!r}") from None
+        tenants[name] = TenantSpec(name, device_heap_limit=heap)
+    return tenants
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeLoop, ServeOptions
+    from .serve.mixes import MIX_SOURCES, QUOTA_SOURCE, build_mix
+
+    tenants = _parse_tenants(args.tenants)
+    options = ServeOptions(
+        workers=args.workers, policy=args.policy,
+        batching=not args.no_batching, sharing=not args.no_sharing,
+        cache=not args.no_cache, sanitize=args.sanitize,
+        batch_limit=args.batch_limit, shuffle_seed=args.shuffle_seed,
+        tenants=tenants)
+    sources = ((("quota", QUOTA_SOURCE),) if args.quota_mix
+               else MIX_SOURCES)
+    requests = build_mix(
+        args.clients, seed=args.seed,
+        tenants=tuple(tenants) if tenants else ("default",),
+        arrival_spread_s=args.spread, sources=sources)
+    report = ServeLoop(options).run(requests)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if len(report.ok) == len(report.metrics) else 1
+
+
+def _cmd_servebench(args: argparse.Namespace) -> int:
+    from .evaluation.servebench import DEFAULT_SCALES, run_serve_bench
+
+    def progress(cell):
+        print(f"clients={cell.clients:5d} "
+              f"cache={'on' if cell.cache else 'off':3s} "
+              f"sharing={'on' if cell.sharing else 'off':3s} "
+              f"{cell.throughput_rps:10.0f} req/s", file=sys.stderr)
+
+    scales = tuple(args.clients) if args.clients else DEFAULT_SCALES
+    report = run_serve_bench(scales=scales, seed=args.seed,
+                             verify=not args.no_verify,
+                             progress=progress)
+    print(report.render())
+    report.write(args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -579,7 +783,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
                 "bench": _cmd_bench, "faultbench": _cmd_faultbench,
                 "trace": _cmd_trace, "sanitize": _cmd_sanitize,
-                "lint": _cmd_lint, "fuzz": _cmd_fuzz, "list": _cmd_list}
+                "lint": _cmd_lint, "fuzz": _cmd_fuzz,
+                "serve": _cmd_serve, "servebench": _cmd_servebench,
+                "list": _cmd_list}
     try:
         return handlers[args.command](args)
     except TransformValidationError as exc:

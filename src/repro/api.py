@@ -76,6 +76,7 @@ def _config_key(config: CgcmConfig) -> Tuple:
         config.streams,
         fault_key,
         config.device_heap_limit,
+        config.strict_heap_limit,
         config.validate,
     )
 
@@ -98,6 +99,7 @@ class _ArtifactCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def lookup(self, key: Tuple) -> Optional["CompiledWorkload"]:
         with self._lock:
@@ -115,16 +117,20 @@ class _ArtifactCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "entries": len(self._entries),
                     "size": len(self._entries),
                     "capacity": self.capacity}
 
@@ -133,7 +139,8 @@ _CACHE = _ArtifactCache()
 
 
 def cache_stats() -> Dict[str, int]:
-    """Artifact-cache counters: ``hits``, ``misses``, ``size``."""
+    """Artifact-cache counters: ``hits``, ``misses``, ``evictions``,
+    ``entries`` (plus the legacy ``size`` alias and ``capacity``)."""
     return _CACHE.stats()
 
 
@@ -165,15 +172,21 @@ class CompiledWorkload:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, engine: Optional[str] = None) -> ExecutionResult:
+    def run(self, engine: Optional[str] = None,
+            shared_mappings: Optional["object"] = None,
+            launch_log: Optional[list] = None) -> ExecutionResult:
         """Execute on a fresh machine; returns observables and clocks.
 
         ``engine`` overrides the config's engine for this run only
         (the differential harness runs one artifact under both).
         With ``config.sanitize`` the sanitizer report rides along on
-        :attr:`ExecutionResult.sanitizer_report`.
+        :attr:`ExecutionResult.sanitizer_report`.  ``shared_mappings``
+        and ``launch_log`` are the serve layer's hooks -- see
+        :meth:`CgcmCompiler.execute`.
         """
-        result = self._compiler.execute(self.report, engine=engine)
+        result = self._compiler.execute(self.report, engine=engine,
+                                        shared_mappings=shared_mappings,
+                                        launch_log=launch_log)
         self.runs += 1
         return result
 

@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ConfigError
 from ..frontend.lowering import compile_minic
 from ..gpu.timing import TraceEvent
 from ..interp.machine import Machine
 from ..ir.function import Function
+from ..ir.instructions import Call
 from ..ir.module import Module
+from ..ir.values import Constant
 from ..ir.verifier import verify_module
 from ..runtime.cgcm import CgcmRuntime
 from ..transforms.alloca_promotion import AllocaPromotion
@@ -160,7 +163,9 @@ class CgcmCompiler:
 
     def execute(self, report: CompileReport,
                 capture_globals: bool = True,
-                engine: Optional[str] = None) -> ExecutionResult:
+                engine: Optional[str] = None,
+                shared_mappings: Optional["object"] = None,
+                launch_log: Optional[List] = None) -> ExecutionResult:
         """Run a compiled module on a fresh simulated machine.
 
         With ``config.sanitize`` set, the communication sanitizer is
@@ -168,7 +173,29 @@ class CgcmCompiler:
         :attr:`ExecutionResult.sanitizer_report`.  ``engine``
         overrides ``config.engine`` for this run (used by the
         engine-equivalence benchmarks).
+
+        ``shared_mappings`` attaches a serve-layer
+        :class:`~repro.serve.sharing.SharedMappingRegistry`: read-only
+        allocation units whose content is already device-resident on
+        behalf of another in-flight request skip the modelled HtoD
+        charge (see :meth:`CgcmRuntime.map_ptr`).  ``launch_log``
+        collects one ``(kernel_name, grid, total_ops, max_ops,
+        duration)`` tuple per GPU launch, the raw material for
+        batched-dispatch re-pricing.
         """
+        if (self.config.device_heap_limit is not None
+                and self.config.strict_heap_limit):
+            size, label = largest_static_unit(report.module)
+            if size > self.config.device_heap_limit:
+                raise ConfigError(
+                    f"device_heap_limit={self.config.device_heap_limit} "
+                    f"is smaller than the program's largest allocation "
+                    f"unit ({label}, {size} bytes): the unit could "
+                    "never become device-resident and every launch "
+                    "touching it would permanently degrade to the CPU "
+                    "path via a sentinel range.  Raise the limit, or "
+                    "pass strict_heap_limit=False to run the "
+                    "degradation deliberately")
         fault_injector = None
         if self.config.faults is not None and self.config.faults.armed:
             # Imported lazily so config-only users never touch the
@@ -183,7 +210,13 @@ class CgcmCompiler:
                           streams=self.config.streams,
                           fault_injector=fault_injector,
                           device_heap_limit=self.config.device_heap_limit)
+        if launch_log is not None:
+            machine.launch_cost_hooks.append(
+                lambda m, kernel, grid, total, mx, duration:
+                launch_log.append((kernel, grid, total, mx, duration)))
         runtime = CgcmRuntime(machine) if self.config.parallelize else None
+        if runtime is not None and shared_mappings is not None:
+            runtime.shared_mappings = shared_mappings
         sanitizer = None
         if self.config.sanitize:
             # Imported lazily: the sanitizer package depends on this
@@ -211,6 +244,41 @@ class CgcmCompiler:
             instructions=machine.executed_instructions,
             critical_path_seconds=machine.clock.critical_path_s,
         )
+
+
+#: Externals whose constant-argument calls create heap/stack
+#: allocation units of statically known size.  Globals are exempt:
+#: their device copies live in the module segment
+#: (``cuModuleGetGlobal``), never in the capped cuMemAlloc arena.
+_STATIC_ALLOC_SITES = ("malloc", "calloc", "declareAlloca")
+
+
+def largest_static_unit(module: Module) -> Tuple[int, str]:
+    """Size and label of the largest statically-sized heap or stack
+    allocation unit any call site in ``module`` can create.
+
+    Only constant-argument ``malloc``/``calloc``/``declareAlloca``
+    calls count -- dynamically sized allocations are invisible to this
+    check and still rely on the runtime's sentinel degradation.
+    Returns ``(0, "")`` when there is no such site.
+    """
+    largest, label = 0, ""
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            if not isinstance(inst, Call) \
+                    or inst.callee.name not in _STATIC_ALLOC_SITES:
+                continue
+            args = inst.args
+            if not args or not all(isinstance(a, Constant) for a in args):
+                continue
+            if inst.callee.name == "calloc":
+                size = int(args[0].value) * int(args[1].value)
+            else:
+                size = int(args[0].value)
+            if size > largest:
+                largest = size
+                label = f"{inst.callee.name}({size}) in {fn.name}"
+    return largest, label
 
 
 def capture_globals_image(machine: Machine,

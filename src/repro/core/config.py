@@ -69,6 +69,16 @@ class CgcmConfig:
     #: Allocations beyond the cap raise a non-transient OOM, driving
     #: the runtime's LRU eviction.  None = the full simulated arena.
     device_heap_limit: Optional[int] = None
+    #: With a ``device_heap_limit``, reject programs whose largest
+    #: statically-sized allocation unit (constant malloc/calloc or
+    #: compiler-registered alloca) can never fit under the cap: such a
+    #: unit would otherwise degrade to a permanent sentinel range and
+    #: every launch touching it to the CPU path.  The chaos sweeps
+    #: exercise exactly that degradation on purpose, so they opt out
+    #: with ``strict_heap_limit=False``.  Checked at execution time
+    #: (the check needs the compiled module); raises
+    #: :class:`~repro.errors.ConfigError`.
+    strict_heap_limit: bool = True
     #: Translation validation: after every optimize-stage pass, check
     #: the pass's declared legality contract (``transforms/contract``)
     #: against the before/after IR pair and fail the compile with

@@ -65,12 +65,16 @@ def fault_schedules(seed: int) -> List[Tuple[str, Dict]]:
     return [
         ("overhead", dict(device_heap_limit=DEVICE_CAPACITY)),
         ("transient", dict(faults=FaultPlan(seed=seed, **CHAOS_RATES))),
+        # The tight-heap schedules deliberately exercise sentinel and
+        # CPU-fallback degradation on units that can never fit, so they
+        # opt out of the strict oversized-unit rejection.
         ("pressure", dict(
             faults=FaultPlan(seed=seed + 1, alloc_fail_rate=0.5,
                              transfer_fail_rate=0.3, launch_fail_rate=0.3,
                              max_consecutive=4),
-            device_heap_limit=64 << 10)),
-        ("tiny-heap", dict(device_heap_limit=4 << 10)),
+            device_heap_limit=64 << 10, strict_heap_limit=False)),
+        ("tiny-heap", dict(device_heap_limit=4 << 10,
+                           strict_heap_limit=False)),
     ]
 
 

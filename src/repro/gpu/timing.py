@@ -257,6 +257,19 @@ class SimClock:
         """Switch to the overlap-aware discipline (irreversible)."""
         self.streams_enabled = True
 
+    def add_lane(self, name: str) -> str:
+        """Register an extra engine lane (idempotent) and return it.
+
+        The serve layer models a multicore host by giving each worker
+        its own CPU lane (``cpu0``, ``cpu1``, ...): spans on distinct
+        lanes overlap, spans on one lane serialize, exactly like the
+        built-in gpu/comm engine lanes.  Lane totals show up in
+        :meth:`totals` and :meth:`breakdown` alongside the built-ins.
+        """
+        self.lanes.setdefault(name, 0.0)
+        self._engines.setdefault(name, 0.0)
+        return name
+
     def stream_create(self, name: str) -> str:
         """Register a named FIFO stream (idempotent) and return it."""
         self._streams.setdefault(name, 0.0)

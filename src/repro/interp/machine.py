@@ -169,6 +169,12 @@ class Machine:
         #: Hooks fired before each kernel launch:
         #: ``hook(machine, kernel, grid, args)``.
         self.launch_hooks: List[Callable] = []
+        #: Hooks fired after a GPU launch's modelled duration is known:
+        #: ``hook(machine, kernel_name, grid, total_ops, max_ops,
+        #: duration)``.  CPU-fallback launches never fire these (their
+        #: cost lands on the CPU lane).  The serve layer records per-
+        #: launch costs here to re-price batched grid dispatches.
+        self.launch_cost_hooks: List[Callable] = []
         #: Hooks fired when a function returns: ``hook(machine, frame_id)``.
         self.frame_exit_hooks: List[Callable] = []
         #: Hooks fired on heap activity: ``hook(machine, kind, addr, size)``.
@@ -630,6 +636,9 @@ class Machine:
         duration = model.kernel_launch_latency_s
         if grid:
             duration += model.gpu_time(total_ops, max_ops)
+        if self.launch_cost_hooks:
+            for hook in self.launch_cost_hooks:
+                hook(self, kernel.name, grid, total_ops, max_ops, duration)
         if not self.streams:
             self.clock.advance(LANE_GPU, duration, f"{kernel.name}[{grid}]")
             return

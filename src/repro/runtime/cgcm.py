@@ -140,6 +140,15 @@ class CgcmRuntime:
         #: they call.
         self.op_hooks: List[Callable[[str, str, int, AllocationInfo],
                                      None]] = []
+        #: Serve-layer cross-request sharing registry (see
+        #: ``repro.serve.sharing.SharedMappingRegistry``).  When set,
+        #: the first map of a read-only unit whose exact content is
+        #: already device-resident on behalf of another in-flight
+        #: request elides the modelled HtoD charge: the bytes still
+        #: land in this machine's device memory (the simulator's
+        #: eager-data model needs them there), but the modelled world
+        #: shares one device copy.  None = every map pays its copy.
+        self.shared_mappings = None
         machine.launch_hooks.append(self._on_launch)
         machine.heap_hooks.append(self._on_heap)
         machine.frame_exit_hooks.append(self._on_frame_exit)
@@ -375,7 +384,8 @@ class CgcmRuntime:
                 info.resident = True
             self.machine.flush_cpu()
             if info.resident:
-                self._htod_from(info.device_ptr, info.base, info.size)
+                if not self._shared_attach(ptr, info):
+                    self._htod_from(info.device_ptr, info.base, info.size)
             info.epoch = self.global_epoch
             info.needs_refresh = False
             self._track_device(info)
@@ -386,6 +396,32 @@ class CgcmRuntime:
         if self.op_hooks:
             self._notify("post", "map", ptr, info)
         return info.device_ptr + (ptr - info.base)
+
+    def _shared_attach(self, ptr: int, info: AllocationInfo) -> bool:
+        """Cross-request sharing fast path for one first-map HtoD copy.
+
+        Only read-only scalar units are eligible (pointer-array device
+        payloads hold per-request translated pointers).  On a registry
+        hit the unit's bytes are written into this machine's device
+        memory *without* a modelled transfer -- in the modeled world
+        the in-flight holder's device copy is shared -- and the hook
+        pipeline is told via a ``share`` operation so the sanitizer
+        can verify the copy is never mutated.  Returns True when the
+        charged copy was elided.
+        """
+        registry = self.shared_mappings
+        if registry is None or not info.is_read_only or info.is_array:
+            return False
+        content = self.machine.cpu_memory.read(info.base, info.size)
+        if not registry.attach(info.name or hex(info.base), content):
+            return False
+        self.device.memory.write(info.device_ptr, content)
+        clock = self.machine.clock
+        clock.count("shared_attaches")
+        clock.count("htod_bytes_saved", info.size)
+        if self.op_hooks:
+            self._notify("post", "share", ptr, info)
+        return True
 
     # -- Algorithm 2: unmap -----------------------------------------------------
 

@@ -26,6 +26,7 @@ byte-identical output to an unsanitized one.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional
 
 from ..gpu.device import DriverEvent, GpuDevice
@@ -58,7 +59,7 @@ class CommSanitizer:
             "kernel_launches": 0, "maps": 0, "unmaps": 0, "releases": 0,
             "host_accesses": 0, "device_accesses": 0, "htod_copies": 0,
             "dtoh_copies": 0, "evictions": 0, "restores": 0,
-            "refreshes": 0, "fallback_flushes": 0,
+            "refreshes": 0, "fallback_flushes": 0, "shared_attaches": 0,
         }
         #: Device base mid-eviction: its cuMemFree is the runtime
         #: reclaiming memory, not a lifetime bug.
@@ -112,6 +113,15 @@ class CommSanitizer:
             if kind == "store":
                 unit.device_dirty = True
                 unit.lost_reported = False
+                if unit.shared:
+                    # Dedup: one report per unit; the attach-digest
+                    # check at finish() still covers later stores.
+                    unit.shared = False
+                    self._record(
+                        ViolationKind.SHARED_MUTATION, unit.label,
+                        "kernel stored to a read-only unit whose "
+                        "device copy is shared across serve requests",
+                        address)
             elif unit.host_dirty \
                     and unit.stale_reported_epoch != self.epoch:
                 unit.stale_reported_epoch = self.epoch
@@ -260,6 +270,22 @@ class CommSanitizer:
             unit.device_dirty = False
             unit.lost_reported = False
             unit.sync_epoch = self.epoch
+        elif op == "share":
+            # The runtime elided this unit's HtoD: its device copy is
+            # shared with another in-flight request.  Record the
+            # content digest so finish() can prove the copy stayed
+            # byte-identical, and flag sharing of anything mutable.
+            self.stats["shared_attaches"] += 1
+            unit.shared = True
+            unit.shared_digest = hashlib.sha256(
+                self.machine.cpu_memory.read(info.base,
+                                             info.size)).digest()
+            if not info.is_read_only:
+                unit.shared = False
+                self._record(
+                    ViolationKind.SHARED_MUTATION, unit.label,
+                    "runtime shared the device copy of a unit that is "
+                    "not marked read-only", ptr)
         elif op == "release":
             if info.ref_count != unit.ref - 1:
                 self._desync(unit, info, "release")
@@ -295,6 +321,16 @@ class CommSanitizer:
                         ViolationKind.LOST_UPDATE, unit.label,
                         "device copy dirty at program exit; the final "
                         "unmap was skipped (kernel update lost)")
+                if unit.shared_digest is not None \
+                        and unit.device_base is not None:
+                    digest = hashlib.sha256(self.device.memory.read(
+                        unit.device_base, unit.info.size)).digest()
+                    if digest != unit.shared_digest:
+                        self._record(
+                            ViolationKind.SHARED_MUTATION, unit.label,
+                            "device bytes of a shared read-only unit "
+                            "no longer match the content recorded at "
+                            "share time")
         return SanitizerReport(tuple(self.violations), dict(self.stats))
 
     def detach(self) -> None:

@@ -39,7 +39,7 @@ class ShadowUnit:
     __slots__ = ("info", "label", "ref", "host_dirty", "device_dirty",
                  "device_base", "map_epoch", "sync_epoch",
                  "stale_reported_epoch", "lost_reported", "pre_ref",
-                 "will_copy")
+                 "will_copy", "shared", "shared_digest")
 
     def __init__(self, info: AllocationInfo):
         self.info = info
@@ -61,6 +61,12 @@ class ShadowUnit:
         #: Scratch captured at the "pre" stage of a runtime operation.
         self.pre_ref = 0
         self.will_copy = False
+        #: This unit's device copy is shared across serve requests
+        #: (the runtime elided its HtoD via the sharing registry).
+        self.shared = False
+        #: SHA-256 of the shared content at attach time; the sanitizer
+        #: re-hashes the device bytes at run end to prove immutability.
+        self.shared_digest: Optional[bytes] = None
 
     @property
     def device_end(self) -> Optional[int]:

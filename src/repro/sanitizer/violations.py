@@ -40,6 +40,11 @@ class ViolationKind(enum.Enum):
     #: The sanitizer's independently tracked reference count diverged
     #: from the runtime's: the run-time library itself misbehaved.
     SHADOW_DESYNC = "shadow-desync"
+    #: A read-only unit whose device copy is shared across in-flight
+    #: serve requests was mutated: a kernel stored to it, or its device
+    #: bytes no longer matched the shared content at run end.  Sharing
+    #: is only sound for genuinely immutable data.
+    SHARED_MUTATION = "shared-mutation"
 
 
 @dataclass(frozen=True)

@@ -215,12 +215,15 @@ def check_source(source: str, name: str = "scenario",
         schedules = [CgcmConfig(faults=FaultPlan(seed=fault_seed,
                                                  **CHAOS_RATES))]
         if slow:
+            # strict_heap_limit off: these schedules exist to push
+            # generated programs into eviction/sentinel degradation.
             schedules.append(CgcmConfig(
                 faults=FaultPlan(seed=fault_seed + 1, alloc_fail_rate=0.5,
                                  transfer_fail_rate=0.3,
                                  launch_fail_rate=0.3, max_consecutive=4),
-                device_heap_limit=64 << 10))
-            schedules.append(CgcmConfig(device_heap_limit=4 << 10))
+                device_heap_limit=64 << 10, strict_heap_limit=False))
+            schedules.append(CgcmConfig(device_heap_limit=4 << 10,
+                                        strict_heap_limit=False))
         for config in schedules:
             chaotic = compile_workload(source, config, name)
             result = chaotic.run()

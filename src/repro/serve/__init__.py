@@ -1,0 +1,36 @@
+"""``repro.serve``: a compile-once, serve-many request runtime.
+
+The serving layer admits a stream of simulated client requests (a
+workload name, or MiniC source plus arguments, plus a tenant), compiles
+each distinct (source-hash x config) once through the ``repro.api``
+artifact cache, and executes requests on a deterministic simulated-time
+scheduler modelled after CrystalGPU's transparent batching:
+
+* compatible launches from concurrent requests of the same artifact
+  merge into shared grid dispatches (one launch latency, packed cores);
+* read-only allocation units whose content is already device-resident
+  for another in-flight request share the device copy -- refcounted in
+  :class:`~repro.serve.sharing.SharedMappingRegistry` and *verified* by
+  the communication sanitizer's shared-mutation check;
+* per-tenant device-heap quotas reuse the PR-5 eviction/sentinel
+  machinery by capping each tenant's request configs;
+* admission/scheduling policy objects (FIFO, fair-share) order the
+  queue, and every request carries metrics (queue wait, compile
+  hit/miss, transfer bytes saved, modelled latency).
+
+Everything is simulated time on a :class:`~repro.gpu.timing.SimClock`
+in streams mode -- per-worker CPU lanes, one GPU engine, one PCIe
+lane -- so serve runs are deterministic and machine-independent.
+"""
+
+from .policy import FairSharePolicy, FifoPolicy, make_policy
+from .request import RequestMetrics, ServeRequest, TenantSpec
+from .server import ServeLoop, ServeOptions, ServeReport, serve
+from .sharing import SharedMappingRegistry
+
+__all__ = [
+    "FairSharePolicy", "FifoPolicy", "make_policy",
+    "RequestMetrics", "ServeRequest", "TenantSpec",
+    "ServeLoop", "ServeOptions", "ServeReport", "serve",
+    "SharedMappingRegistry",
+]

@@ -1,0 +1,62 @@
+"""Admission/scheduling policies for the serve queue.
+
+A policy orders the pending queue each time a worker frees up: it
+picks the next request to dispatch, and the batcher then pulls every
+compatible pending request of the same artifact along with it.  Both
+built-ins are deterministic; ties always break on (arrival, id).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .request import ServeRequest
+
+
+class FifoPolicy:
+    """Strict arrival order, tenant-blind."""
+
+    name = "fifo"
+
+    def select(self, pending: List[ServeRequest], now: float,
+               service_by_tenant: Dict[str, float]) -> ServeRequest:
+        return min(pending, key=lambda r: (r.arrival_s, r.request_id))
+
+
+class FairSharePolicy:
+    """Least-served tenant first (accumulated modelled service time).
+
+    A tenant that has consumed the least worker+device time so far
+    dispatches next, so one chatty tenant cannot starve the rest; the
+    server charges each dispatched request's modelled service back to
+    its tenant.  Within a tenant, arrival order.
+    """
+
+    name = "fair"
+
+    def select(self, pending: List[ServeRequest], now: float,
+               service_by_tenant: Dict[str, float]) -> ServeRequest:
+        return min(pending, key=lambda r: (
+            service_by_tenant.get(r.tenant, 0.0),
+            r.arrival_s, r.request_id))
+
+
+_POLICIES = {"fifo": FifoPolicy, "fair": FairSharePolicy}
+
+
+def make_policy(name_or_policy) -> "object":
+    """A policy instance from a name ("fifo"/"fair") or a ready-made
+    policy object (anything with ``select``)."""
+    if isinstance(name_or_policy, str):
+        try:
+            return _POLICIES[name_or_policy]()
+        except KeyError:
+            raise ConfigError(
+                f"unknown serve policy {name_or_policy!r}; expected one "
+                f"of {sorted(_POLICIES)}") from None
+    if not hasattr(name_or_policy, "select"):
+        raise ConfigError(
+            f"serve policy must be a name or provide select(); got "
+            f"{type(name_or_policy).__name__}")
+    return name_or_policy

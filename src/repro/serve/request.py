@@ -1,0 +1,137 @@
+"""Client requests, tenants, and per-request metrics."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Argument placeholder scheme for source-carrying requests: the n-th
+#: argument replaces every ``__ARGn__`` token in the source text.
+#: Plain text substitution (not ``str.format``: MiniC braces would
+#: collide) keeps distinct argument vectors distinct artifacts.
+ARG_TOKEN = "__ARG{}__"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Per-tenant serving contract.
+
+    ``device_heap_limit`` caps the simulated device heap for every
+    request the tenant submits; requests then ride the PR-5 LRU
+    eviction / sentinel / CPU-fallback machinery under pressure, and a
+    program whose largest static allocation unit cannot ever fit is
+    rejected up front (strict heap-limit validation).  None = the full
+    arena.
+    """
+
+    name: str
+    device_heap_limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One client request: what to run, for whom, arriving when.
+
+    Exactly one of ``workload`` (a name from ``repro.workloads``) or
+    ``source`` (MiniC text, with optional ``__ARGn__`` placeholders
+    bound from ``args``) must be set.  ``arrival_s`` is simulated
+    time.
+    """
+
+    request_id: int
+    arrival_s: float = 0.0
+    tenant: str = "default"
+    workload: Optional[str] = None
+    source: Optional[str] = None
+    args: Tuple[str, ...] = ()
+
+    def resolve_source(self) -> Tuple[str, str]:
+        """The MiniC text this request runs, plus its artifact name.
+
+        Workload-name requests take no arguments (the 24 ported
+        programs are closed); source requests substitute ``args`` into
+        their ``__ARGn__`` tokens.  The artifact name is stable for
+        equal resolved source, so the cache and the batcher agree on
+        identity.
+        """
+        if (self.workload is None) == (self.source is None):
+            raise ConfigError(
+                f"request {self.request_id}: exactly one of workload or "
+                "source must be set")
+        if self.workload is not None:
+            if self.args:
+                raise ConfigError(
+                    f"request {self.request_id}: workload {self.workload!r} "
+                    "takes no arguments")
+            from ..workloads import get_workload
+            workload = get_workload(self.workload)
+            return workload.source, workload.name
+        source = self.source or ""
+        for index, value in enumerate(self.args):
+            source = source.replace(ARG_TOKEN.format(index), str(value))
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return source, f"serve-{digest[:12]}"
+
+
+@dataclass
+class RequestMetrics:
+    """Everything the serve loop observed about one request."""
+
+    request_id: int
+    tenant: str
+    artifact: str = ""
+    status: str = "ok"              #: "ok" or "rejected"
+    reason: str = ""
+    arrival_s: float = 0.0
+    dispatch_s: float = 0.0
+    complete_s: float = 0.0
+    compile_hit: bool = False
+    compile_s: float = 0.0
+    cpu_s: float = 0.0
+    gpu_s: float = 0.0
+    comm_s: float = 0.0
+    batch_id: int = -1
+    batch_size: int = 1
+    shared_attaches: int = 0
+    htod_bytes: int = 0
+    transfer_bytes_saved: int = 0
+    device_evictions: int = 0
+    sentinel_units: int = 0
+    cpu_fallback_launches: int = 0
+    stdout: Tuple[str, ...] = ()
+    #: ``ExecutionResult.observable()`` of the served run (in-memory
+    #: only; the byte-identity checks compare it to an isolated run).
+    observable: Tuple = field(default=(), repr=False)
+    sanitizer_clean: Optional[bool] = None
+
+    @property
+    def queue_wait_s(self) -> float:
+        return max(0.0, self.dispatch_s - self.arrival_s)
+
+    @property
+    def latency_s(self) -> float:
+        return max(0.0, self.complete_s - self.arrival_s)
+
+    def to_json(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "artifact": self.artifact,
+            "status": self.status,
+            "reason": self.reason,
+            "arrival_s": self.arrival_s,
+            "queue_wait_s": self.queue_wait_s,
+            "compile_hit": self.compile_hit,
+            "compile_s": self.compile_s,
+            "latency_s": self.latency_s,
+            "batch_size": self.batch_size,
+            "shared_attaches": self.shared_attaches,
+            "htod_bytes": self.htod_bytes,
+            "transfer_bytes_saved": self.transfer_bytes_saved,
+            "device_evictions": self.device_evictions,
+            "cpu_fallback_launches": self.cpu_fallback_launches,
+            "sanitizer_clean": self.sanitizer_clean,
+        }

@@ -119,8 +119,9 @@ class TestNegativePaths:
         with pytest.raises(ConfigError):
             api.compile_workload(PROGRAM, config={"opt_level": "optimized"})
         # Rejected up front: no compile was attempted, so no miss.
-        assert api.cache_stats() == {"hits": 0, "misses": 0, "size": 0,
-                                     "capacity": api.CACHE_CAPACITY}
+        stats = api.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["entries"] == 0
 
     def test_config_mutated_invalid_rejected_before_compilation(self):
         config = CgcmConfig()
@@ -201,5 +202,14 @@ class TestArtifactCache:
     def test_clear_cache_resets_counters(self):
         api.compile_workload(PROGRAM)
         api.clear_cache()
-        assert api.cache_stats() == {"hits": 0, "misses": 0, "size": 0,
-                                     "capacity": api.CACHE_CAPACITY}
+        assert api.cache_stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+            "size": 0, "capacity": api.CACHE_CAPACITY}
+
+    def test_eviction_counter_tracks_lru_drops(self):
+        template = "int main(void) {{ print_i64({0}); return 0; }}\n"
+        for index in range(api.CACHE_CAPACITY + 5):
+            api.compile_workload(template.format(index))
+        stats = api.cache_stats()
+        assert stats["evictions"] == 5
+        assert stats["entries"] == api.CACHE_CAPACITY

@@ -88,6 +88,81 @@ class TestListAndBench:
             main(["bench", "not-a-workload"])
 
 
+class TestCacheStats:
+    def test_run_reports_artifact_cache_counters(self, source_file,
+                                                 capsys):
+        from repro import api
+
+        api.clear_cache()
+        code = main(["run", source_file, "--cache-stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "artifact cache:" in captured.err
+        assert "1 misses" in captured.err
+        main(["run", source_file, "--cache-stats"])
+        assert "1 hits" in capsys.readouterr().err
+        api.clear_cache()
+
+
+class TestServe:
+    def test_serve_burst_reports(self, capsys):
+        code = main(["serve", "--clients", "8"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "serve: 8/8 ok" in captured.out
+        assert "HtoD bytes saved" in captured.out
+
+    def test_serve_json_is_machine_readable(self, capsys):
+        import json
+
+        code = main(["serve", "--clients", "4", "--json"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert document["ok"] == 4
+        assert len(document["per_request"]) == 4
+
+    def test_serve_tenant_spec_caps_heaps(self, capsys):
+        code = main(["serve", "--clients", "4", "--quota-mix",
+                     "--tenants", "gold,tiny=8192"])
+        captured = capsys.readouterr()
+        assert code == 1  # the tiny tenant's requests are rejected
+        assert "2 rejected" in captured.out
+        assert "tenant tiny" in captured.out
+
+    def test_serve_bad_tenant_spec_exits_2(self, capsys):
+        assert main(["serve", "--tenants", "t=lots"]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_trace_serve_emits_per_request_tracks(self, tmp_path,
+                                                  capsys):
+        import json
+
+        out = tmp_path / "serve.json"
+        code = main(["trace", "--serve", "4", "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        names = {event["args"]["name"]
+                 for event in document["traceEvents"]
+                 if event.get("name") == "thread_name"}
+        assert {"req0", "req1", "req2", "req3"} <= names
+
+    def test_trace_without_target_or_serve_exits_2(self, capsys):
+        assert main(["trace"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_servebench_smoke(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_serve.json"
+        code = main(["servebench", "--clients", "6",
+                     "--out", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cache speedup" in captured.out
+        document = json.loads(out.read_text())
+        assert document["byte_identity"]["6"] is True
+
+
 class TestSanitize:
     def test_sanitize_workloads_clean(self, capsys):
         code = main(["sanitize", "atax", "--verbose"])

@@ -67,6 +67,84 @@ class TestHeapLimitValidation:
                        device_heap_limit=4096)
 
 
+class TestStrictHeapLimit:
+    """A heap limit smaller than the largest static allocation unit is
+    a configuration error, not a permanent sentinel loop."""
+
+    PROGRAM = r"""
+    int main(void) {
+        double *a = (double *) malloc(16384);
+        for (int i = 0; i < 2048; i++) a[i] = 0.001 * i;
+        for (int rep = 0; rep < 2; rep++)
+            for (int i = 0; i < 2048; i++) a[i] = a[i] * 1.5;
+        double s = 0.0;
+        for (int i = 0; i < 2048; i++) s += a[i];
+        print_f64(s);
+        free((char *) a);
+        return 0;
+    }
+    """
+
+    def execute(self, **config_kwargs):
+        from repro.core import CgcmCompiler
+
+        config = CgcmConfig(**config_kwargs)
+        compiler = CgcmCompiler(config)
+        report = compiler.compile_source(self.PROGRAM)
+        return compiler.execute(report)
+
+    def test_undersized_limit_rejected_with_typed_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            self.execute(device_heap_limit=8 << 10)
+        message = str(excinfo.value)
+        assert "malloc(16384)" in message
+        assert "strict_heap_limit=False" in message
+
+    def test_opt_out_runs_the_degradation_deliberately(self):
+        result = self.execute(device_heap_limit=8 << 10,
+                              strict_heap_limit=False)
+        baseline = self.execute()
+        assert result.observable() == baseline.observable()
+        assert result.counters.get("cpu_fallback_launches", 0) > 0
+
+    def test_sufficient_limit_passes_the_check(self):
+        result = self.execute(device_heap_limit=32 << 10)
+        assert result.observable() == self.execute().observable()
+
+    def test_dynamic_sizes_are_invisible_to_the_check(self):
+        # A dynamically sized malloc can't be validated statically;
+        # the runtime's sentinel degradation still covers it.
+        from repro.core import CgcmCompiler
+
+        source = r"""
+        int main(void) {
+            int n = 2048;
+            double *a = (double *) malloc(n * 8);
+            for (int i = 0; i < n; i++) a[i] = i;
+            for (int rep = 0; rep < 2; rep++)
+                for (int i = 0; i < n; i++) a[i] = a[i] + 1.0;
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s += a[i];
+            print_f64(s);
+            free((char *) a);
+            return 0;
+        }
+        """
+        compiler = CgcmCompiler(CgcmConfig(device_heap_limit=8 << 10))
+        report = compiler.compile_source(source)
+        result = compiler.execute(report)  # no ConfigError
+        assert result.exit_code == 0
+
+    def test_largest_static_unit_scans_call_sites(self):
+        from repro.core.compiler import largest_static_unit
+        from repro.frontend import compile_minic
+
+        module = compile_minic(self.PROGRAM)
+        size, label = largest_static_unit(module)
+        assert size == 16384
+        assert "malloc(16384)" in label
+
+
 class TestResilientProperty:
     def test_off_by_default(self):
         assert not CgcmConfig().resilient

@@ -1,0 +1,134 @@
+"""Concurrent-request interleavings never change what a request computes.
+
+The serve loop's ``shuffle_seed`` perturbs the pending-queue view
+before every policy pick, standing in for arbitrary scheduler
+interleavings.  Whatever the dispatch order -- and whatever else is in
+flight (batch partners, shared mappings, fault schedules, tenant quota
+pressure) -- every request's observables must equal an isolated
+sequential run of the same artifact, byte for byte.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.core import CgcmConfig
+from repro.gpu.faults import FaultPlan
+from repro.serve import ServeLoop, ServeOptions, TenantSpec
+from repro.serve.mixes import QUOTA_SOURCE, build_mix
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    api.clear_cache()
+    yield
+    api.clear_cache()
+
+
+def isolated_observables(requests, config=None):
+    """One isolated (fresh machine, no sharing, no batching) run per
+    distinct artifact."""
+    isolated = {}
+    for request in requests:
+        source, artifact = request.resolve_source()
+        if artifact not in isolated:
+            workload = api.compile_workload(
+                source, config, name=artifact)
+            isolated[artifact] = workload.run().observable()
+    return isolated
+
+
+def assert_byte_identical(report, isolated, expect_ok=None):
+    ok = [m for m in report.metrics if m.status == "ok"]
+    if expect_ok is not None:
+        assert len(ok) == expect_ok
+    assert ok, "nothing served"
+    for m in ok:
+        assert m.observable == isolated[m.artifact], \
+            f"request {m.request_id} diverged from its isolated run"
+
+
+class TestShuffledInterleavings:
+    @pytest.mark.parametrize("policy", ["fifo", "fair"])
+    @pytest.mark.parametrize("shuffle_seed", [None, 1, 2, 3])
+    def test_mix_outputs_match_isolated_runs(self, policy, shuffle_seed):
+        requests = build_mix(15, tenants=("a", "b", "c"))
+        isolated = isolated_observables(requests)
+        report = ServeLoop(ServeOptions(
+            policy=policy, shuffle_seed=shuffle_seed,
+            workers=3)).run(requests)
+        assert_byte_identical(report, isolated, expect_ok=15)
+
+    def test_shuffles_are_deterministic_per_seed(self):
+        requests = build_mix(12)
+        runs = [ServeLoop(ServeOptions(shuffle_seed=7)).run(requests)
+                for _ in range(2)]
+        assert [m.dispatch_s for m in runs[0].metrics] \
+            == [m.dispatch_s for m in runs[1].metrics]
+
+    @settings(max_examples=15, deadline=None)
+    @given(shuffle_seed=st.integers(0, 2 ** 32 - 1),
+           workers=st.integers(1, 5))
+    def test_any_interleaving_is_byte_identical(self, shuffle_seed,
+                                                workers):
+        requests = build_mix(10, tenants=("a", "b"))
+        isolated = isolated_observables(requests)
+        report = ServeLoop(ServeOptions(
+            shuffle_seed=shuffle_seed, workers=workers,
+            policy="fair")).run(requests)
+        assert_byte_identical(report, isolated, expect_ok=10)
+
+
+class TestUnderFaults:
+    @pytest.mark.parametrize("shuffle_seed", [None, 11])
+    def test_faulted_serve_matches_isolated_faulted_runs(self,
+                                                         shuffle_seed):
+        # The per-request fault schedule is part of the config (and so
+        # of the artifact identity): isolated runs replay it exactly.
+        config = CgcmConfig(faults=FaultPlan(
+            seed=5, alloc_fail_rate=0.3, transfer_fail_rate=0.15,
+            launch_fail_rate=0.15))
+        requests = build_mix(9)
+        isolated = isolated_observables(requests, config)
+        report = ServeLoop(ServeOptions(
+            base_config=config, shuffle_seed=shuffle_seed)).run(requests)
+        assert_byte_identical(report, isolated, expect_ok=9)
+
+    def test_faulted_serve_matches_fault_free_outputs(self):
+        plain = isolated_observables(build_mix(9))
+        config = CgcmConfig(faults=FaultPlan(
+            seed=5, alloc_fail_rate=0.3, transfer_fail_rate=0.15,
+            launch_fail_rate=0.15))
+        report = ServeLoop(ServeOptions(base_config=config)) \
+            .run(build_mix(9))
+        assert_byte_identical(report, plain, expect_ok=9)
+
+
+class TestUnderQuotaPressure:
+    @pytest.mark.parametrize("shuffle_seed", [None, 3])
+    def test_capped_tenants_stay_byte_identical(self, shuffle_seed):
+        requests = build_mix(
+            8, tenants=("tight", "free"),
+            sources=(("quota", QUOTA_SOURCE),),
+            args_variants=("1.5", "2.5"))
+        isolated = isolated_observables(requests)
+        report = ServeLoop(ServeOptions(
+            shuffle_seed=shuffle_seed,
+            tenants={"tight": TenantSpec(
+                "tight", device_heap_limit=24 << 10)})).run(requests)
+        assert_byte_identical(report, isolated, expect_ok=8)
+        assert report.counters["device_evictions"] > 0
+
+    def test_pressure_with_sanitizer_armed(self):
+        requests = build_mix(
+            6, tenants=("tight",),
+            sources=(("quota", QUOTA_SOURCE),),
+            args_variants=("1.5",))
+        isolated = isolated_observables(requests)
+        report = ServeLoop(ServeOptions(
+            sanitize=True,
+            tenants={"tight": TenantSpec(
+                "tight", device_heap_limit=24 << 10)})).run(requests)
+        assert_byte_identical(report, isolated, expect_ok=6)
+        assert all(m.sanitizer_clean is True
+                   for m in report.metrics if m.status == "ok")

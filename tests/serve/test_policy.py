@@ -1,0 +1,95 @@
+"""Unit tests for admission/scheduling policies and requests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (FairSharePolicy, FifoPolicy, ServeRequest,
+                         make_policy)
+
+
+def req(rid, arrival=0.0, tenant="default"):
+    return ServeRequest(request_id=rid, arrival_s=arrival, tenant=tenant,
+                        source="int main(void) { return 0; }")
+
+
+class TestFifo:
+    def test_picks_earliest_arrival(self):
+        pending = [req(3, 0.2), req(1, 0.1), req(2, 0.3)]
+        chosen = FifoPolicy().select(pending, 1.0, {})
+        assert chosen.request_id == 1
+
+    def test_ties_break_on_request_id(self):
+        pending = [req(5), req(2), req(9)]
+        assert FifoPolicy().select(pending, 0.0, {}).request_id == 2
+
+
+class TestFairShare:
+    def test_least_served_tenant_first(self):
+        pending = [req(1, 0.0, "hog"), req(2, 0.5, "quiet")]
+        service = {"hog": 1.0, "quiet": 0.0}
+        chosen = FairSharePolicy().select(pending, 1.0, service)
+        assert chosen.request_id == 2
+
+    def test_unserved_tenant_counts_as_zero(self):
+        pending = [req(1, 0.0, "hog"), req(2, 0.5, "new")]
+        chosen = FairSharePolicy().select(pending, 1.0, {"hog": 0.5})
+        assert chosen.request_id == 2
+
+    def test_within_tenant_arrival_order(self):
+        pending = [req(2, 0.4, "t"), req(1, 0.1, "t")]
+        assert FairSharePolicy().select(pending, 1.0, {}).request_id == 1
+
+
+class TestMakePolicy:
+    def test_names_resolve(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("fair").name == "fair"
+
+    def test_policy_objects_pass_through(self):
+        policy = FifoPolicy()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown serve policy"):
+            make_policy("round-robin")
+
+    def test_selectless_object_rejected(self):
+        with pytest.raises(ConfigError, match="select"):
+            make_policy(object())
+
+
+class TestResolveSource:
+    def test_workload_requests_resolve_to_ported_source(self):
+        source, artifact = ServeRequest(
+            request_id=0, workload="atax").resolve_source()
+        assert artifact == "atax"
+        assert "main" in source
+
+    def test_source_requests_substitute_args(self):
+        source, artifact = ServeRequest(
+            request_id=0,
+            source="int main(void) { print_i64(__ARG0__); return 0; }",
+            args=("7",)).resolve_source()
+        assert "print_i64(7)" in source
+        assert artifact.startswith("serve-")
+
+    def test_distinct_args_are_distinct_artifacts(self):
+        template = "int main(void) { print_i64(__ARG0__); return 0; }"
+        _, a = ServeRequest(request_id=0, source=template,
+                            args=("1",)).resolve_source()
+        _, b = ServeRequest(request_id=1, source=template,
+                            args=("2",)).resolve_source()
+        assert a != b
+
+    def test_neither_or_both_targets_rejected(self):
+        with pytest.raises(ConfigError, match="exactly one"):
+            ServeRequest(request_id=0).resolve_source()
+        with pytest.raises(ConfigError, match="exactly one"):
+            ServeRequest(request_id=0, workload="atax",
+                         source="int main(void) { return 0; }"
+                         ).resolve_source()
+
+    def test_workload_requests_take_no_args(self):
+        with pytest.raises(ConfigError, match="takes no arguments"):
+            ServeRequest(request_id=0, workload="atax",
+                         args=("1",)).resolve_source()

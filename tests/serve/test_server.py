@@ -1,0 +1,244 @@
+"""Serve-loop behavior: batching, caching, sharing, quotas, metrics."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigError
+from repro.serve import (ServeLoop, ServeOptions, ServeRequest,
+                         TenantSpec, serve)
+from repro.serve.mixes import QUOTA_SOURCE, build_mix
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    api.clear_cache()
+    yield
+    api.clear_cache()
+
+
+def run_mix(clients=12, seed=0, **options):
+    return serve(build_mix(clients, seed=seed), ServeOptions(**options))
+
+
+class TestBasics:
+    def test_burst_serves_every_request(self):
+        report = run_mix(12)
+        assert len(report.ok) == 12 and not report.rejected
+        assert report.makespan_s > 0
+        assert report.throughput_rps > 0
+        assert report.latency_p99_s >= report.latency_p95_s \
+            >= report.latency_p50_s > 0
+
+    def test_deterministic_given_options(self):
+        first = run_mix(20, workers=3, policy="fair")
+        second = run_mix(20, workers=3, policy="fair")
+        assert json.dumps(first.to_json(), sort_keys=True) \
+            == json.dumps(second.to_json(), sort_keys=True)
+
+    def test_workload_name_requests_serve(self):
+        report = serve([ServeRequest(request_id=0, workload="atax")])
+        assert len(report.ok) == 1
+        assert report.metrics[0].artifact == "atax"
+        assert report.metrics[0].stdout
+
+    def test_malformed_source_rejected_not_crashed(self):
+        requests = [ServeRequest(request_id=0, source="int main(\n"),
+                    ServeRequest(request_id=1,
+                                 source="int main(void) { return 0; }")]
+        report = serve(requests)
+        assert [m.status for m in report.metrics] == ["rejected", "ok"]
+        assert report.metrics[0].reason
+
+    def test_options_validated(self):
+        with pytest.raises(ConfigError, match="workers"):
+            ServeLoop(ServeOptions(workers=0))
+        with pytest.raises(ConfigError, match="batch_limit"):
+            ServeLoop(ServeOptions(batch_limit=0))
+
+    def test_queue_wait_and_latency_metrics(self):
+        report = run_mix(16, workers=2)
+        waited = [m for m in report.ok if m.queue_wait_s > 0]
+        assert waited, "a 16-burst on 2 workers must queue someone"
+        for m in report.ok:
+            assert m.complete_s >= m.dispatch_s >= m.arrival_s
+            assert m.latency_s >= m.queue_wait_s
+
+
+class TestCompileCache:
+    def test_distinct_artifacts_miss_once_then_hit(self):
+        # The default mix is 3 programs x 2 argument variants.
+        report = run_mix(18)
+        assert report.counters["compile_misses"] == 6
+        assert report.counters["compile_hits"] == 12
+        assert sum(1 for m in report.ok if not m.compile_hit) == 6
+
+    def test_cache_off_charges_every_request(self):
+        report = run_mix(18, cache=False)
+        assert report.counters["compile_misses"] == 18
+        assert report.counters["compile_hits"] == 0
+
+    def test_cache_off_is_slower(self):
+        on = run_mix(18)
+        off = run_mix(18, cache=False)
+        assert off.makespan_s > on.makespan_s
+        assert off.mean_latency_s > on.mean_latency_s
+
+    def test_physical_compilation_happens_once_per_artifact(self):
+        run_mix(18, cache=False)
+        # Even the cache-off ablation compiles each artifact once
+        # physically; only the modelled charge repeats.
+        assert api.cache_stats()["misses"] == 6
+
+
+class TestBatching:
+    def test_same_artifact_requests_batch(self):
+        report = run_mix(18)
+        assert report.counters["batches"] < 18
+        assert max(m.batch_size for m in report.ok) > 1
+
+    def test_no_batching_dispatches_singletons(self):
+        report = run_mix(12, batching=False)
+        assert report.counters["batches"] == 12
+        assert all(m.batch_size == 1 for m in report.ok)
+
+    def test_batch_limit_respected(self):
+        report = run_mix(18, batch_limit=2)
+        assert max(m.batch_size for m in report.ok) <= 2
+
+    def test_batching_lowers_makespan(self):
+        batched = run_mix(18)
+        alone = run_mix(18, batching=False)
+        assert batched.makespan_s < alone.makespan_s
+
+    def test_batched_outputs_equal_unbatched(self):
+        batched = run_mix(18)
+        alone = run_mix(18, batching=False)
+        assert [m.observable for m in batched.ok] \
+            == [m.observable for m in alone.ok]
+
+
+class TestSharing:
+    def test_sharing_saves_modelled_h2d_bytes(self):
+        shared = run_mix(12)
+        assert shared.counters["shared_attaches"] > 0
+        assert shared.counters["transfer_bytes_saved"] > 0
+        assert shared.counters["htod_bytes"] \
+            + shared.counters["transfer_bytes_saved"] \
+            == run_mix(12, sharing=False).counters["htod_bytes"]
+
+    def test_sharing_off_saves_nothing(self):
+        report = run_mix(12, sharing=False)
+        assert report.counters["shared_attaches"] == 0
+        assert report.counters["transfer_bytes_saved"] == 0
+
+    def test_sharing_preserves_outputs(self):
+        shared = run_mix(12)
+        isolated = run_mix(12, sharing=False)
+        assert [m.observable for m in shared.ok] \
+            == [m.observable for m in isolated.ok]
+
+    def test_sanitizer_verifies_shared_runs(self):
+        report = run_mix(9, sanitize=True)
+        assert all(m.sanitizer_clean is True for m in report.ok)
+        assert report.counters["shared_attaches"] > 0
+
+
+def quota_requests(count, tenants):
+    return build_mix(count, tenants=tenants,
+                     sources=(("quota", QUOTA_SOURCE),),
+                     args_variants=("1.5",))
+
+
+class TestTenantQuotas:
+    def test_too_small_quota_rejects_up_front(self):
+        # QUOTA_SOURCE's largest unit is malloc(16384): an 8 KiB
+        # tenant heap can never hold it, so the strict heap-limit
+        # check rejects the request instead of degrading forever.
+        options = ServeOptions(tenants={
+            "tiny": TenantSpec("tiny", device_heap_limit=8 << 10)})
+        report = serve(quota_requests(2, ("tiny",)), options)
+        assert all(m.status == "rejected" for m in report.metrics)
+        assert "largest allocation unit" in report.metrics[0].reason
+
+    def test_tight_quota_drives_eviction_machinery(self):
+        options = ServeOptions(tenants={
+            "tight": TenantSpec("tight", device_heap_limit=24 << 10)})
+        report = serve(quota_requests(4, ("tight",)), options)
+        assert all(m.status == "ok" for m in report.metrics)
+        assert report.counters["device_evictions"] > 0
+
+    def test_quota_pressure_is_byte_identical_to_uncapped(self):
+        capped = serve(quota_requests(4, ("tight",)), ServeOptions(
+            tenants={"tight": TenantSpec("tight",
+                                         device_heap_limit=24 << 10)}))
+        free = serve(quota_requests(4, ("roomy",)), ServeOptions())
+        assert [m.observable for m in capped.ok] \
+            == [m.observable for m in free.ok]
+
+    def test_quotas_isolate_tenants(self):
+        # The capped tenant suffers; the uncapped one serves clean.
+        options = ServeOptions(tenants={
+            "gold": TenantSpec("gold"),
+            "tiny": TenantSpec("tiny", device_heap_limit=8 << 10)})
+        report = serve(quota_requests(6, ("gold", "tiny")), options)
+        by_tenant = report.tenants
+        assert by_tenant["gold"]["ok"] == 3
+        assert by_tenant["tiny"]["rejected"] == 3
+
+    def test_tenant_quotas_mint_distinct_artifacts(self):
+        options = ServeOptions(tenants={
+            "a": TenantSpec("a"),
+            "b": TenantSpec("b", device_heap_limit=24 << 10)})
+        report = serve(quota_requests(4, ("a", "b")), options)
+        # Same source, different quota config: no cross-quota batch.
+        assert report.counters["compile_misses"] == 2
+
+
+class TestPolicies:
+    def test_fair_share_balances_tenant_service(self):
+        # One tenant floods 9 requests at t=0, the other sends 3
+        # late; fair-share lets the light tenant jump the flood.
+        requests = []
+        for index in range(9):
+            requests.append(ServeRequest(
+                request_id=index, arrival_s=0.0, tenant="hog",
+                source="int main(void) { print_i64(__ARG0__); return 0; }",
+                args=(str(index % 2),)))
+        for index in range(9, 12):
+            requests.append(ServeRequest(
+                request_id=index, arrival_s=2e-5, tenant="light",
+                source="int main(void) { print_i64(9); return 0; }"))
+        # One worker, no batching, full compile charge per request:
+        # the flood queues long enough for policy order to matter.
+        fifo = serve(requests, ServeOptions(
+            workers=1, policy="fifo", batching=False, cache=False))
+        fair = serve(requests, ServeOptions(
+            workers=1, policy="fair", batching=False, cache=False))
+        fifo_light = fifo.tenants["light"]["mean_latency_s"]
+        fair_light = fair.tenants["light"]["mean_latency_s"]
+        assert fair_light < fifo_light
+        assert len(fair.ok) == len(fifo.ok) == 12
+
+    def test_policies_serve_identical_outputs(self):
+        requests = build_mix(12, tenants=("a", "b"))
+        fifo = serve(requests, ServeOptions(policy="fifo"))
+        fair = serve(requests, ServeOptions(policy="fair"))
+        observables = lambda r: {m.request_id: m.observable
+                                 for m in r.metrics}
+        assert observables(fifo) == observables(fair)
+
+
+class TestTrace:
+    def test_per_request_tracks_recorded(self):
+        report = serve(build_mix(4, arrival_spread_s=1e-3),
+                       ServeOptions(record_events=True, workers=1))
+        tracks = {e.track for e in report.events if e.track}
+        for rid in range(4):
+            assert f"req{rid}" in tracks
+        labels = {e.label for e in report.events}
+        assert any(l.startswith("admit") for l in labels)
+        assert any(l.startswith("compile") for l in labels)
+        assert any(l.startswith("xfer") for l in labels)
+        assert "queued" in labels

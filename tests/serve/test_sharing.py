@@ -1,0 +1,81 @@
+"""Unit tests for the shared-mapping registry."""
+
+from repro.serve.sharing import SharedMappingRegistry
+
+CONTENT = bytes(range(64)) * 4
+
+
+class TestAttach:
+    def test_no_active_request_never_shares(self):
+        registry = SharedMappingRegistry()
+        assert registry.attach("W", CONTENT) is False
+        assert registry.stats()["first_copies"] == 0
+
+    def test_first_holder_pays_the_copy(self):
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        assert registry.attach("W", CONTENT) is False
+        assert registry.first_copies == 1
+        assert registry.bytes_saved == 0
+
+    def test_second_in_flight_holder_shares(self):
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        registry.attach("W", CONTENT)
+        registry.set_active(2)
+        assert registry.attach("W", CONTENT) is True
+        assert registry.attaches == 1
+        assert registry.bytes_saved == len(CONTENT)
+        assert registry.live_entries == 1
+
+    def test_different_content_same_label_does_not_share(self):
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        registry.attach("W", CONTENT)
+        registry.set_active(2)
+        assert registry.attach("W", b"\x00" * len(CONTENT)) is False
+        assert registry.first_copies == 2
+        assert registry.live_entries == 2
+
+    def test_same_request_reattach_shares_with_itself_only_once(self):
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        registry.attach("W", CONTENT)
+        # A re-map within the same run sees the already-held entry.
+        assert registry.attach("W", CONTENT) is True
+
+
+class TestRelease:
+    def test_release_frees_holder_less_entries(self):
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        registry.attach("W", CONTENT)
+        registry.release(1)
+        assert registry.live_entries == 0
+
+    def test_entry_survives_while_another_holder_lives(self):
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        registry.attach("W", CONTENT)
+        registry.set_active(2)
+        registry.attach("W", CONTENT)
+        registry.release(1)
+        assert registry.live_entries == 1
+        registry.release(2)
+        assert registry.live_entries == 0
+
+    def test_departed_request_does_not_seed_future_sharing(self):
+        # Sharing is only across *in-flight* requests: once the sole
+        # holder completes, a later request pays its own first copy.
+        registry = SharedMappingRegistry()
+        registry.set_active(1)
+        registry.attach("W", CONTENT)
+        registry.release(1)
+        registry.set_active(2)
+        assert registry.attach("W", CONTENT) is False
+        assert registry.first_copies == 2
+
+    def test_release_unknown_request_is_a_noop(self):
+        registry = SharedMappingRegistry()
+        registry.release(99)
+        assert registry.stats()["live_entries"] == 0
