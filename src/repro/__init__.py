@@ -18,7 +18,7 @@ Quick start::
     print(result.stdout, result.total_seconds)
 """
 
-from .api import CompiledWorkload, compile_workload
+from .api import CompiledWorkload, Session, compile_workload, default_session
 from .core import (CgcmCompiler, CgcmConfig, CompileReport, ExecutionResult,
                    OptLevel, compile_and_run)
 from .errors import (CgcmRuntimeError, CgcmUnsupportedError, FrontendError,
@@ -26,6 +26,7 @@ from .errors import (CgcmRuntimeError, CgcmUnsupportedError, FrontendError,
                      TransformError)
 from .frontend import compile_minic
 from .gpu import CostModel
+from .gpu.topology import Link, Topology
 from .interp import Machine
 from .runtime import CgcmRuntime
 
@@ -33,7 +34,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CgcmCompiler", "CgcmConfig", "CompileReport", "CompiledWorkload",
-    "ExecutionResult", "compile_workload",
+    "ExecutionResult", "Session", "compile_workload", "default_session",
+    "Link", "Topology",
     "OptLevel", "compile_and_run", "compile_minic", "CostModel", "Machine",
     "CgcmRuntime", "ReproError", "CgcmRuntimeError", "CgcmUnsupportedError",
     "FrontendError", "GpuError", "InterpError", "IRError", "MemoryFault",

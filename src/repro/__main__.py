@@ -81,44 +81,76 @@ from .workloads import ALL_WORKLOADS, get_workload, workload_names
 _LEVELS = {level.value: level for level in OptLevel}
 
 
-def _add_level_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--level", choices=sorted(_LEVELS), default="optimized",
-        help="pipeline level: sequential (CPU only), unoptimized "
-             "(communication management), optimized (all three "
-             "communication optimizations)")
+def _parent(*specs) -> argparse.ArgumentParser:
+    """A reusable flag group: an ``add_help=False`` parent parser.
+
+    Each spec is ``(args_tuple, kwargs_dict)`` for one
+    ``add_argument`` call.  Subcommands opt into a group via
+    ``parents=[...]`` instead of repeating the flag definitions.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    for flags, kwargs in specs:
+        parent.add_argument(*flags, **kwargs)
+    return parent
 
 
-def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--engine", choices=("source", "compiled", "tree"),
-        default="source",
-        help="execution engine: source (Python source codegen, "
-             "fastest), compiled (closure compiler), or tree "
-             "(tree-walking reference interpreter)")
+_LEVEL_PARENT = _parent((("--level",), dict(
+    choices=sorted(_LEVELS), default="optimized",
+    help="pipeline level: sequential (CPU only), unoptimized "
+         "(communication management), optimized (all three "
+         "communication optimizations)")))
+
+_ENGINE_PARENT = _parent((("--engine",), dict(
+    choices=("source", "compiled", "tree"), default="source",
+    help="execution engine: source (Python source codegen, "
+         "fastest), compiled (closure compiler), or tree "
+         "(tree-walking reference interpreter)")))
+
+_STREAMS_PARENT = _parent((("--streams",), dict(
+    action="store_true",
+    help="enable the streams subsystem: comm-overlap transform, "
+         "asynchronous transfers/launches, and overlap-aware "
+         "elapsed time")))
+
+_FAULTS_PARENT = _parent((("--faults",), dict(
+    type=int, default=None, metavar="SEED",
+    help="arm deterministic driver-fault injection with this seed "
+         "(the resilient runtime must ride the faults out)")))
+
+_HEAP_PARENT = _parent((("--heap-limit",), dict(
+    type=int, default=None, metavar="BYTES",
+    help="cap the device heap to force eviction and CPU-fallback "
+         "launches")))
+
+_VALIDATE_PARENT = _parent((("--validate",), dict(
+    action="store_true",
+    help="translation validation: check each optimize-stage "
+         "pass's legality contract on its before/after IR pair "
+         "and fail on any violation")))
+
+_SANITIZE_PARENT = _parent((("--sanitize",), dict(
+    action="store_true",
+    help="arm the communication sanitizer on the run(s)")))
+
+_DEVICES_PARENT = _parent(
+    (("--devices",), dict(
+        type=int, default=1, metavar="N",
+        help="simulate N GPUs: allocation units are partitioned "
+             "across devices and DOALL grids may shard (implies "
+             "streams; default 1)")),
+    (("--topology",), dict(
+        choices=("single", "ring", "full"), default="full",
+        help="inter-device link topology for --devices > 1 "
+             "(default full: every device pair has a direct link)")))
 
 
-def _add_streams_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--streams", action="store_true",
-        help="enable the streams subsystem: comm-overlap transform, "
-             "asynchronous transfers/launches, and overlap-aware "
-             "elapsed time")
-
-
-def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--faults", type=int, default=None, metavar="SEED",
-        help="arm deterministic driver-fault injection with this seed "
-             "(the resilient runtime must ride the faults out)")
-
-
-def _add_validate_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--validate", action="store_true",
-        help="translation validation: check each optimize-stage "
-             "pass's legality contract on its before/after IR pair "
-             "and fail on any violation")
+def _topology_from_args(args: argparse.Namespace):
+    """The CLI's ``--devices``/``--topology`` as a Topology, or None."""
+    devices = getattr(args, "devices", 1)
+    if devices is None or devices <= 1:
+        return None
+    from .gpu.topology import Topology
+    return Topology.build(getattr(args, "topology", "full"), devices)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -128,17 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
                     "simulate MiniC programs")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    run_cmd = commands.add_parser("run", help="compile and execute")
+    run_cmd = commands.add_parser(
+        "run", help="compile and execute",
+        parents=[_LEVEL_PARENT, _ENGINE_PARENT, _STREAMS_PARENT,
+                 _FAULTS_PARENT, _HEAP_PARENT, _VALIDATE_PARENT,
+                 _SANITIZE_PARENT, _DEVICES_PARENT])
     run_cmd.add_argument("source", help="MiniC source file")
-    _add_level_argument(run_cmd)
-    _add_engine_argument(run_cmd)
-    _add_streams_argument(run_cmd)
-    _add_faults_argument(run_cmd)
-    run_cmd.add_argument("--heap-limit", type=int, default=None,
-                         metavar="BYTES",
-                         help="cap the device heap to force eviction "
-                              "and CPU-fallback launches")
-    _add_validate_argument(run_cmd)
     run_cmd.add_argument("--trace", action="store_true",
                          help="draw the execution schedule (Figure 2 "
                               "style)")
@@ -149,23 +176,21 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(hits/misses/evictions/entries) after "
                               "the run")
 
-    emit_cmd = commands.add_parser("emit-ir",
-                                   help="print the transformed IR")
+    emit_cmd = commands.add_parser(
+        "emit-ir", help="print the transformed IR",
+        parents=[_LEVEL_PARENT, _STREAMS_PARENT])
     emit_cmd.add_argument("source", help="MiniC source file")
-    _add_level_argument(emit_cmd)
-    _add_streams_argument(emit_cmd)
 
     trace_cmd = commands.add_parser(
         "trace",
         help="dump one run's timeline as Chrome trace-event JSON "
-             "(load in chrome://tracing or ui.perfetto.dev)")
+             "(load in chrome://tracing or ui.perfetto.dev)",
+        parents=[_LEVEL_PARENT, _ENGINE_PARENT, _STREAMS_PARENT,
+                 _DEVICES_PARENT])
     trace_cmd.add_argument(
         "target", nargs="?", default=None,
         help="workload name (see 'list') or MiniC source path "
              "(not used with --serve)")
-    _add_level_argument(trace_cmd)
-    _add_engine_argument(trace_cmd)
-    _add_streams_argument(trace_cmd)
     trace_cmd.add_argument(
         "--serve", type=int, default=None, metavar="CLIENTS",
         help="trace a serve run of this many concurrent mix requests "
@@ -178,7 +203,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd = commands.add_parser(
         "bench",
         help="with names: run workloads through all configurations; "
-             "with no names: three-engine speedup sweep")
+             "with no names: three-engine speedup sweep",
+        parents=[_STREAMS_PARENT, _DEVICES_PARENT])
     bench_cmd.add_argument("workloads", nargs="*",
                            help="workload names (see 'list'); omit for "
                                 "the engine sweep")
@@ -190,9 +216,25 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="engine sweep: timing runs per engine "
                                 "per workload (the median is kept; "
                                 "min/max record the spread)")
-    bench_cmd.add_argument("--streams", action="store_true",
-                           help="serial-vs-overlapped sweep over all 24 "
-                                "workloads (writes BENCH_streams.json)")
+
+    multibench_cmd = commands.add_parser(
+        "multibench",
+        help="multi-GPU sweep: device counts x workloads, byte-"
+             "identity checked against the single-device baseline")
+    multibench_cmd.add_argument(
+        "workloads", nargs="*",
+        help="workload names (see 'list'); omit for all 24")
+    multibench_cmd.add_argument(
+        "--devices", type=int, nargs="*", default=None, metavar="N",
+        help="device counts to sweep (default: 1 2 4 8)")
+    multibench_cmd.add_argument(
+        "--topology", choices=("single", "ring", "full"),
+        default="full",
+        help="inter-device link topology (default full)")
+    multibench_cmd.add_argument(
+        "--out", default="BENCH_multigpu.json",
+        help="where to write the JSON report (default "
+             "BENCH_multigpu.json)")
 
     faultbench_cmd = commands.add_parser(
         "faultbench",
@@ -209,7 +251,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize_cmd = commands.add_parser(
         "sanitize",
         help="run the CPU-vs-GPU differential oracle under the "
-             "communication sanitizer")
+             "communication sanitizer",
+        parents=[_ENGINE_PARENT])
     sanitize_cmd.add_argument(
         "targets", nargs="+",
         help="workload names, MiniC source paths, or 'all'")
@@ -220,11 +263,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sanitize_cmd.add_argument(
         "--verbose", action="store_true",
         help="print sanitizer statistics for clean runs too")
-    _add_engine_argument(sanitize_cmd)
 
     lint_cmd = commands.add_parser(
         "lint",
-        help="static communication verifier and DOALL race auditor")
+        help="static communication verifier and DOALL race auditor",
+        parents=[_STREAMS_PARENT, _FAULTS_PARENT, _VALIDATE_PARENT])
     lint_cmd.add_argument(
         "targets", nargs="*",
         help="workload names, MiniC source paths, or 'all' (default: "
@@ -244,14 +287,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--corpus", action="store_true",
         help="also self-check the seeded-defect corpus (every seeded "
              "bug must be flagged, every clean control must pass)")
-    _add_streams_argument(lint_cmd)
-    _add_faults_argument(lint_cmd)
-    _add_validate_argument(lint_cmd)
 
     fuzz_cmd = commands.add_parser(
         "fuzz",
         help="scenario engine: generate MiniC programs and check the "
-             "full differential property matrix on each")
+             "full differential property matrix on each",
+        parents=[_VALIDATE_PARENT])
     fuzz_cmd.add_argument("--seed", type=int, default=0,
                           help="generation seed (default 0); the run is "
                                "fully determined by (seed, count)")
@@ -269,12 +310,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--cache-stats", action="store_true",
                           help="print artifact-cache counters after "
                                "the fuzz run")
-    _add_validate_argument(fuzz_cmd)
 
     serve_cmd = commands.add_parser(
         "serve",
         help="compile-once serve-many request loop: admit, batch, and "
-             "execute concurrent mix requests in simulated time")
+             "execute concurrent mix requests in simulated time",
+        parents=[_SANITIZE_PARENT, _DEVICES_PARENT])
     serve_cmd.add_argument("--clients", type=int, default=50,
                            help="concurrent requests (default 50; one "
                                 "burst at t=0)")
@@ -294,9 +335,6 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--no-cache", action="store_true",
                            help="charge a full compile per request "
                                 "(the cache-off ablation)")
-    serve_cmd.add_argument("--sanitize", action="store_true",
-                           help="arm the communication sanitizer on "
-                                "every request's run")
     serve_cmd.add_argument("--shuffle-seed", type=int, default=None,
                            help="seeded shuffle of the pending queue "
                                 "before each dispatch")
@@ -351,14 +389,14 @@ def _fault_plan(seed: Optional[int]):
 def _compile(path: str, level_name: str, record_events: bool = False,
              engine: str = "source", streams: bool = False,
              faults=None, heap_limit: Optional[int] = None,
-             validate: bool = False):
+             validate: bool = False, topology=None):
     with open(path) as handle:
         source = handle.read()
     config = CgcmConfig(opt_level=_LEVELS[level_name],
                         record_events=record_events, engine=engine,
                         streams=streams, faults=faults,
                         device_heap_limit=heap_limit,
-                        validate=validate)
+                        validate=validate, topology=topology)
     compiler = CgcmCompiler(config)
     report = compiler.compile_source(source, path)
     return compiler, report
@@ -374,12 +412,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                         streams=args.streams,
                         faults=_fault_plan(args.faults),
                         device_heap_limit=args.heap_limit,
-                        validate=args.validate)
+                        validate=args.validate,
+                        sanitize=args.sanitize,
+                        topology=_topology_from_args(args))
     workload = api.compile_workload(source, config, name=args.source)
     report = workload.report
     result = workload.run()
     for line in result.stdout:
         print(line)
+    if args.sanitize and result.sanitizer_report is not None:
+        print(result.sanitizer_report.summary(), file=sys.stderr)
+        if not result.sanitizer_report.clean and result.exit_code == 0:
+            return 1
     if args.stats:
         print(f"-- {args.level} --", file=sys.stderr)
         print(f"modelled time : {result.total_seconds * 1e6:10.2f} us "
@@ -408,6 +452,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.faults is not None or args.heap_limit is not None:
             from .evaluation.faultbench import RECOVERY_COUNTERS
             counters.extend(RECOVERY_COUNTERS)
+        if getattr(args, "devices", 1) > 1:
+            counters.extend(["multigpu_placements",
+                             "multi_device_launches",
+                             "sharded_launches", "p2p_copies",
+                             "p2p_bytes"])
         for counter in counters:
             if counter in result.counters:
                 print(f"{counter:14s}: {result.counters[counter]}",
@@ -460,16 +509,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("repro trace: a workload or source target is required "
               "unless --serve is given", file=sys.stderr)
         return 2
+    topology = _topology_from_args(args)
     if os.path.exists(args.target):
         compiler, report = _compile(args.target, args.level,
                                     record_events=True, engine=args.engine,
-                                    streams=args.streams)
+                                    streams=args.streams,
+                                    topology=topology)
         name = args.target
     else:
         workload = get_workload(args.target)
         config = CgcmConfig(opt_level=_LEVELS[args.level],
                             record_events=True, engine=args.engine,
-                            streams=args.streams)
+                            streams=args.streams, topology=topology)
         compiler = CgcmCompiler(config)
         report = compiler.compile_source(workload.source, workload.name)
         name = workload.name
@@ -486,6 +537,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "devices", 1) and args.devices > 1:
+        # Multi-device ask: run the multibench sweep at just this
+        # device count (plus the 1-device baseline row).
+        args.devices = [1, args.devices]
+        if args.out is None:
+            args.out = "BENCH_multigpu.json"
+        return _cmd_multibench(args)
     if args.streams:
         return _cmd_overlap_bench(args)
     if not args.workloads:
@@ -536,6 +594,28 @@ def _cmd_overlap_bench(args: argparse.Namespace) -> int:
     bench.write(out)
     print(f"wrote {out}", file=sys.stderr)
     return 0 if bench.ok else 1
+
+
+def _cmd_multibench(args: argparse.Namespace) -> int:
+    """Device-count sweep with byte-identity verification."""
+    from .evaluation.multibench import (DEFAULT_DEVICE_COUNTS,
+                                        run_multigpu_bench)
+
+    def progress(cell):
+        status = "ok" if cell.ok else "DIVERGED"
+        print(f"{cell.name:16s} {cell.devices}dev "
+              f"{cell.speedup:6.2f}x  {status}", file=sys.stderr)
+
+    workloads = ([get_workload(n) for n in args.workloads]
+                 if args.workloads else None)
+    counts = tuple(args.devices) if args.devices else DEFAULT_DEVICE_COUNTS
+    report = run_multigpu_bench(workloads, device_counts=counts,
+                                topology_kind=args.topology,
+                                progress=progress)
+    print(report.render())
+    report.write(args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_faultbench(args: argparse.Namespace) -> int:
@@ -737,7 +817,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batching=not args.no_batching, sharing=not args.no_sharing,
         cache=not args.no_cache, sanitize=args.sanitize,
         batch_limit=args.batch_limit, shuffle_seed=args.shuffle_seed,
-        tenants=tenants)
+        tenants=tenants, topology=_topology_from_args(args))
     sources = ((("quota", QUOTA_SOURCE),) if args.quota_mix
                else MIX_SOURCES)
     requests = build_mix(
@@ -781,7 +861,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"run": _cmd_run, "emit-ir": _cmd_emit_ir,
-                "bench": _cmd_bench, "faultbench": _cmd_faultbench,
+                "bench": _cmd_bench, "multibench": _cmd_multibench,
+                "faultbench": _cmd_faultbench,
                 "trace": _cmd_trace, "sanitize": _cmd_sanitize,
                 "lint": _cmd_lint, "fuzz": _cmd_fuzz,
                 "serve": _cmd_serve, "servebench": _cmd_servebench,

@@ -45,10 +45,12 @@ from typing import Dict, Optional, Tuple
 from .core.compiler import CgcmCompiler, CompileReport, ExecutionResult
 from .core.config import CgcmConfig, OptLevel
 from .errors import ConfigError
+from .gpu.topology import Topology
 from .ir import module_to_str
 
-__all__ = ["CompiledWorkload", "compile_workload", "cache_stats",
-           "clear_cache", "CACHE_CAPACITY"]
+__all__ = ["CompiledWorkload", "Session", "compile_workload",
+           "cache_stats", "clear_cache", "default_session",
+           "CACHE_CAPACITY"]
 
 #: Most-recently-used compiled artifacts kept alive by the cache.
 CACHE_CAPACITY = 256
@@ -78,6 +80,7 @@ def _config_key(config: CgcmConfig) -> Tuple:
         config.device_heap_limit,
         config.strict_heap_limit,
         config.validate,
+        None if config.topology is None else config.topology.key(),
     )
 
 
@@ -135,18 +138,124 @@ class _ArtifactCache:
                     "capacity": self.capacity}
 
 
-_CACHE = _ArtifactCache()
+class Session:
+    """One scripting context: an artifact cache plus ambient defaults.
+
+    A session owns what used to be process-wide state -- the compiled
+    artifact cache, the default :class:`CgcmConfig`, and the device
+    :class:`~repro.gpu.topology.Topology` -- so independent embedders
+    (the serve layer, the benchmarks, tests) no longer share cache
+    counters or defaults.  Module-level :func:`compile_workload` /
+    :func:`cache_stats` / :func:`clear_cache` are thin wrappers over
+    one process-wide *default session* and behave exactly as before.
+
+    ``config`` seeds the default config used when :meth:`compile` is
+    called without one; ``topology`` is injected into any compile
+    whose config does not pin its own (so one session serves an
+    N-device machine without every call site repeating it).
+    """
+
+    def __init__(self, config: Optional[CgcmConfig] = None,
+                 topology: Optional[Topology] = None,
+                 cache_capacity: int = CACHE_CAPACITY):
+        if config is not None and not isinstance(config, CgcmConfig):
+            raise ConfigError(
+                f"Session config must be a CgcmConfig, got "
+                f"{type(config).__name__}")
+        if topology is not None and not isinstance(topology, Topology):
+            raise ConfigError(
+                f"Session topology must be a Topology, got "
+                f"{type(topology).__name__}")
+        #: Snapshot: mutating the caller's config later never changes
+        #: what the session compiles with.
+        self.default_config = dataclasses.replace(config) \
+            if config is not None else None
+        self.topology = topology
+        self._cache = _ArtifactCache(cache_capacity)
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, source: str, config: Optional[CgcmConfig] = None,
+                name: str = "workload") -> "CompiledWorkload":
+        """Compile ``source`` through the pipeline, with caching.
+
+        Config resolution: the explicit ``config`` wins, else the
+        session's default, else a fresh :class:`CgcmConfig`.  A config
+        that does not pin its own topology inherits the session's
+        (when the config parallelizes -- a CPU-only config has no use
+        for devices).  Caching semantics match the module-level
+        :func:`compile_workload` exactly, against *this* session's
+        cache.
+        """
+        if not isinstance(source, str):
+            raise ConfigError(
+                f"compile_workload source must be MiniC text (str), got "
+                f"{type(source).__name__}; read files before calling")
+        if config is None:
+            config = self.default_config
+        if config is None:
+            config = CgcmConfig()
+        elif not isinstance(config, CgcmConfig):
+            raise ConfigError(
+                f"compile_workload config must be a CgcmConfig, got "
+                f"{type(config).__name__}")
+        # Snapshot re-runs __post_init__, so a config mutated into an
+        # invalid combination is rejected here -- before any
+        # compilation.  Topology injection happens in the same step.
+        if config.topology is None and self.topology is not None \
+                and config.parallelize:
+            snapshot = dataclasses.replace(config, topology=self.topology)
+        else:
+            snapshot = dataclasses.replace(config)
+        key = (_source_key(source), name, _config_key(snapshot))
+        cached = self._cache.lookup(key)
+        if cached is not None:
+            return cached
+        compiler = CgcmCompiler(snapshot)
+        report = compiler.compile_source(source, name)
+        workload = CompiledWorkload(source, name, snapshot, compiler,
+                                    report, key)
+        self._cache.insert(key, workload)
+        return workload
+
+    # -- cache -------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, int]:
+        """This session's cache counters (same shape as the
+        module-level :func:`cache_stats`)."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop this session's cached artifacts and zero counters."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        topo = "single" if self.topology is None \
+            else f"{self.topology.kind}x{self.topology.num_devices}"
+        return (f"<Session topology={topo} "
+                f"entries={self._cache.stats()['entries']}>")
+
+
+_DEFAULT_SESSION = Session()
+#: Back-compat alias: the default session's cache (tests and tools
+#: historically reached for ``api._CACHE``).
+_CACHE = _DEFAULT_SESSION._cache
+
+
+def default_session() -> Session:
+    """The process-wide session behind the module-level wrappers."""
+    return _DEFAULT_SESSION
 
 
 def cache_stats() -> Dict[str, int]:
     """Artifact-cache counters: ``hits``, ``misses``, ``evictions``,
     ``entries`` (plus the legacy ``size`` alias and ``capacity``)."""
-    return _CACHE.stats()
+    return _DEFAULT_SESSION.cache_stats()
 
 
 def clear_cache() -> None:
     """Drop every cached artifact and zero the counters."""
-    _CACHE.clear()
+    _DEFAULT_SESSION.clear_cache()
 
 
 class CompiledWorkload:
@@ -174,28 +283,34 @@ class CompiledWorkload:
 
     def run(self, engine: Optional[str] = None,
             shared_mappings: Optional["object"] = None,
-            launch_log: Optional[list] = None) -> ExecutionResult:
+            launch_log: Optional[list] = None,
+            device_heap_limit: Optional[int] = None) -> ExecutionResult:
         """Execute on a fresh machine; returns observables and clocks.
 
         ``engine`` overrides the config's engine for this run only
         (the differential harness runs one artifact under both).
         With ``config.sanitize`` the sanitizer report rides along on
         :attr:`ExecutionResult.sanitizer_report`.  ``shared_mappings``
-        and ``launch_log`` are the serve layer's hooks -- see
-        :meth:`CgcmCompiler.execute`.
+        and ``launch_log`` are the serve layer's hooks;
+        ``device_heap_limit`` applies a heap quota to this run only
+        (the module is identical either way, so quota variants share
+        this one artifact) -- see :meth:`CgcmCompiler.execute`.
         """
         result = self._compiler.execute(self.report, engine=engine,
                                         shared_mappings=shared_mappings,
-                                        launch_log=launch_log)
+                                        launch_log=launch_log,
+                                        device_heap_limit=device_heap_limit)
         self.runs += 1
         return result
 
     # -- reports -----------------------------------------------------------
 
     def lint(self):
-        """Static-checker report over the post-pipeline IR."""
+        """Static-checker report over the post-pipeline IR.  Under a
+        multi-device config the placement pass is armed too."""
         from .staticcheck.linter import lint_module
-        return lint_module(self.report.module)
+        return lint_module(self.report.module,
+                           topology=self.config.topology)
 
     def sanitize(self, level: Optional[OptLevel] = None):
         """CPU-vs-GPU differential run with the sanitizer armed.
@@ -237,27 +352,12 @@ def compile_workload(source: str, config: Optional[CgcmConfig] = None,
     keyed by its exact bytes -- even semantically meaningless
     whitespace changes produce a distinct artifact, because the cache
     must never be cleverer than the compiler it is caching.
+
+    Thin wrapper: equivalent to ``default_session().compile(...)``.
     """
-    if not isinstance(source, str):
-        raise ConfigError(
-            f"compile_workload source must be MiniC text (str), got "
-            f"{type(source).__name__}; read files before calling")
     if config is None:
+        # The process-wide default session carries no default config,
+        # so explicitly fall back to a fresh one (the historical
+        # contract of this function).
         config = CgcmConfig()
-    elif not isinstance(config, CgcmConfig):
-        raise ConfigError(
-            f"compile_workload config must be a CgcmConfig, got "
-            f"{type(config).__name__}")
-    # Snapshot re-runs __post_init__, so a config mutated into an
-    # invalid combination is rejected here -- before any compilation.
-    snapshot = dataclasses.replace(config)
-    key = (_source_key(source), name, _config_key(snapshot))
-    cached = _CACHE.lookup(key)
-    if cached is not None:
-        return cached
-    compiler = CgcmCompiler(snapshot)
-    report = compiler.compile_source(source, name)
-    workload = CompiledWorkload(source, name, snapshot, compiler,
-                                report, key)
-    _CACHE.insert(key, workload)
-    return workload
+    return _DEFAULT_SESSION.compile(source, config, name)

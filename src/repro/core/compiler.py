@@ -165,7 +165,8 @@ class CgcmCompiler:
                 capture_globals: bool = True,
                 engine: Optional[str] = None,
                 shared_mappings: Optional["object"] = None,
-                launch_log: Optional[List] = None) -> ExecutionResult:
+                launch_log: Optional[List] = None,
+                device_heap_limit: Optional[int] = None) -> ExecutionResult:
         """Run a compiled module on a fresh simulated machine.
 
         With ``config.sanitize`` set, the communication sanitizer is
@@ -182,13 +183,26 @@ class CgcmCompiler:
         collects one ``(kernel_name, grid, total_ops, max_ops,
         duration)`` tuple per GPU launch, the raw material for
         batched-dispatch re-pricing.
+
+        ``device_heap_limit`` overrides ``config.device_heap_limit``
+        for this run only -- the serve layer applies per-tenant heap
+        quotas at execution time so quota variants of one source share
+        a single compiled artifact.  The compiled module is identical
+        either way (the limit is purely a runtime knob); the same
+        streams-compatibility rule as the config field applies.
         """
-        if (self.config.device_heap_limit is not None
-                and self.config.strict_heap_limit):
+        effective_limit = device_heap_limit if device_heap_limit is not None \
+            else self.config.device_heap_limit
+        if effective_limit is not None and self.config.streams:
+            raise ConfigError(
+                "device_heap_limit cannot be combined with streams: "
+                "eviction write-backs are synchronous and would race "
+                "the deferred async write-backs")
+        if effective_limit is not None and self.config.strict_heap_limit:
             size, label = largest_static_unit(report.module)
-            if size > self.config.device_heap_limit:
+            if size > effective_limit:
                 raise ConfigError(
-                    f"device_heap_limit={self.config.device_heap_limit} "
+                    f"device_heap_limit={effective_limit} "
                     f"is smaller than the program's largest allocation "
                     f"unit ({label}, {size} bytes): the unit could "
                     "never become device-resident and every launch "
@@ -209,7 +223,7 @@ class CgcmCompiler:
                           else self.config.engine,
                           streams=self.config.streams,
                           fault_injector=fault_injector,
-                          device_heap_limit=self.config.device_heap_limit)
+                          device_heap_limit=effective_limit)
         if launch_log is not None:
             machine.launch_cost_hooks.append(
                 lambda m, kernel, grid, total, mx, duration:
@@ -217,6 +231,14 @@ class CgcmCompiler:
         runtime = CgcmRuntime(machine) if self.config.parallelize else None
         if runtime is not None and shared_mappings is not None:
             runtime.shared_mappings = shared_mappings
+        topology = self.config.topology
+        if runtime is not None and topology is not None \
+                and topology.num_devices > 1:
+            # Imported lazily: single-device runs never touch the
+            # multi-GPU layer.
+            from ..multigpu import MultiGpuCoordinator, plan_placement
+            plan = plan_placement(report.module, topology)
+            MultiGpuCoordinator(machine, runtime, topology, plan)
         sanitizer = None
         if self.config.sanitize:
             # Imported lazily: the sanitizer package depends on this

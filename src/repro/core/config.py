@@ -9,6 +9,7 @@ from typing import Optional
 from ..errors import ConfigError
 from ..gpu.faults import FaultPlan
 from ..gpu.timing import CostModel
+from ..gpu.topology import Topology
 
 
 class OptLevel(enum.Enum):
@@ -86,12 +87,50 @@ class CgcmConfig:
     #: violation.  Off by default (it re-lints intermediate modules,
     #: which costs compile time).
     validate: bool = False
+    #: Device topology for executions.  None (or a one-device
+    #: topology) is the classic single-GPU platform.  A multi-device
+    #: :class:`~repro.gpu.topology.Topology` arms the multi-GPU layer:
+    #: allocation units are partitioned across devices by the
+    #: placement pass, DOALL grids shard across the devices holding
+    #: their operands, and peer/collective transfers are scheduled on
+    #: per-device async streams.  Multi-device scheduling is
+    #: inherently asynchronous, so ``streams`` turns on automatically.
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         from ..interp.machine import ENGINES
         if self.engine not in ENGINES:
             raise ConfigError(f"unknown engine {self.engine!r}; expected "
                               f"one of {ENGINES}")
+        if self.topology is not None:
+            if not isinstance(self.topology, Topology):
+                raise ConfigError(
+                    f"CgcmConfig.topology must be a Topology, got "
+                    f"{type(self.topology).__name__}; build one with "
+                    "Topology.ring(n) or Topology.fully_connected(n)")
+            if self.topology.num_devices > 1:
+                if not self.parallelize:
+                    raise ConfigError(
+                        "a multi-device topology needs CGCM-transformed "
+                        "launches to place and shard; "
+                        "OptLevel.SEQUENTIAL never touches a device.  "
+                        "Use UNOPTIMIZED or OPTIMIZED")
+                if self.faults is not None:
+                    raise ConfigError(
+                        "a multi-device topology cannot be combined with "
+                        "fault injection: per-device retry/fail-over has "
+                        "no story yet.  Drop faults or use a one-device "
+                        "topology")
+                if self.device_heap_limit is not None:
+                    raise ConfigError(
+                        "a multi-device topology cannot be combined with "
+                        "a device heap cap: per-device eviction has no "
+                        "story yet.  Drop device_heap_limit or use a "
+                        "one-device topology")
+                # Multi-device schedules are asynchronous by nature:
+                # collectives must overlap compute for the extra
+                # devices to pay off.
+                self.streams = True
         if self.faults is not None:
             if not isinstance(self.faults, FaultPlan):
                 raise ConfigError(

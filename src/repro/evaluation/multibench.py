@@ -1,0 +1,188 @@
+"""Multi-GPU benchmark: device-count sweep with byte-identity checks.
+
+For each workload and each device count, runs the optimized streams
+pipeline under an N-device topology and compares it against the
+single-device streams baseline: observables must be byte-identical
+(the eager-data model makes N-device placement purely a scheduling
+decision, and this sweep is the empirical check of that claim), and
+the overlap-aware critical path gives the modeled speedup.
+
+Exposed as ``python -m repro multibench`` (writes
+``BENCH_multigpu.json``).  Divergence is always an error; the
+speedups are the experiment's result, not a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import CgcmConfig, OptLevel
+from ..gpu.topology import Topology
+from ..workloads import ALL_WORKLOADS, Workload
+
+#: Schema tag for BENCH_multigpu.json (bump on incompatible change).
+MULTIGPU_SCHEMA = "repro-bench-multigpu/1"
+
+#: Device counts swept by default (1 is the baseline itself).
+DEFAULT_DEVICE_COUNTS = (1, 2, 4, 8)
+
+#: Counters worth keeping per cell.
+_KEPT_COUNTERS = ("p2p_copies", "p2p_bytes", "multi_device_launches",
+                  "sharded_launches", "multigpu_placements")
+
+
+@dataclass
+class MultiGpuCell:
+    """One workload under one device count."""
+
+    name: str
+    devices: int
+    topology: str
+    baseline_s: float
+    critical_path_s: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        if self.critical_path_s <= 0:
+            return float("inf")
+        return self.baseline_s / self.critical_path_s
+
+
+@dataclass
+class MultiGpuReport:
+    """The whole device-count sweep plus per-count geomeans."""
+
+    topology: str
+    device_counts: Tuple[int, ...]
+    cells: List[MultiGpuCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cells)
+
+    def _geomean(self, speedups: List[float]) -> float:
+        if not speedups:
+            return 0.0
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+    def geomean(self, devices: int) -> float:
+        return self._geomean([c.speedup for c in self.cells
+                              if c.ok and c.devices == devices])
+
+    def best(self, devices: int) -> Optional[MultiGpuCell]:
+        cells = [c for c in self.cells if c.ok and c.devices == devices]
+        return max(cells, key=lambda c: c.speedup) if cells else None
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": MULTIGPU_SCHEMA,
+            "python": platform.python_version(),
+            "topology": self.topology,
+            "device_counts": list(self.device_counts),
+            "geomeans": {str(n): round(self.geomean(n), 4)
+                         for n in self.device_counts},
+            "cells": [
+                {
+                    "name": c.name,
+                    "devices": c.devices,
+                    "topology": c.topology,
+                    "baseline_s": c.baseline_s,
+                    "critical_path_s": c.critical_path_s,
+                    "speedup": round(c.speedup, 4),
+                    "identical": c.ok,
+                    "counters": {k: c.counters[k]
+                                 for k in sorted(c.counters)},
+                    "mismatches": list(c.mismatches),
+                }
+                for c in self.cells
+            ],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def render(self) -> str:
+        counts = [n for n in self.device_counts if n > 1]
+        header = f"{'workload':16s}" + "".join(
+            f" {f'{n}dev':>8s}" for n in counts)
+        lines = [header]
+        names: List[str] = []
+        for cell in self.cells:
+            if cell.name not in names:
+                names.append(cell.name)
+        by_key = {(c.name, c.devices): c for c in self.cells}
+        for name in names:
+            row = f"{name:16s}"
+            for n in counts:
+                cell = by_key.get((name, n))
+                if cell is None:
+                    row += f" {'-':>8s}"
+                else:
+                    row += (f" {cell.speedup:7.2f}x"
+                            if cell.ok else f" {'DIVERGE':>8s}")
+            lines.append(row)
+        row = f"{'geomean':16s}"
+        for n in counts:
+            row += f" {self.geomean(n):7.2f}x"
+        lines.append(row)
+        return "\n".join(lines)
+
+
+def run_multigpu_bench(workloads: Optional[List[Workload]] = None,
+                       device_counts: Tuple[int, ...] = DEFAULT_DEVICE_COUNTS,
+                       topology_kind: str = "full",
+                       level: OptLevel = OptLevel.OPTIMIZED,
+                       progress=None) -> MultiGpuReport:
+    """The sweep; ``progress`` is an optional per-cell callback.
+
+    Every multi-device cell is checked byte-identical against the
+    single-device streams baseline of the same workload.  A device
+    count of 1 reuses the baseline itself (speedup exactly 1.0) so
+    the report always contains the reference row.
+    """
+    from .. import api
+
+    if workloads is None:
+        workloads = list(ALL_WORKLOADS)
+    report = MultiGpuReport(topology_kind, tuple(device_counts))
+    for workload in workloads:
+        base = api.compile_workload(
+            workload.source, CgcmConfig(opt_level=level, streams=True),
+            name=workload.name).run()
+        base_cp = base.critical_path_seconds
+        for n in device_counts:
+            if n <= 1:
+                cell = MultiGpuCell(workload.name, 1, "single",
+                                    base_cp, base_cp)
+            else:
+                topo = Topology.build(topology_kind, n)
+                result = api.compile_workload(
+                    workload.source,
+                    CgcmConfig(opt_level=level, topology=topo),
+                    name=workload.name).run()
+                mismatches: List[str] = []
+                if base.observable() != result.observable():
+                    mismatches.append(
+                        f"observables differ between 1 and {n} devices")
+                cell = MultiGpuCell(
+                    workload.name, n, topo.kind, base_cp,
+                    result.critical_path_seconds,
+                    counters={k: result.counters.get(k, 0)
+                              for k in _KEPT_COUNTERS},
+                    mismatches=tuple(mismatches))
+            report.cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return report

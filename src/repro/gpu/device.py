@@ -78,6 +78,12 @@ class GpuDevice:
         #: :class:`DriverEvent` member.  The sanitizer attaches here.
         self.observers: List[Callable[[DriverEvent, int, int], None]] = []
         self._stream_serial = 0
+        #: Engine lane the transfer paths charge.  The multi-GPU
+        #: coordinator retargets this per-operation so a copy feeding
+        #: a unit homed on device *d* occupies that device's comm
+        #: lane; everything else (and every single-device run) stays
+        #: on the built-in ``comm`` lane.
+        self.comm_lane = LANE_COMM
 
     # -- streams and events -------------------------------------------------
 
@@ -253,7 +259,7 @@ class GpuDevice:
         if self.fault_injector is not None:
             self._maybe_transfer_fault("htod", device_address, len(data))
         self.memory.write(device_address, data)
-        self.clock.advance(LANE_COMM,
+        self.clock.advance(self.comm_lane,
                            self.clock.model.transfer_time(len(data)),
                            f"HtoD {len(data)}B")
         self.clock.count("htod_copies")
@@ -266,7 +272,7 @@ class GpuDevice:
         if self.fault_injector is not None:
             self._maybe_transfer_fault("dtoh", device_address, size)
         data = self.memory.read(device_address, size)
-        self.clock.advance(LANE_COMM, self.clock.model.transfer_time(size),
+        self.clock.advance(self.comm_lane, self.clock.model.transfer_time(size),
                            f"DtoH {size}B")
         self.clock.count("dtoh_copies")
         self.clock.count("dtoh_bytes", size)
@@ -288,7 +294,7 @@ class GpuDevice:
             self._maybe_transfer_fault("htod", device_address, size)
         copy_across(host_memory, host_address,
                     self.memory, device_address, size)
-        self.clock.advance(LANE_COMM,
+        self.clock.advance(self.comm_lane,
                            self.clock.model.transfer_time(size),
                            f"HtoD {size}B")
         self.clock.count("htod_copies")
@@ -307,7 +313,7 @@ class GpuDevice:
             self._maybe_transfer_fault("dtoh", device_address, size)
         copy_across(self.memory, device_address,
                     host_memory, host_address, size)
-        self.clock.advance(LANE_COMM, self.clock.model.transfer_time(size),
+        self.clock.advance(self.comm_lane, self.clock.model.transfer_time(size),
                            f"DtoH {size}B")
         self.clock.count("dtoh_copies")
         self.clock.count("dtoh_bytes", size)
@@ -327,7 +333,7 @@ class GpuDevice:
         """
         self.memory.write(device_address, data)
         finish = self.clock.schedule(
-            LANE_COMM, self.clock.model.transfer_time(len(data)), stream,
+            self.comm_lane, self.clock.model.transfer_time(len(data)), stream,
             f"HtoD {len(data)}B", after=after)
         self.clock.count("htod_copies")
         self.clock.count("htod_bytes", len(data))
@@ -347,7 +353,7 @@ class GpuDevice:
         """
         data = self.memory.read(device_address, size)
         finish = self.clock.schedule(
-            LANE_COMM, self.clock.model.transfer_time(size), stream,
+            self.comm_lane, self.clock.model.transfer_time(size), stream,
             f"DtoH {size}B", after=after)
         self.clock.count("dtoh_copies")
         self.clock.count("dtoh_bytes", size)

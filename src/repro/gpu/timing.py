@@ -341,6 +341,17 @@ class SimClock:
         if cursor > self._host:
             self._host = cursor
 
+    def host_wait(self, until: float) -> None:
+        """Block the host until an absolute finish time (an event).
+
+        The multi-GPU coordinator uses this to make a synchronous
+        driver call (e.g. a blocking unmap copy) wait for the async
+        collectives feeding it.  A no-op under the serial discipline,
+        where the host is never ahead of anything.
+        """
+        if self.streams_enabled and until > self._host:
+            self._host = until
+
     def device_synchronize(self) -> None:
         """CUDA ``cuCtxSynchronize`` analogue: block the host until
         every outstanding span on every engine has completed."""

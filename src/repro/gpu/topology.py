@@ -1,0 +1,173 @@
+"""Multi-device topologies: N simulated GPUs plus the links between them.
+
+CGCM's original runtime manages one CPU-GPU pair; the multi-GPU layer
+(:mod:`repro.multigpu`) generalizes coherence to a :class:`Topology`
+of ``num_devices`` simulated devices.  A topology is purely a *model*:
+it names the per-device engine lanes and streams the scheduler uses
+(:class:`~repro.gpu.timing.SimClock` lanes are created on demand) and
+prices device-to-device traffic over explicit :class:`Link`\\ s.
+
+Two preset shapes cover the hardware that matters:
+
+* ``ring`` -- each device links to its two neighbors (NVLink bridge
+  style); peer copies between non-neighbors hop through intermediate
+  links, occupying every link on the path.
+* ``full`` -- all-to-all links (NVSwitch style); every pair is one hop.
+
+Device 0 keeps the built-in ``gpu``/``comm`` lanes and ``h2d``/
+``d2h``/``compute`` streams, so a one-device topology is
+lane-for-lane identical to no topology at all -- single-device runs
+stay bit-identical, which is what the multibench byte-identity sweep
+leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import ConfigError
+from .timing import (LANE_COMM, LANE_GPU, STREAM_COMPUTE, STREAM_D2H,
+                     STREAM_H2D)
+
+#: Topology shapes accepted by :meth:`Topology.build` and ``--topology``.
+TOPOLOGY_KINDS = ("single", "ring", "full")
+
+
+@dataclass(frozen=True)
+class Link:
+    """One direction of a peer link: fixed latency plus bandwidth.
+
+    Defaults model an NVLink-class bridge: double the PCIe bandwidth
+    of the host :class:`~repro.gpu.timing.CostModel` link, lower
+    fixed latency.
+    """
+
+    bandwidth_bps: float = 12e9
+    latency_s: float = 1.0e-6
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Modelled one-hop transfer time for ``num_bytes``."""
+        return self.latency_s + num_bytes / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class Topology:
+    """``num_devices`` simulated GPUs plus the peer links between them."""
+
+    kind: str = "single"
+    num_devices: int = 1
+    link: Link = field(default_factory=Link)
+
+    def __post_init__(self):
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ConfigError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{TOPOLOGY_KINDS}")
+        if not isinstance(self.num_devices, int) or self.num_devices < 1:
+            raise ConfigError(
+                f"Topology.num_devices must be a positive integer, got "
+                f"{self.num_devices!r}")
+        if self.kind == "single" and self.num_devices != 1:
+            raise ConfigError(
+                "a 'single' topology has exactly one device; use 'ring' "
+                f"or 'full' for {self.num_devices} devices")
+        if self.kind != "single" and self.num_devices < 2:
+            raise ConfigError(
+                f"a {self.kind!r} topology needs at least 2 devices")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def single(cls) -> "Topology":
+        return cls()
+
+    @classmethod
+    def ring(cls, num_devices: int, link: Link = Link()) -> "Topology":
+        return cls("ring", num_devices, link)
+
+    @classmethod
+    def fully_connected(cls, num_devices: int,
+                        link: Link = Link()) -> "Topology":
+        return cls("full", num_devices, link)
+
+    @classmethod
+    def build(cls, kind: str, num_devices: int,
+              link: Link = Link()) -> "Topology":
+        """CLI-facing factory: one device is always 'single'."""
+        if num_devices <= 1:
+            return cls.single()
+        if kind == "single":
+            kind = "ring"
+        return cls(kind, num_devices, link)
+
+    def key(self) -> Tuple:
+        """Hashable identity for artifact-cache config fingerprints."""
+        return (self.kind, self.num_devices,
+                self.link.bandwidth_bps, self.link.latency_s)
+
+    # -- routing -------------------------------------------------------------
+
+    def devices(self) -> range:
+        return range(self.num_devices)
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.num_devices:
+            raise ConfigError(
+                f"device {device} outside topology of "
+                f"{self.num_devices} device(s)")
+
+    def path(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Directed hops a peer copy from ``src`` to ``dst`` occupies.
+
+        Fully-connected: one hop.  Ring: the shorter way around, one
+        hop per traversed link (ties go clockwise).  Empty for
+        ``src == dst``.
+        """
+        self._check_device(src)
+        self._check_device(dst)
+        if src == dst:
+            return []
+        if self.kind != "ring":
+            return [(src, dst)]
+        n = self.num_devices
+        clockwise = (dst - src) % n
+        step = 1 if clockwise <= n - clockwise else -1
+        hops: List[Tuple[int, int]] = []
+        here = src
+        while here != dst:
+            nxt = (here + step) % n
+            hops.append((here, nxt))
+            here = nxt
+        return hops
+
+    def transfer_time(self, src: int, dst: int, num_bytes: int) -> float:
+        """Total modelled peer-copy time from ``src`` to ``dst``."""
+        return sum(self.link.transfer_time(num_bytes)
+                   for _ in self.path(src, dst))
+
+    # -- lane and stream naming ----------------------------------------------
+    #
+    # Device 0 reuses the built-in names so a single-device topology
+    # schedules onto exactly the lanes a no-topology run uses.
+
+    def gpu_lane(self, device: int) -> str:
+        return LANE_GPU if device == 0 else f"{LANE_GPU}{device}"
+
+    def comm_lane(self, device: int) -> str:
+        return LANE_COMM if device == 0 else f"{LANE_COMM}{device}"
+
+    def h2d_stream(self, device: int) -> str:
+        return STREAM_H2D if device == 0 else f"{STREAM_H2D}{device}"
+
+    def d2h_stream(self, device: int) -> str:
+        return STREAM_D2H if device == 0 else f"{STREAM_D2H}{device}"
+
+    def compute_stream(self, device: int) -> str:
+        return STREAM_COMPUTE if device == 0 else \
+            f"{STREAM_COMPUTE}{device}"
+
+    @staticmethod
+    def p2p_lane(src: int, dst: int) -> str:
+        """Engine lane of one directed peer link (its own bus)."""
+        return f"p2p{src}-{dst}"

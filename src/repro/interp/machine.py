@@ -184,6 +184,13 @@ class Machine:
         #: "store".  Empty by default so the interpreter's hot path only
         #: pays one truthiness check; the sanitizer attaches here.
         self.mem_hooks: List[Callable] = []
+        #: Multi-GPU grid placement: called as ``scheduler(kernel,
+        #: grid, args, total_ops, max_ops, duration)`` after the grid's
+        #: cost is known.  Returning True means the scheduler placed
+        #: the launch's modelled span(s) itself (possibly sharded
+        #: across devices) and the default single-device charging is
+        #: skipped.  Set by ``repro.multigpu.MultiGpuCoordinator``.
+        self.grid_scheduler: Optional[Callable] = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -639,6 +646,10 @@ class Machine:
         if self.launch_cost_hooks:
             for hook in self.launch_cost_hooks:
                 hook(self, kernel.name, grid, total_ops, max_ops, duration)
+        if self.grid_scheduler is not None \
+                and self.grid_scheduler(kernel, grid, args, total_ops,
+                                        max_ops, duration):
+            return
         if not self.streams:
             self.clock.advance(LANE_GPU, duration, f"{kernel.name}[{grid}]")
             return

@@ -38,6 +38,10 @@ class Function(FunctionValue):
             for i, (ty, pname) in enumerate(zip(ftype.param_types, param_names))
         ]
         self.is_kernel = is_kernel
+        #: Set by the DOALL parallelizer on kernels it outlined from
+        #: proven-independent loops; the multi-GPU layer only shards
+        #: grids of marked kernels.
+        self.is_doall = False
         self.module = module
         self.blocks: List[BasicBlock] = []
         self._name_counter = itertools.count()

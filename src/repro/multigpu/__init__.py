@@ -1,0 +1,26 @@
+"""Multi-GPU subsystem: device placement, grid sharding, collectives.
+
+CGCM (the source paper) manages coherence for one CPU-GPU pair; this
+package generalizes it to a :class:`~repro.gpu.topology.Topology` of N
+simulated devices:
+
+* :mod:`repro.multigpu.placement` partitions allocation units across
+  devices by greedy edge-weight minimization over the unit-access
+  graph (:mod:`repro.analysis.unitgraph`) under a balance constraint.
+* :mod:`repro.multigpu.coordinator` executes the plan: it homes each
+  mapped unit on a device, routes transfers onto per-device lanes and
+  streams, shards DOALL grids across the devices holding their
+  operands, and schedules peer-to-peer broadcasts/gathers on async
+  streams so collectives overlap compute.
+
+Everything is *modelled* time over one physical backing store (the
+simulator's eager-data model), so an N-device run is byte-identical to
+the single-device run by construction -- the multibench sweep asserts
+exactly that.
+"""
+
+from .coordinator import MultiGpuCoordinator
+from .placement import PlacementPlan, partition_units, plan_placement
+
+__all__ = ["MultiGpuCoordinator", "PlacementPlan", "partition_units",
+           "plan_placement"]

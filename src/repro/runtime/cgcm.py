@@ -178,6 +178,12 @@ class CgcmRuntime:
         #: units, and a device-address index for reverse translation.
         self.resilient = (machine.device.fault_injector is not None
                           or machine.device.heap_limit is not None)
+        #: Multi-GPU coordinator (repro.multigpu) when the execution
+        #: runs under a multi-device topology; it owns per-unit device
+        #: homes, routes transfers onto per-device lanes/streams via
+        #: the op-hook pipeline, and shards DOALL grids.  None for the
+        #: classic single-device platform.
+        self.multigpu = None
         #: Resident, evictable (non-global) units in least-recently-
         #: used order: dict insertion order, oldest first.
         self._lru: Dict[int, AllocationInfo] = {}
@@ -282,7 +288,12 @@ class CgcmRuntime:
         """Host-synchronize the d2h stream and retire every pending
         write-back.  Charges no modelled ops: the cost is purely the
         host cursor waiting for the copies to drain."""
-        self.machine.clock.stream_synchronize(STREAM_D2H)
+        clock = self.machine.clock
+        if self.multigpu is not None:
+            for stream in self.multigpu.d2h_streams():
+                clock.stream_synchronize(stream)
+        else:
+            clock.stream_synchronize(STREAM_D2H)
         self._pending_writebacks.clear()
         self.guard_syncs += 1
 
@@ -466,10 +477,11 @@ class CgcmRuntime:
                 # Stream-ordered free: the d2h stream is FIFO, so the
                 # buffer outlives any in-flight write-back of it
                 # without stalling the host.
-                self.device.mem_free_async(info.device_ptr, STREAM_D2H)
+                self.device.mem_free_async(info.device_ptr,
+                                           self._d2h_stream(info))
             elif info.resident:
                 self.device.mem_free(info.device_ptr)
-            if self.resilient:
+            if self.resilient or self.multigpu is not None:
                 self._device_index.remove(info.device_ptr)
                 self._lru.pop(info.base, None)
             info.device_ptr = None
@@ -558,8 +570,13 @@ class CgcmRuntime:
     #   resident runs its grid on the CPU path against host memory.
 
     def _track_device(self, info: AllocationInfo) -> None:
-        """Index a freshly mapped unit's device range (resilient only)."""
-        if not self.resilient:
+        """Index a freshly mapped unit's device range.
+
+        Maintained for the resilience subsystem (reverse translation
+        in the launch gate) and for the multi-GPU coordinator (operand
+        discovery when sharding); a no-op otherwise.
+        """
+        if not self.resilient and self.multigpu is None:
             return
         self._device_index.insert(info.device_ptr, info)
         if not info.is_global and info.resident:
@@ -975,6 +992,21 @@ class CgcmRuntime:
 
     # -- asynchronous entry points (streams subsystem) ----------------------------
 
+    def _h2d_stream(self, info: AllocationInfo) -> str:
+        """Upload stream for one unit: the well-known ``h2d`` stream,
+        or -- under a multi-device topology -- the h2d stream of the
+        device the unit is homed on, so uploads bound for different
+        devices overlap each other."""
+        if self.multigpu is not None:
+            return self.multigpu.h2d_stream(info)
+        return STREAM_H2D
+
+    def _d2h_stream(self, info: AllocationInfo) -> str:
+        """Write-back stream for one unit (see :meth:`_h2d_stream`)."""
+        if self.multigpu is not None:
+            return self.multigpu.d2h_stream(info)
+        return STREAM_D2H
+
     def map_ptr_async(self, ptr: int) -> int:
         """Prefetching ``map``: identical unit bookkeeping, but the
         HtoD copy is issued on the h2d stream without blocking the
@@ -993,10 +1025,13 @@ class CgcmRuntime:
                 info.device_ptr = self.device.module_get_global(info.name)
             self.machine.flush_cpu()
             data = self.machine.cpu_memory.read(info.base, info.size)
-            self.device.memcpy_htod_async(
-                info.device_ptr, data, STREAM_H2D,
+            finish = self.device.memcpy_htod_async(
+                info.device_ptr, data, self._h2d_stream(info),
                 after=self._writeback_deps(info))
             info.epoch = self.global_epoch
+            self._track_device(info)
+            if self.multigpu is not None:
+                self.multigpu.note_htod(info, finish)
         info.ref_count += 1
         assert info.device_ptr is not None
         if self.op_hooks:
@@ -1034,9 +1069,11 @@ class CgcmRuntime:
                 "copy")
         self.machine.flush_cpu()
         clock = self.machine.clock
-        kernels_done = clock.event_record(STREAM_COMPUTE)
+        deps = (clock.event_record(STREAM_COMPUTE),)
+        if self.multigpu is not None:
+            deps = deps + self.multigpu.unmap_deps(info)
         data, finish = self.device.memcpy_dtoh_async(
-            info.device_ptr, info.size, STREAM_D2H, after=(kernels_done,))
+            info.device_ptr, info.size, self._d2h_stream(info), after=deps)
         self.machine.cpu_memory.write(info.base, data)
         info.epoch = self.global_epoch
         self._pending_writebacks[info.base] = (info.end, finish)
@@ -1070,11 +1107,14 @@ class CgcmRuntime:
                 info.device_ptr = self.device.module_get_global(info.name)
             self.machine.flush_cpu()
             payload = struct.pack(f"<{len(translated)}Q", *translated)
-            self.device.memcpy_htod_async(
-                info.device_ptr, payload, STREAM_H2D,
+            finish = self.device.memcpy_htod_async(
+                info.device_ptr, payload, self._h2d_stream(info),
                 after=self._writeback_deps(info))
             info.epoch = self.global_epoch
             info.is_array = True
+            self._track_device(info)
+            if self.multigpu is not None:
+                self.multigpu.note_htod(info, finish)
         info.ref_count += 1
         assert info.device_ptr is not None
         if self.op_hooks:

@@ -65,6 +65,15 @@ class CommSanitizer:
         #: reclaiming memory, not a lifetime bug.
         self._evicting: Optional[int] = None
         self._finished = False
+        #: Independent mirror of the multi-GPU coordinator's coherence
+        #: state: unit base -> devices holding a valid copy, and the
+        #: home assignment each unit was given.  Maintained purely
+        #: from coordinator events plus the map op-hook, never read
+        #: back from the coordinator -- so a coordinator that skips a
+        #: broadcast cannot also hide the evidence.
+        self._mg_valid: Dict[int, set] = {}
+        self._mg_home: Dict[int, int] = {}
+        self._multigpu = getattr(runtime, "multigpu", None)
         machine.mem_hooks.append(self._on_mem)
         machine.launch_hooks.append(self._on_launch)
         machine.heap_hooks.append(self._on_heap)
@@ -72,6 +81,10 @@ class CommSanitizer:
         self.device.observers.append(self._on_device)
         if runtime is not None:
             runtime.op_hooks.append(self._on_op)
+        if self._multigpu is not None:
+            self._multigpu.hooks.append(self._on_multigpu)
+            self.stats.update({"mg_broadcasts": 0, "mg_gathers": 0,
+                               "mg_launches": 0})
 
     # -- recording ----------------------------------------------------------
 
@@ -220,6 +233,10 @@ class CommSanitizer:
                 unit.lost_reported = False
                 unit.map_epoch = self.epoch
                 self.shadow.register_device(unit)
+                if info.base in self._mg_home:
+                    # The upload targets the unit's home device and
+                    # invalidates every peer copy.
+                    self._mg_valid[info.base] = {self._mg_home[info.base]}
             if info.ref_count != unit.ref + 1:
                 self._desync(unit, info, "map")
             unit.ref = info.ref_count
@@ -295,6 +312,45 @@ class CommSanitizer:
                 # unregistered it, this is the belt to its braces.
                 self.shadow.unregister_device(unit.device_base)
 
+    # -- multi-GPU coordinator observer ---------------------------------------
+
+    def _on_multigpu(self, event: str, payload: dict) -> None:
+        """Mirror coordinator coherence events and check launches.
+
+        ``place``/``broadcast``/``gather`` maintain the mirror;
+        ``launch`` is the checkpoint: every operand must already hold
+        a valid copy on every device the launch runs on, or the read
+        observes a peer's stale memory.
+        """
+        if event == "place":
+            info = payload["unit"]
+            self._mg_home[info.base] = payload["device"]
+            self._mg_valid[info.base] = {payload["device"]}
+        elif event == "broadcast":
+            self.stats["mg_broadcasts"] += 1
+            info = payload["unit"]
+            self._mg_valid.setdefault(info.base, set()).add(payload["dst"])
+        elif event == "gather":
+            self.stats["mg_gathers"] += 1
+            info = payload["unit"]
+            self._mg_valid[info.base] = {payload["dst"]}
+            self._mg_home[info.base] = payload["dst"]
+        elif event == "launch":
+            self.stats["mg_launches"] += 1
+            devices = payload["devices"]
+            for info in payload["reads"]:
+                valid = self._mg_valid.get(info.base, set())
+                for d in devices:
+                    if d not in valid:
+                        self._record(
+                            ViolationKind.CROSS_DEVICE_STALE,
+                            info.name or f"{info.base:#x}",
+                            f"kernel {payload['kernel']} launched on "
+                            f"gpu{d} but the device holds no valid "
+                            f"copy of the unit (valid on "
+                            f"{sorted(valid) or 'no device'}; missing "
+                            "peer broadcast)")
+
     def _desync(self, unit: ShadowUnit, info: AllocationInfo,
                 op: str) -> None:
         self._record(
@@ -345,3 +401,6 @@ class CommSanitizer:
                 hooks.remove(hook)
         if self.runtime is not None and self._on_op in self.runtime.op_hooks:
             self.runtime.op_hooks.remove(self._on_op)
+        if self._multigpu is not None \
+                and self._on_multigpu in self._multigpu.hooks:
+            self._multigpu.hooks.remove(self._on_multigpu)

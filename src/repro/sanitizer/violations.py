@@ -45,6 +45,10 @@ class ViolationKind(enum.Enum):
     #: bytes no longer matched the shared content at run end.  Sharing
     #: is only sound for genuinely immutable data.
     SHARED_MUTATION = "shared-mutation"
+    #: Under a multi-device topology, a launch ran on a device holding
+    #: no valid copy of one of its operands -- the coordinator skipped
+    #: (or mis-ordered) the peer broadcast that coherence requires.
+    CROSS_DEVICE_STALE = "cross-device-stale"
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,7 @@ from .. import api
 from ..core.config import CgcmConfig, OptLevel
 from ..errors import CgcmRuntimeError, ConfigError, FrontendError
 from ..gpu.timing import LANE_COMM, LANE_CPU, LANE_GPU, SimClock, TraceEvent
+from ..gpu.topology import Topology
 from .policy import make_policy
 from .request import RequestMetrics, ServeRequest, TenantSpec
 from .sharing import SharedMappingRegistry
@@ -90,33 +91,50 @@ class ServeOptions:
     #: Record TraceEvents (per-request tracks) on the serve clock.
     record_events: bool = False
     #: Tenant contracts by name; unknown tenants serve uncapped.
+    #: Heap quotas are applied at *execution* time
+    #: (``CompiledWorkload.run(device_heap_limit=...)``), so every
+    #: quota variant of one source shares a single compiled artifact.
     tenants: Dict[str, TenantSpec] = field(default_factory=dict)
-    #: Base config for request compilation; per-tenant quotas are
-    #: applied on top with ``dataclasses.replace``.  None = built from
+    #: Base config for request compilation.  None = built from
     #: ``opt_level``/``sanitize``.
     base_config: Optional[CgcmConfig] = None
+    #: Multi-device topology injected into the base config when it
+    #: does not pin its own (None = single device).
+    topology: Optional[Topology] = None
+    #: The :class:`repro.api.Session` whose artifact cache backs this
+    #: loop; None = the process-wide default session.
+    session: Optional["api.Session"] = None
 
     def resolved_base_config(self) -> CgcmConfig:
         if self.base_config is not None:
-            return dataclasses.replace(self.base_config)
-        return CgcmConfig(opt_level=self.opt_level, sanitize=self.sanitize)
+            config = dataclasses.replace(self.base_config)
+        else:
+            config = CgcmConfig(opt_level=self.opt_level,
+                                sanitize=self.sanitize)
+        if self.topology is not None and config.topology is None:
+            config = dataclasses.replace(config, topology=self.topology)
+        return config
 
 
 class _Admitted:
     """One admitted request plus everything identity-related."""
 
     __slots__ = ("request", "source", "artifact", "config", "key",
-                 "metrics")
+                 "metrics", "heap_limit")
 
     def __init__(self, request: ServeRequest, source: str, artifact: str,
                  config: CgcmConfig, key: Tuple,
-                 metrics: RequestMetrics):
+                 metrics: RequestMetrics,
+                 heap_limit: Optional[int] = None):
         self.request = request
         self.source = source
         self.artifact = artifact
         self.config = config
         self.key = key
         self.metrics = metrics
+        #: Tenant heap quota, applied per run -- deliberately NOT part
+        #: of ``key``: quota variants share one compiled artifact.
+        self.heap_limit = heap_limit
 
 
 @dataclass
@@ -225,13 +243,15 @@ class ServeLoop:
                 f"{self.options.batch_limit}")
         self.policy = make_policy(self.options.policy)
         self.base_config = self.options.resolved_base_config()
+        self.session = self.options.session if self.options.session \
+            is not None else api.default_session()
         self.clock = SimClock(record_events=self.options.record_events)
         self.clock.enable_streams()
         self.lanes = [self.clock.add_lane(f"cpu{w}")
                       for w in range(self.options.workers)]
         self.registry: Optional[SharedMappingRegistry] = \
             SharedMappingRegistry() if self.options.sharing else None
-        self._tenant_configs: Dict[str, CgcmConfig] = {}
+        self._base_key = api._config_key(self.base_config)
         self._workloads: Dict[Tuple, api.CompiledWorkload] = {}
         self._inst_counts: Dict[Tuple, int] = {}
         self._seen: set = set()
@@ -249,16 +269,9 @@ class ServeLoop:
 
     # -- admission ---------------------------------------------------------
 
-    def _tenant_config(self, tenant: str) -> CgcmConfig:
-        config = self._tenant_configs.get(tenant)
-        if config is None:
-            spec = self.options.tenants.get(tenant, TenantSpec(tenant))
-            config = self.base_config
-            if spec.device_heap_limit is not None:
-                config = dataclasses.replace(
-                    config, device_heap_limit=spec.device_heap_limit)
-            self._tenant_configs[tenant] = config
-        return config
+    def _tenant_limit(self, tenant: str) -> Optional[int]:
+        spec = self.options.tenants.get(tenant, TenantSpec(tenant))
+        return spec.device_heap_limit
 
     def _admit(self, request: ServeRequest) -> Optional[_Admitted]:
         """Resolve identity at arrival; a bad request is rejected here
@@ -275,15 +288,19 @@ class ServeLoop:
                 track=f"req{request.request_id}"))
         try:
             source, artifact = request.resolve_source()
-            config = self._tenant_config(request.tenant)
         except (ConfigError, FrontendError) as exc:
             metrics.status = "rejected"
             metrics.reason = str(exc)
             self.counters["rejected"] += 1
             return None
-        key = (api._source_key(source), artifact, api._config_key(config))
+        # Identity is (source, artifact, base config): tenant heap
+        # quotas are an execution-time knob, so all quota variants of
+        # one source resolve to the same artifact-cache entry.
+        key = (api._source_key(source), artifact, self._base_key)
         metrics.artifact = artifact
-        return _Admitted(request, source, artifact, config, key, metrics)
+        return _Admitted(request, source, artifact, self.base_config,
+                         key, metrics,
+                         heap_limit=self._tenant_limit(request.tenant))
 
     # -- the event loop ----------------------------------------------------
 
@@ -365,7 +382,7 @@ class ServeLoop:
     def _workload(self, admitted: _Admitted):
         workload = self._workloads.get(admitted.key)
         if workload is None:
-            workload = api.compile_workload(
+            workload = self.session.compile(
                 admitted.source, admitted.config, name=admitted.artifact)
             self._workloads[admitted.key] = workload
             self._inst_counts[admitted.key] = sum(
@@ -404,7 +421,8 @@ class ServeLoop:
                 result = workload.run(
                     engine=self.options.engine,
                     shared_mappings=self.registry,
-                    launch_log=launch_log)
+                    launch_log=launch_log,
+                    device_heap_limit=admitted.heap_limit)
             except (ConfigError, CgcmRuntimeError) as exc:
                 if self.registry is not None:
                     self.registry.release(rid)

@@ -20,16 +20,24 @@ from .doallcheck import check_doall
 from .findings import Finding, LintReport, Severity
 from .hbcheck import check_happens_before
 from .mapstate import check_map_state
+from .placementcheck import check_placement
 from .redundant import check_redundant_transfers
 
 #: Pass execution order.  ``mapstate`` runs first: it fills the
 #: context's per-function summaries which later passes may consult.
-ALL_PASSES = ("mapstate", "redundant", "doall", "hbcheck")
+#: ``placement`` is inert (zero findings) without a multi-device
+#: topology, so single-device lints are unchanged.
+ALL_PASSES = ("mapstate", "redundant", "doall", "hbcheck", "placement")
 
 
 def lint_module(module: Module,
-                passes: Optional[Iterable[str]] = None) -> LintReport:
-    """Run the structural verifier plus the selected passes."""
+                passes: Optional[Iterable[str]] = None,
+                topology: Optional[object] = None) -> LintReport:
+    """Run the structural verifier plus the selected passes.
+
+    ``topology`` (a :class:`~repro.gpu.topology.Topology`) arms the
+    ``placement`` pass; without one the pass runs but emits nothing.
+    """
     selected = list(passes) if passes is not None else list(ALL_PASSES)
     unknown = [p for p in selected if p not in ALL_PASSES]
     if unknown:
@@ -57,6 +65,9 @@ def lint_module(module: Module,
     if "hbcheck" in selected:
         findings.extend(check_happens_before(module, ctx))
         ran.append("hbcheck")
+    if "placement" in selected:
+        findings.extend(check_placement(module, ctx, topology))
+        ran.append("placement")
     return LintReport(module.name, findings, ran)
 
 
@@ -64,7 +75,8 @@ def lint_source(source: str, name: str = "program",
                 opt_level: OptLevel = OptLevel.OPTIMIZED,
                 passes: Optional[Iterable[str]] = None,
                 streams: bool = False, faults=None,
-                validate: bool = False) -> LintReport:
+                validate: bool = False,
+                topology: Optional[object] = None) -> LintReport:
     """Compile MiniC through the pipeline at ``opt_level`` and lint
     the resulting module.  With ``streams``, the comm-overlap pass
     runs too, so the checks see the hoisted/sunk asynchronous calls.
@@ -81,7 +93,7 @@ def lint_source(source: str, name: str = "program",
         report = compiler.compile_source(source, name)
     except TransformValidationError as exc:
         report = exc.report
-    lint = lint_module(report.module, passes)
+    lint = lint_module(report.module, passes, topology=topology)
     if report.validation:
         lint = LintReport(lint.module_name,
                           lint.findings + list(report.validation),

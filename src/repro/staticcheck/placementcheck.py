@@ -1,0 +1,89 @@
+"""Placement pass: static diagnostics for multi-device partitioning.
+
+Runs only when the caller supplies a multi-device
+:class:`~repro.gpu.topology.Topology` (a lint over single-device
+configurations emits nothing -- the pass is inert, not skipped, so
+``passes_run`` stays stable).  It rebuilds the same unit-access graph
+and greedy partition the execution coordinator will use and reports
+what the partitioner could not do well:
+
+* ``dynamic-size-unit`` (NOTE) -- an allocation unit's byte size is
+  not statically known, so the runtime places it least-loaded instead
+  of by plan.
+* ``untraceable-operand`` (NOTE) -- a launch operand could not be
+  traced to a host allocation unit; grid sharding stays conservative
+  for that kernel.
+* ``placement-imbalance`` (WARNING) -- the byte load of some device
+  exceeds the balance envelope; one unit dominates total footprint
+  and the topology cannot spread it.
+* ``cross-device-coaccess`` (NOTE) -- two units co-accessed by the
+  same launches were homed on different devices; every such launch
+  pays a peer broadcast.
+
+All severities are WARNING or NOTE: a placement can be *bad* without
+the program being wrong, and ``LintReport.clean`` must not depend on
+the topology swept.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.unitgraph import build_unit_graph
+from ..ir.module import Module
+from .context import CheckContext
+from .findings import Finding, Severity
+
+PASS = "placement"
+
+
+def check_placement(module: Module, ctx: CheckContext,
+                    topology: Optional[object] = None) -> List[Finding]:
+    """Diagnose the static placement ``topology`` would induce."""
+    if topology is None or getattr(topology, "num_devices", 1) < 2:
+        return []
+    from ..multigpu.placement import partition_units
+    graph = build_unit_graph(module, ctx)
+    plan = partition_units(graph, topology)
+    findings: List[Finding] = []
+    for label in sorted(graph.sizes):
+        if graph.sizes[label] == 0:
+            findings.append(Finding(
+                PASS, "dynamic-size-unit", Severity.NOTE, "", "", -1, -1,
+                f"allocation unit {label} has no statically known size; "
+                "the runtime will place it least-loaded instead of by "
+                "plan", unit=label))
+    flagged = set()
+    for site in graph.launches:
+        if site.unknown and site.kernel not in flagged:
+            flagged.add(site.kernel)
+            findings.append(Finding(
+                PASS, "untraceable-operand", Severity.NOTE,
+                site.kernel, "", -1, -1,
+                f"kernel {site.kernel} has a launch operand that could "
+                "not be traced to a host allocation unit; grid sharding "
+                "is disabled for its launches", unit=site.kernel))
+    total = sum(graph.sizes.values())
+    k = topology.num_devices
+    if total and k > 1:
+        envelope = 1.25 * total / k
+        worst = max(range(k), key=lambda d: plan.loads[d])
+        if plan.loads[worst] > envelope:
+            findings.append(Finding(
+                PASS, "placement-imbalance", Severity.WARNING,
+                "", "", -1, -1,
+                f"device gpu{worst} homes {plan.loads[worst]} of "
+                f"{total} bytes (balance envelope {int(envelope)}); a "
+                "single oversized unit dominates the footprint and "
+                f"the {k}-device topology cannot spread it",
+                unit=f"gpu{worst}"))
+    for (a, b), weight in sorted(graph.edges.items()):
+        if plan.assignment.get(a) != plan.assignment.get(b):
+            findings.append(Finding(
+                PASS, "cross-device-coaccess", Severity.NOTE,
+                "", "", -1, -1,
+                f"units {a} (gpu{plan.assignment.get(a)}) and {b} "
+                f"(gpu{plan.assignment.get(b)}) are co-accessed by "
+                f"{weight} launch site(s) but homed apart; each such "
+                "launch pays a peer broadcast", unit=f"{a}|{b}"))
+    return findings

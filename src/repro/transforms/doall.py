@@ -248,6 +248,10 @@ class DoallParallelizer:
         kernel = self.module.add_function(
             name, FunctionType(VOID, param_types), param_names,
             is_kernel=True)
+        #: DOALL iterations are independent by proof, so the multi-GPU
+        #: layer may split this kernel's grid across devices.  Glue
+        #: kernels and hand-written kernels never get the mark.
+        kernel.is_doall = True
         self.kernels.append(kernel)
 
         value_map: Dict[Value, Value] = {}

@@ -1,0 +1,87 @@
+"""Session API: per-session caches, ambient defaults, topology injection."""
+
+import pytest
+
+from repro import api
+from repro.core import CgcmConfig, OptLevel
+from repro.errors import ConfigError
+from repro.gpu.topology import Topology
+
+SOURCE = "int main(void) { print_i64(41 + 1); return 0; }"
+OTHER = "int main(void) { print_i64(7); return 0; }"
+
+
+class TestIsolation:
+    def test_sessions_do_not_share_caches(self):
+        a, b = api.Session(), api.Session()
+        a.compile(SOURCE)
+        assert a.cache_stats()["misses"] == 1
+        assert b.cache_stats()["misses"] == 0
+        b.compile(SOURCE)
+        b.compile(SOURCE)
+        assert b.cache_stats() == {**b.cache_stats(),
+                                   "hits": 1, "misses": 1}
+        assert a.cache_stats()["hits"] == 0
+
+    def test_clear_cache_is_per_session(self):
+        a, b = api.Session(), api.Session()
+        a.compile(SOURCE)
+        b.compile(SOURCE)
+        a.clear_cache()
+        assert a.cache_stats()["entries"] == 0
+        assert b.cache_stats()["entries"] == 1
+
+    def test_module_wrappers_use_the_default_session(self):
+        session = api.default_session()
+        session.clear_cache()
+        api.compile_workload(OTHER)
+        assert session.cache_stats()["misses"] == 1
+        assert api.cache_stats() == session.cache_stats()
+        api.clear_cache()
+        assert session.cache_stats()["entries"] == 0
+
+
+class TestDefaults:
+    def test_session_default_config_applies(self):
+        session = api.Session(CgcmConfig(opt_level=OptLevel.SEQUENTIAL))
+        workload = session.compile(SOURCE)
+        assert workload.config.opt_level is OptLevel.SEQUENTIAL
+
+    def test_explicit_config_wins_over_default(self):
+        session = api.Session(CgcmConfig(opt_level=OptLevel.SEQUENTIAL))
+        workload = session.compile(
+            SOURCE, CgcmConfig(opt_level=OptLevel.OPTIMIZED))
+        assert workload.config.opt_level is OptLevel.OPTIMIZED
+
+    def test_bad_argument_types_rejected(self):
+        with pytest.raises(ConfigError, match="must be a CgcmConfig"):
+            api.Session(config="fast")
+        with pytest.raises(ConfigError, match="must be a Topology"):
+            api.Session(topology=4)
+
+
+class TestTopologyInjection:
+    def test_session_topology_injected_into_parallel_configs(self):
+        session = api.Session(topology=Topology.fully_connected(2))
+        workload = session.compile(SOURCE)
+        assert workload.config.topology == Topology.fully_connected(2)
+
+    def test_explicit_topology_is_not_overridden(self):
+        session = api.Session(topology=Topology.fully_connected(2))
+        workload = session.compile(
+            SOURCE, CgcmConfig(topology=Topology.ring(4)))
+        assert workload.config.topology == Topology.ring(4)
+
+    def test_cpu_only_configs_skip_injection(self):
+        session = api.Session(topology=Topology.fully_connected(2))
+        workload = session.compile(
+            SOURCE, CgcmConfig(opt_level=OptLevel.SEQUENTIAL))
+        assert workload.config.topology is None
+
+    def test_topology_is_part_of_the_cache_key(self):
+        session = api.Session()
+        session.compile(SOURCE)
+        session.compile(SOURCE, CgcmConfig(
+            topology=Topology.fully_connected(2)))
+        assert session.cache_stats()["misses"] == 2
+        assert session.cache_stats()["entries"] == 2

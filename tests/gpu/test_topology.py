@@ -1,0 +1,109 @@
+"""Topology model: shapes, routing, lane naming, cache identity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.gpu.timing import (LANE_COMM, LANE_GPU, STREAM_COMPUTE,
+                              STREAM_D2H, STREAM_H2D)
+from repro.gpu.topology import Link, Topology
+
+
+class TestConstruction:
+    def test_presets(self):
+        assert Topology.single().num_devices == 1
+        assert Topology.ring(4).kind == "ring"
+        assert Topology.fully_connected(8).num_devices == 8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown topology kind"):
+            Topology("mesh", 4)
+
+    def test_single_with_many_devices_rejected(self):
+        with pytest.raises(ConfigError, match="exactly one device"):
+            Topology("single", 4)
+
+    def test_multi_kind_needs_two_devices(self):
+        with pytest.raises(ConfigError, match="at least 2"):
+            Topology("ring", 1)
+
+    def test_bad_device_count_rejected(self):
+        with pytest.raises(ConfigError, match="positive integer"):
+            Topology("full", 0)
+
+    def test_build_collapses_one_device_to_single(self):
+        # The CLI maps --devices 1 to the no-topology shape whatever
+        # --topology says, so single-device runs never change lanes.
+        assert Topology.build("full", 1).kind == "single"
+        assert Topology.build("single", 4).kind == "ring"
+
+
+class TestRouting:
+    def test_full_is_one_hop(self):
+        topo = Topology.fully_connected(8)
+        assert topo.path(2, 5) == [(2, 5)]
+        assert topo.path(3, 3) == []
+
+    def test_ring_takes_shorter_way(self):
+        topo = Topology.ring(6)
+        assert topo.path(0, 2) == [(0, 1), (1, 2)]
+        assert topo.path(0, 5) == [(0, 5)]
+        # Ties (opposite side of an even ring) go clockwise.
+        assert topo.path(0, 3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_out_of_range_device_rejected(self):
+        with pytest.raises(ConfigError, match="outside topology"):
+            Topology.ring(4).path(0, 4)
+
+    def test_transfer_time_is_per_hop(self):
+        link = Link(bandwidth_bps=1e9, latency_s=1e-6)
+        topo = Topology.ring(8, link)
+        one = link.transfer_time(1 << 20)
+        assert topo.transfer_time(0, 2, 1 << 20) == pytest.approx(2 * one)
+        assert topo.transfer_time(5, 5, 1 << 20) == 0.0
+
+    @given(n=st.integers(2, 12),
+           src=st.integers(0, 11), dst=st.integers(0, 11))
+    def test_ring_paths_are_connected_and_minimal(self, n, src, dst):
+        src, dst = src % n, dst % n
+        hops = Topology.ring(n).path(src, dst)
+        here = src
+        for a, b in hops:
+            assert a == here
+            here = b
+        assert here == dst
+        assert len(hops) <= n // 2
+
+
+class TestNaming:
+    def test_device_zero_reuses_builtin_names(self):
+        # Single-device topologies must be lane-for-lane identical to
+        # no topology at all (byte- and time-identity depends on it).
+        topo = Topology.fully_connected(2)
+        assert topo.gpu_lane(0) == LANE_GPU
+        assert topo.comm_lane(0) == LANE_COMM
+        assert topo.h2d_stream(0) == STREAM_H2D
+        assert topo.d2h_stream(0) == STREAM_D2H
+        assert topo.compute_stream(0) == STREAM_COMPUTE
+
+    def test_other_devices_get_suffixed_names(self):
+        topo = Topology.fully_connected(4)
+        assert topo.gpu_lane(2) == f"{LANE_GPU}2"
+        assert topo.h2d_stream(3) == f"{STREAM_H2D}3"
+
+    def test_p2p_lanes_are_directed(self):
+        assert Topology.p2p_lane(0, 1) != Topology.p2p_lane(1, 0)
+
+
+class TestCacheIdentity:
+    def test_key_distinguishes_shape_count_and_link(self):
+        keys = {
+            Topology.ring(4).key(),
+            Topology.fully_connected(4).key(),
+            Topology.ring(8).key(),
+            Topology.ring(4, Link(bandwidth_bps=1e9)).key(),
+        }
+        assert len(keys) == 4
+
+    def test_key_is_stable_for_equal_topologies(self):
+        assert Topology.ring(4).key() == Topology.ring(4).key()

@@ -1,0 +1,78 @@
+"""Collective scheduling properties over the modeled clock.
+
+The coordinator prices every broadcast/gather hop on a directed p2p
+lane (its own bus) with a FIFO stream per link.  Whatever the traffic
+pattern, the overlap-aware critical path can never exceed the fully
+serialized schedule -- and must still cover the longest single
+dependency chain (each multi-hop path is FIFO along its links).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import SimClock
+from repro.gpu.topology import Topology
+
+copies = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7),
+              st.integers(1, 1 << 22)),
+    min_size=1, max_size=24)
+
+
+def schedule_collectives(topology, traffic):
+    """Mimic the coordinator: one span per hop, chained via ``after``."""
+    clock = SimClock()
+    clock.enable_streams()
+    longest_chain = 0.0
+    for src, dst, num_bytes in traffic:
+        src, dst = src % topology.num_devices, dst % topology.num_devices
+        done = 0.0
+        chain = 0.0
+        for a, b in topology.path(src, dst):
+            lane = clock.add_lane(Topology.p2p_lane(a, b))
+            clock.stream_create(lane)
+            hop = topology.link.transfer_time(num_bytes)
+            done = clock.schedule(lane, hop, lane, "bcast", after=(done,))
+            chain += hop
+        longest_chain = max(longest_chain, chain)
+    clock.device_synchronize()
+    return clock, longest_chain
+
+
+class TestCollectiveSchedules:
+    @settings(deadline=None, max_examples=60)
+    @given(n=st.integers(2, 8), kind=st.sampled_from(["ring", "full"]),
+           traffic=copies)
+    def test_critical_path_bounded_by_serial(self, n, kind, traffic):
+        topology = Topology.build(kind, n)
+        clock, longest = schedule_collectives(topology, traffic)
+        assert clock.critical_path_s <= clock.serial_total_s + 1e-12
+        assert clock.critical_path_s >= longest - 1e-12
+
+    @settings(deadline=None, max_examples=30)
+    @given(n=st.integers(2, 8), traffic=copies)
+    def test_full_topology_traffic_is_embarrassingly_parallel(
+            self, n, traffic):
+        # All-to-all: distinct (src, dst) pairs never share a lane, so
+        # the critical path is exactly the busiest directed link.
+        topology = Topology.fully_connected(n)
+        clock, _ = schedule_collectives(topology, traffic)
+        per_lane = {}
+        for src, dst, num_bytes in traffic:
+            src, dst = src % n, dst % n
+            if src == dst:
+                continue
+            lane = Topology.p2p_lane(src, dst)
+            per_lane[lane] = per_lane.get(lane, 0.0) \
+                + topology.link.transfer_time(num_bytes)
+        busiest = max(per_lane.values(), default=0.0)
+        assert clock.critical_path_s == pytest.approx(busiest)
+
+    def test_ring_hops_serialize_along_the_path(self):
+        # One 3-hop copy on a 6-ring: the hops are FIFO-chained, so
+        # the path costs exactly three link times end to end.
+        topology = Topology.ring(6)
+        clock, longest = schedule_collectives(topology, [(0, 3, 1 << 20)])
+        assert clock.critical_path_s == pytest.approx(longest)
+        assert longest == pytest.approx(
+            3 * topology.link.transfer_time(1 << 20))

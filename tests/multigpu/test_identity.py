@@ -1,0 +1,87 @@
+"""Multi-device byte-identity: sharded == unsharded, always.
+
+The eager-data model keeps one physical backing store, so device
+placement and grid sharding are pure scheduling decisions -- every
+N-device run must produce byte-identical observables to the
+single-device streams run.  A fast subset guards tier-1; the full
+24-workload sweep across counts and shapes runs under ``-m slow``.
+"""
+
+import pytest
+
+from repro import api
+from repro.core import CgcmConfig, OptLevel
+from repro.gpu.topology import Topology
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+#: Tier-1 subset: the comm-bound best case, a sharded DOALL matmul,
+#: a reduction, and a wavefront that must *not* shard.
+FAST_NAMES = ("cfd", "gemm", "gesummv", "nw")
+
+
+def run_pair(workload, topology):
+    base = api.compile_workload(
+        workload.source, CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                    streams=True),
+        name=workload.name).run()
+    multi = api.compile_workload(
+        workload.source, CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                    topology=topology),
+        name=workload.name).run()
+    return base, multi
+
+
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_four_device_identity_fast_subset(name):
+    workload = get_workload(name)
+    base, multi = run_pair(workload, Topology.fully_connected(4))
+    assert base.observable() == multi.observable()
+    assert multi.counters.get("multigpu_placements", 0) > 0
+
+
+def test_ring_topology_identity():
+    base, multi = run_pair(get_workload("gemm"), Topology.ring(4))
+    assert base.observable() == multi.observable()
+
+
+def test_sharding_pays_when_cores_saturate():
+    # Under the default 480-core model the paper grids (~32 threads)
+    # are latency-bound -- the longest thread bounds the launch, so
+    # the coordinator rightly refuses to shard.  Constrain the cores
+    # and the same DOALL kernels split across devices, stay
+    # byte-identical, and beat the single-device schedule.
+    from repro.gpu import CostModel
+    workload = get_workload("gemm")
+    model = CostModel(gpu_cores=4)
+    base = api.compile_workload(
+        workload.source, CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                    streams=True, cost_model=model),
+        name=workload.name).run()
+    multi = api.compile_workload(
+        workload.source, CgcmConfig(opt_level=OptLevel.OPTIMIZED,
+                                    topology=Topology.fully_connected(4),
+                                    cost_model=model),
+        name=workload.name).run()
+    assert base.observable() == multi.observable()
+    assert multi.counters.get("sharded_launches", 0) > 0
+    assert multi.counters.get("p2p_copies", 0) > 0
+    assert multi.critical_path_seconds < base.critical_path_seconds
+
+
+def test_unsharded_launches_still_span_devices():
+    # Even without profitable sharding the coordinator routes every
+    # launch to the device homing most of its operands and pays peer
+    # broadcasts for the rest.
+    _, multi = run_pair(get_workload("gemm"),
+                        Topology.fully_connected(4))
+    assert multi.counters.get("multi_device_launches", 0) > 0
+    assert multi.counters.get("p2p_copies", 0) > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload", ALL_WORKLOADS,
+                         ids=lambda w: w.name)
+@pytest.mark.parametrize("devices", (2, 4, 8))
+def test_full_sweep_identity(workload, devices):
+    base, multi = run_pair(workload, Topology.fully_connected(devices))
+    assert base.observable() == multi.observable()

@@ -187,13 +187,17 @@ class TestTenantQuotas:
         assert by_tenant["gold"]["ok"] == 3
         assert by_tenant["tiny"]["rejected"] == 3
 
-    def test_tenant_quotas_mint_distinct_artifacts(self):
+    def test_tenant_quotas_share_one_artifact(self):
         options = ServeOptions(tenants={
             "a": TenantSpec("a"),
             "b": TenantSpec("b", device_heap_limit=24 << 10)})
         report = serve(quota_requests(4, ("a", "b")), options)
-        # Same source, different quota config: no cross-quota batch.
-        assert report.counters["compile_misses"] == 2
+        # Heap quotas are execution-time knobs, not compile-time
+        # config: both tenants reuse one compiled artifact.
+        assert report.counters["compile_misses"] == 1
+        assert all(m.status == "ok" for m in report.metrics)
+        # The capped tenant still feels its quota at run time.
+        assert report.counters["device_evictions"] > 0
 
 
 class TestPolicies:

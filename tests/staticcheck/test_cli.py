@@ -19,7 +19,7 @@ class TestLintCommand:
         assert report["module"] == "atax"
         assert report["clean"] is True
         assert report["passes"] == ["verify", "mapstate", "redundant",
-                                    "doall", "hbcheck"]
+                                    "doall", "hbcheck", "placement"]
 
     def test_source_path_target(self, tmp_path, capsys):
         bad = tmp_path / "bad.c"

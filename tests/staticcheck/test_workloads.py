@@ -20,7 +20,7 @@ def test_workload_lints_clean(name):
     report = lint_workload(get_workload(name))
     assert report.clean, report.render()
     assert report.passes_run == ["verify", "mapstate", "redundant",
-                                 "doall", "hbcheck"]
+                                 "doall", "hbcheck", "placement"]
 
 
 @pytest.mark.slow
